@@ -1,0 +1,89 @@
+// Package argo is a Go reproduction of the Argo distributed shared memory
+// system from "Turning Centralized Coherence and Distributed
+// Critical-Section Execution on their Head: A New Approach for Scalable
+// Distributed Shared Memory" (Kaxiras et al., HPDC 2015).
+//
+// Argo is a page-based, home-based software DSM with three novel parts:
+//
+//   - Carina, a coherence protocol for data-race-free programs built on
+//     self-invalidation and self-downgrade — no invalidation messages, no
+//     directory indirection, no message handlers anywhere;
+//   - Pyxis, a passive classification directory that tracks the readers and
+//     writers of every page with one-sided atomics and lets nodes filter
+//     what they self-invalidate;
+//   - Vela, the synchronization system: hierarchical barriers and
+//     hierarchical queue delegation locking (HQDL) that batches critical
+//     sections on one node before the lock moves.
+//
+// This implementation runs a whole cluster inside one process: nodes,
+// page caches, directories and the protocol are real (a protocol bug
+// produces wrong answers, not just wrong timings), while network and NUMA
+// latencies are charged to per-thread virtual clocks by a calibrated cost
+// model. See DESIGN.md for the substitution rationale and EXPERIMENTS.md
+// for the reproduced evaluation.
+//
+// # Quick start
+//
+//	cfg := argo.DefaultConfig(4)            // 4 nodes × 16 cores
+//	cluster := argo.MustNewCluster(cfg)
+//	xs := cluster.AllocF64(1 << 20)         // global array
+//	makespan := cluster.Run(15, func(t *argo.Thread) {
+//	    for i := t.Rank; i < xs.Len; i += t.NT {
+//	        t.SetF64(xs, i, float64(i))
+//	    }
+//	    t.Barrier()                         // SD → global barrier → SI
+//	})
+//
+// All simulated time is in virtual nanoseconds; cluster.Run returns the
+// makespan of the launch.
+package argo
+
+import (
+	"argo/internal/core"
+	"argo/internal/vela"
+)
+
+// Re-exported core types: the Cluster/Thread API is defined in
+// internal/core and aliased here so internal packages (locks, workloads)
+// and external users share one set of types.
+type (
+	// Cluster is a simulated Argo DSM installation.
+	Cluster = core.Cluster
+	// Config describes a cluster (see DefaultConfig).
+	Config = core.Config
+	// Thread is one simulated application thread.
+	Thread = core.Thread
+	// F64Slice is a typed view of float64s in global memory.
+	F64Slice = core.F64Slice
+	// I64Slice is a typed view of int64s in global memory.
+	I64Slice = core.I64Slice
+)
+
+// DefaultConfig returns the evaluation-baseline configuration for a cluster
+// of the given number of nodes (see core.DefaultConfig).
+func DefaultConfig(nodes int) Config { return core.DefaultConfig(nodes) }
+
+// NewCluster builds a cluster with Vela's hierarchical barrier installed as
+// the default barrier.
+func NewCluster(cfg Config) (*Cluster, error) {
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.BarrierFactory = func(c *core.Cluster, tpn int) core.BarrierWaiter {
+		return vela.NewHierBarrier(c, tpn)
+	}
+	return c, nil
+}
+
+// MustNewCluster is NewCluster that panics on error.
+func MustNewCluster(cfg Config) *Cluster {
+	c, err := NewCluster(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewFlag creates a Vela signal/wait flag homed at node home.
+func NewFlag(c *Cluster, home int) *vela.Flag { return vela.NewFlag(c, home) }

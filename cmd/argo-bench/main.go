@@ -1,0 +1,53 @@
+// Command argo-bench regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	argo-bench [-quick] [experiment ...]
+//	argo-bench -list
+//
+// With no arguments every experiment runs in paper order. Experiment names
+// follow the paper: table1, fig1, fig7, fig8, fig9, fig10, fig11, fig12,
+// fig13a … fig13f. -quick shrinks inputs and sweep points for a fast smoke
+// run (CI); the full run regenerates the shapes reported in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"argo/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced inputs and fewer sweep points")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range harness.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e, ok := harness.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "argo-bench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("\n######## %s — %s\n", e.ID, e.Title)
+		start := time.Now()
+		e.Run(os.Stdout, *quick)
+		fmt.Printf("[%s done in %v wall time]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

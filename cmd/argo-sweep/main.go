@@ -1,0 +1,168 @@
+// Command argo-sweep explores one design knob at a time: it runs a chosen
+// benchmark across a sweep of a single parameter and prints virtual time
+// plus the protocol counters, for ablation studies beyond the paper's
+// figures (home placement policy, prefetch degree, network latency,
+// single-writer diff suppression, decay-based reclassification).
+//
+// Usage:
+//
+//	argo-sweep -bench mm -knob prefetch -nodes 4 -tpn 8
+//	argo-sweep -bench cg -knob latency
+//	argo-sweep -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"argo/internal/coherence"
+	"argo/internal/core"
+	"argo/internal/harness"
+	"argo/internal/mem"
+	"argo/internal/sim"
+	"argo/internal/workloads/blackscholes"
+	"argo/internal/workloads/cg"
+	"argo/internal/workloads/ep"
+	"argo/internal/workloads/lu"
+	"argo/internal/workloads/mm"
+	"argo/internal/workloads/nbody"
+	"argo/internal/workloads/wload"
+)
+
+var benches = map[string]func(cfg core.Config, tpn int) wload.Result{
+	"blackscholes": func(cfg core.Config, tpn int) wload.Result {
+		return blackscholes.RunArgo(cfg, blackscholes.Params{Options: 32768, Iters: 3}, tpn)
+	},
+	"cg": func(cfg core.Config, tpn int) wload.Result {
+		return cg.RunArgo(cfg, cg.Params{N: 4096, PerRow: 12, Iters: 4}, tpn)
+	},
+	"ep": func(cfg core.Config, tpn int) wload.Result {
+		return ep.RunArgo(cfg, ep.Params{Chunks: 1024, PairsPerChunk: 128}, tpn)
+	},
+	"lu": func(cfg core.Config, tpn int) wload.Result {
+		return lu.RunArgo(cfg, lu.Params{N: 96, Block: 16}, tpn)
+	},
+	"mm": func(cfg core.Config, tpn int) wload.Result {
+		return mm.RunArgo(cfg, mm.Params{N: 96}, tpn)
+	},
+	"nbody": func(cfg core.Config, tpn int) wload.Result {
+		return nbody.RunArgo(cfg, nbody.Params{Bodies: 512, Steps: 3}, tpn)
+	},
+}
+
+type variant struct {
+	label string
+	apply func(cfg *core.Config)
+}
+
+var knobs = map[string][]variant{
+	"prefetch": {
+		{"1 page/line", func(c *core.Config) { c.PagesPerLine = 1 }},
+		{"2 pages/line", func(c *core.Config) { c.PagesPerLine = 2 }},
+		{"4 pages/line", func(c *core.Config) { c.PagesPerLine = 4 }},
+		{"8 pages/line", func(c *core.Config) { c.PagesPerLine = 8 }},
+		{"16 pages/line", func(c *core.Config) { c.PagesPerLine = 16 }},
+	},
+	"policy": {
+		{"interleaved", func(c *core.Config) { c.Policy = mem.Interleaved }},
+		{"blocked", func(c *core.Config) { c.Policy = mem.Blocked }},
+	},
+	"mode": {
+		{"S", func(c *core.Config) { c.Mode = coherence.ModeS }},
+		{"PS", func(c *core.Config) { c.Mode = coherence.ModePS }},
+		{"PS3", func(c *core.Config) { c.Mode = coherence.ModePS3 }},
+	},
+	"swdiff": {
+		{"diffs always", func(c *core.Config) { c.SWDiffSuppress = false }},
+		{"SW full-page", func(c *core.Config) { c.SWDiffSuppress = true }},
+	},
+	"decay": {
+		{"no decay", func(c *core.Config) { c.DecayEpochs = 0 }},
+		{"decay/8 epochs", func(c *core.Config) { c.DecayEpochs = 8 }},
+		{"decay/32 epochs", func(c *core.Config) { c.DecayEpochs = 32 }},
+	},
+	"latency": {
+		{"500 ns", func(c *core.Config) { c.Net.RemoteLatency = 500 }},
+		{"1000 ns", func(c *core.Config) { c.Net.RemoteLatency = 1000 }},
+		{"2500 ns", func(c *core.Config) { c.Net.RemoteLatency = 2500 }},
+		{"5000 ns", func(c *core.Config) { c.Net.RemoteLatency = 5000 }},
+		{"10000 ns", func(c *core.Config) { c.Net.RemoteLatency = 10000 }},
+	},
+	"bandwidth": {
+		{"100 ns/KB", func(c *core.Config) { c.Net.NsPerKB = 100 }},
+		{"400 ns/KB", func(c *core.Config) { c.Net.NsPerKB = 400 }},
+		{"1600 ns/KB", func(c *core.Config) { c.Net.NsPerKB = 1600 }},
+	},
+	"writebuffer": {
+		{"8 pages", func(c *core.Config) { c.WriteBufferPages = 8 }},
+		{"128 pages", func(c *core.Config) { c.WriteBufferPages = 128 }},
+		{"2048 pages", func(c *core.Config) { c.WriteBufferPages = 2048 }},
+		{"32768 pages", func(c *core.Config) { c.WriteBufferPages = 32768 }},
+	},
+	// Coherence granularity — §6's future work on "the relation of
+	// granularity, data placement, and classification". Smaller pages mean
+	// less false sharing (fewer MW classifications) but more protocol
+	// operations per byte.
+	"pagesize": {
+		{"1 KB pages", func(c *core.Config) { c.PageSize = 1024 }},
+		{"2 KB pages", func(c *core.Config) { c.PageSize = 2048 }},
+		{"4 KB pages", func(c *core.Config) { c.PageSize = 4096 }},
+		{"8 KB pages", func(c *core.Config) { c.PageSize = 8192 }},
+		{"16 KB pages", func(c *core.Config) { c.PageSize = 16384 }},
+	},
+}
+
+func main() {
+	bench := flag.String("bench", "mm", "benchmark: blackscholes|cg|ep|lu|mm|nbody")
+	knob := flag.String("knob", "prefetch", "knob to sweep: prefetch|policy|mode|swdiff|decay|latency|bandwidth|writebuffer|pagesize")
+	nodes := flag.Int("nodes", 4, "cluster nodes")
+	tpn := flag.Int("tpn", 8, "threads per node")
+	list := flag.Bool("list", false, "list benchmarks and knobs")
+	flag.Parse()
+
+	if *list {
+		fmt.Print("benchmarks:")
+		for b := range benches {
+			fmt.Printf(" %s", b)
+		}
+		fmt.Print("\nknobs:")
+		for k := range knobs {
+			fmt.Printf(" %s", k)
+		}
+		fmt.Println()
+		return
+	}
+	run, ok := benches[*bench]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "argo-sweep: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	vs, ok := knobs[*knob]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "argo-sweep: unknown knob %q\n", *knob)
+		os.Exit(2)
+	}
+
+	headers := []string{*knob, "time (ms)", "read-misses", "writebacks", "self-inv", "SI-filtered", "bytes-sent"}
+	var rows [][]string
+	var base sim.Time
+	for i, v := range vs {
+		cfg := wload.ArgoConfig(*nodes, 64<<20)
+		v.apply(&cfg)
+		r := run(cfg, *tpn)
+		if i == 0 {
+			base = r.Time
+		}
+		rows = append(rows, []string{
+			v.label,
+			fmt.Sprintf("%.3f (%.2fx)", float64(r.Time)/1e6, float64(r.Time)/float64(base)),
+			fmt.Sprintf("%d", r.Stats.ReadMisses),
+			fmt.Sprintf("%d", r.Stats.Writebacks),
+			fmt.Sprintf("%d", r.Stats.SelfInvalidations),
+			fmt.Sprintf("%d", r.Stats.SIFiltered),
+			fmt.Sprintf("%d", r.Stats.BytesSent),
+		})
+	}
+	harness.Table(os.Stdout, fmt.Sprintf("%s: sweep of %s (%d nodes × %d threads)", *bench, *knob, *nodes, *tpn), headers, rows)
+}

@@ -1,0 +1,124 @@
+// Command argo-trace runs a benchmark with the protocol event tracer
+// attached and prints an event summary — or, with -csv, the full
+// timestamped event stream for offline analysis. This is the per-event
+// view behind the aggregate counters of argo-bench.
+//
+//	argo-trace -bench nbody -nodes 4 -tpn 4
+//	argo-trace -bench cg -csv trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"argo/internal/core"
+	"argo/internal/trace"
+	"argo/internal/workloads/blackscholes"
+	"argo/internal/workloads/cg"
+	"argo/internal/workloads/ep"
+	"argo/internal/workloads/lu"
+	"argo/internal/workloads/mm"
+	"argo/internal/workloads/nbody"
+	"argo/internal/workloads/wload"
+)
+
+// traced wraps a workload so the tracer can be attached to the cluster it
+// builds; the workload runners construct their own clusters, so we rebuild
+// the small harness here with an injection hook.
+var benches = map[string]func(cfg core.Config, tpn int) wload.Result{
+	"blackscholes": func(cfg core.Config, tpn int) wload.Result {
+		return blackscholes.RunArgo(cfg, blackscholes.Params{Options: 16384, Iters: 3}, tpn)
+	},
+	"cg": func(cfg core.Config, tpn int) wload.Result {
+		return cg.RunArgo(cfg, cg.Params{N: 2048, PerRow: 12, Iters: 4}, tpn)
+	},
+	"ep": func(cfg core.Config, tpn int) wload.Result {
+		return ep.RunArgo(cfg, ep.Params{Chunks: 512, PairsPerChunk: 128}, tpn)
+	},
+	"lu": func(cfg core.Config, tpn int) wload.Result {
+		return lu.RunArgo(cfg, lu.Params{N: 96, Block: 16}, tpn)
+	},
+	"mm": func(cfg core.Config, tpn int) wload.Result {
+		return mm.RunArgo(cfg, mm.Params{N: 64}, tpn)
+	},
+	"nbody": func(cfg core.Config, tpn int) wload.Result {
+		return nbody.RunArgo(cfg, nbody.Params{Bodies: 384, Steps: 3}, tpn)
+	},
+}
+
+func main() {
+	bench := flag.String("bench", "nbody", "benchmark: blackscholes|cg|ep|lu|mm|nbody")
+	nodes := flag.Int("nodes", 4, "cluster nodes")
+	tpn := flag.Int("tpn", 4, "threads per node")
+	csv := flag.String("csv", "", "write the full event stream to this file")
+	top := flag.Int("top", 10, "show the N hottest pages")
+	flag.Parse()
+
+	run, ok := benches[*bench]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "argo-trace: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+
+	tr := trace.New(0)
+	cfg := wload.ArgoConfig(*nodes, 64<<20)
+	// The workload builds the cluster itself; intercept through the
+	// barrier factory, which receives the cluster before any thread runs.
+	cfg.Net = wload.Net()
+	core.TraceHook = func(c *core.Cluster) { c.AttachTracer(tr) }
+	defer func() { core.TraceHook = nil }()
+
+	r := run(cfg, *tpn)
+	fmt.Printf("%s on %d×%d: %.3f virtual ms, %d events (%d dropped)\n",
+		*bench, *nodes, *tpn, float64(r.Time)/1e6, len(tr.Events()), tr.Dropped())
+
+	fmt.Println("\nevent counts:")
+	sum := tr.Summary()
+	kinds := make([]trace.Kind, 0, len(sum))
+	for k := range sum {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return sum[kinds[i]] > sum[kinds[j]] })
+	for _, k := range kinds {
+		fmt.Printf("  %-18s %d\n", k, sum[k])
+	}
+
+	// Hottest pages by invalidation count (migratory data shows up here).
+	hot := map[int]int{}
+	for _, e := range tr.Events() {
+		if e.Kind == trace.EvInvalidate {
+			hot[e.Page]++
+		}
+	}
+	type pc struct{ page, n int }
+	var pcs []pc
+	for p, n := range hot {
+		pcs = append(pcs, pc{p, n})
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i].n > pcs[j].n })
+	if len(pcs) > 0 {
+		fmt.Printf("\nhottest pages (by self-invalidations):\n")
+		for i, e := range pcs {
+			if i >= *top {
+				break
+			}
+			fmt.Printf("  page %-6d invalidated %d times\n", e.page, e.n)
+		}
+	}
+
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "argo-trace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tr.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "argo-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nfull event stream written to %s\n", *csv)
+	}
+}

@@ -1,0 +1,72 @@
+package argo_test
+
+import (
+	"fmt"
+
+	"argo"
+)
+
+// Example demonstrates the core API: build a cluster, allocate global
+// memory, run SPMD threads with barrier synchronization, and read back the
+// verified result.
+func Example() {
+	cfg := argo.DefaultConfig(2) // two nodes, 4 sockets × 4 cores each
+	cfg.MemoryBytes = 4 << 20
+	cluster := argo.MustNewCluster(cfg)
+
+	xs := cluster.AllocI64(1000)
+	cluster.Run(4, func(t *argo.Thread) {
+		lo := t.Rank * xs.Len / t.NT
+		hi := (t.Rank + 1) * xs.Len / t.NT
+		for i := lo; i < hi; i++ {
+			t.SetI64(xs, i, int64(i)*2)
+		}
+		t.Barrier() // self-downgrade → rendezvous → self-invalidate
+		// After the barrier, every thread sees every write.
+		if t.Rank == 0 && t.GetI64(xs, 999) != 1998 {
+			panic("unreachable: the barrier orders all writes")
+		}
+	})
+
+	sum := int64(0)
+	for _, v := range cluster.DumpI64(xs) {
+		sum += v
+	}
+	fmt.Println("sum:", sum)
+	// Output: sum: 999000
+}
+
+// ExampleHQDL shows queue delegation: critical sections are shipped to a
+// helper thread instead of moving the lock (and the data) to each caller.
+func ExampleHQDL() {
+	cfg := argo.DefaultConfig(2)
+	cfg.MemoryBytes = 4 << 20
+	cluster := argo.MustNewCluster(cfg)
+	counter := cluster.AllocI64(1)
+	lock := argo.NewHQDL(cluster)
+
+	cluster.Run(4, func(t *argo.Thread) {
+		for k := 0; k < 100; k++ {
+			lock.DelegateWait(t, func(h *argo.Thread) {
+				h.SetI64(counter, 0, h.GetI64(counter, 0)+1)
+			})
+		}
+	})
+	fmt.Println("counter:", cluster.DumpI64(counter)[0])
+	// Output: counter: 800
+}
+
+// ExampleNewArena shows dynamic global-memory management with free().
+func ExampleNewArena() {
+	cluster := argo.MustNewCluster(argo.DefaultConfig(1))
+	arena := argo.NewArena(cluster, 1<<20)
+
+	a, _ := arena.Alloc(4096, 0)
+	b, _ := arena.Alloc(4096, 0)
+	_ = b
+	if err := arena.Free(a); err != nil {
+		panic(err)
+	}
+	fmt.Println("live allocations:", arena.Live())
+	// Output: live allocations: 1
+}

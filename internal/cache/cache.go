@@ -1,0 +1,286 @@
+// Package cache implements Argo's per-node page cache: a direct-mapped
+// cache of remote pages shared by all threads of a node, organized in
+// "cache lines" of several consecutive pages (fetching a whole line is the
+// paper's prefetching mechanism), plus the FIFO write buffer that drains
+// dirty pages to their homes between synchronization points.
+//
+// The cache is a passive container: the coherence layer (package coherence)
+// drives all protocol decisions. Locking is per line; callers lock a line,
+// inspect and mutate its slots, and unlock. The write buffer only records
+// page numbers — writebacks themselves are performed by the coherence layer
+// so that it can choose diff vs full-page transmission.
+package cache
+
+import (
+	"fmt"
+	"sync"
+
+	"argo/internal/sim"
+)
+
+// State is the local state of a cached page.
+type State uint8
+
+const (
+	// Invalid: the slot holds no page (or a dropped one).
+	Invalid State = iota
+	// Clean: the page matches what was fetched; reads hit, a write is a
+	// write miss (twin creation + writer registration).
+	Clean
+	// Dirty: the page has local writes not yet downgraded to its home.
+	Dirty
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Clean:
+		return "C"
+	case Dirty:
+		return "D"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Slot holds one cached page. Access only while holding the line lock.
+type Slot struct {
+	Page    int // global page number, or -1
+	St      State
+	Data    []byte   // page content (lazily allocated)
+	Twin    []byte   // pristine copy for diffing; non-nil only while Dirty
+	ReadyAt sim.Time // virtual time at which the content became available
+}
+
+// Cache is one node's page cache.
+type Cache struct {
+	Node         int
+	PageSize     int
+	Lines        int
+	PagesPerLine int
+
+	lineLocks []sync.Mutex
+	slots     []Slot // Lines * PagesPerLine
+
+	// FetchGate serializes page fetches of this node in virtual time,
+	// modeling the prototype's MPI limitation that only one thread can use
+	// the interconnect at a time.
+	FetchGate sim.Resource
+
+	wbMu  sync.Mutex
+	wbCap int
+	wbQ   []int // FIFO of page numbers; may contain stale entries
+
+	// Occupied-line tracking: fences sweep only lines that ever held a
+	// page since the last sweep found them empty. usedSet is guarded by
+	// usedMu; the lock order is line lock → usedMu.
+	usedMu   sync.Mutex
+	usedSet  []bool
+	usedList []int
+}
+
+// New creates a cache of lines cache lines of pagesPerLine consecutive
+// pages each, with a write buffer of wbCapacity pages.
+func New(node, pageSize, lines, pagesPerLine, wbCapacity int) *Cache {
+	if lines <= 0 || pagesPerLine <= 0 {
+		panic(fmt.Sprintf("cache: invalid geometry lines=%d pagesPerLine=%d", lines, pagesPerLine))
+	}
+	if wbCapacity <= 0 {
+		wbCapacity = 1
+	}
+	c := &Cache{
+		Node:         node,
+		PageSize:     pageSize,
+		Lines:        lines,
+		PagesPerLine: pagesPerLine,
+		lineLocks:    make([]sync.Mutex, lines),
+		slots:        make([]Slot, lines*pagesPerLine),
+		wbCap:        wbCapacity,
+	}
+	for i := range c.slots {
+		c.slots[i].Page = -1
+	}
+	c.usedSet = make([]bool, lines)
+	return c
+}
+
+// MarkLineUsed records that line l holds at least one page; the caller must
+// hold l's line lock.
+func (c *Cache) MarkLineUsed(l int) {
+	if c.usedSet[l] { // stable while the line lock is held
+		return
+	}
+	c.usedMu.Lock()
+	if !c.usedSet[l] {
+		c.usedSet[l] = true
+		c.usedList = append(c.usedList, l)
+	}
+	c.usedMu.Unlock()
+}
+
+// ForEachUsedLine runs fn for every occupied line with that line's lock
+// held, and retires lines the sweep leaves empty. Fences use this instead
+// of ForEachLine so their cost scales with the resident set, not with the
+// cache geometry.
+func (c *Cache) ForEachUsedLine(fn func(l int, slots []*Slot)) {
+	c.usedMu.Lock()
+	snapshot := append([]int(nil), c.usedList...)
+	c.usedMu.Unlock()
+	for _, l := range snapshot {
+		c.lineLocks[l].Lock()
+		slots := c.SlotsOfLine(l)
+		fn(l, slots)
+		empty := true
+		for _, s := range slots {
+			if s.Page >= 0 && s.St != Invalid {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			c.usedMu.Lock()
+			c.usedSet[l] = false
+			c.usedMu.Unlock()
+		}
+		c.lineLocks[l].Unlock()
+	}
+	// Compact the list: keep entries whose flag is still set (including
+	// lines refilled concurrently; rare duplicates are harmless).
+	c.usedMu.Lock()
+	kept := c.usedList[:0]
+	for _, l := range c.usedList {
+		if c.usedSet[l] {
+			kept = append(kept, l)
+		}
+	}
+	c.usedList = kept
+	c.usedMu.Unlock()
+}
+
+// LineOf returns the cache line index page maps to: consecutive pages share
+// a line (line base = page rounded down to a multiple of PagesPerLine), and
+// lines are direct-mapped.
+func (c *Cache) LineOf(page int) int {
+	return (page / c.PagesPerLine) % c.Lines
+}
+
+// LineBase returns the first page of the aligned line containing page.
+func (c *Cache) LineBase(page int) int {
+	return page - page%c.PagesPerLine
+}
+
+// LockLine acquires the lock of line l.
+func (c *Cache) LockLine(l int) { c.lineLocks[l].Lock() }
+
+// UnlockLine releases the lock of line l.
+func (c *Cache) UnlockLine(l int) { c.lineLocks[l].Unlock() }
+
+// SlotFor returns the slot that page maps to. The line lock must be held;
+// the slot may currently hold a different page (conflict) or none.
+func (c *Cache) SlotFor(page int) *Slot {
+	l := c.LineOf(page)
+	return &c.slots[l*c.PagesPerLine+page%c.PagesPerLine]
+}
+
+// LineSlots returns the slots of line l (the line lock must be held).
+func (c *Cache) LineSlots(l int) []Slot {
+	return c.slots[l*c.PagesPerLine : (l+1)*c.PagesPerLine]
+}
+
+// SlotsOfLine returns mutable pointers to the slots of line l.
+func (c *Cache) SlotsOfLine(l int) []*Slot {
+	out := make([]*Slot, c.PagesPerLine)
+	for i := 0; i < c.PagesPerLine; i++ {
+		out[i] = &c.slots[l*c.PagesPerLine+i]
+	}
+	return out
+}
+
+// EnsureData makes sure the slot has a data buffer, allocating lazily.
+func (c *Cache) EnsureData(s *Slot) {
+	if s.Data == nil {
+		s.Data = make([]byte, c.PageSize)
+	}
+}
+
+// EnsureTwin snapshots the slot's current data into its twin buffer.
+func (c *Cache) EnsureTwin(s *Slot) {
+	if s.Twin == nil {
+		s.Twin = make([]byte, c.PageSize)
+	}
+	copy(s.Twin, s.Data)
+}
+
+// DropTwin releases the twin (after a writeback made the page clean).
+func (s *Slot) DropTwin() { s.Twin = nil }
+
+// Invalidate empties the slot.
+func (s *Slot) Invalidate() {
+	s.Page = -1
+	s.St = Invalid
+	s.Twin = nil
+}
+
+// WBPush appends page to the write buffer FIFO. If the buffer exceeds its
+// capacity, the oldest entry is popped and returned with evict=true; the
+// caller must write that page back (if it is still dirty).
+func (c *Cache) WBPush(page int) (victim int, evict bool) {
+	c.wbMu.Lock()
+	defer c.wbMu.Unlock()
+	c.wbQ = append(c.wbQ, page)
+	if len(c.wbQ) > c.wbCap {
+		victim = c.wbQ[0]
+		c.wbQ = c.wbQ[1:]
+		return victim, true
+	}
+	return 0, false
+}
+
+// WBDrain empties the write buffer and returns its contents in FIFO order.
+// Entries may be stale (the page was already written back by an eviction);
+// the caller skips pages that are no longer dirty.
+func (c *Cache) WBDrain() []int {
+	c.wbMu.Lock()
+	defer c.wbMu.Unlock()
+	q := c.wbQ
+	c.wbQ = nil
+	return q
+}
+
+// WBLen returns the current number of (possibly stale) entries.
+func (c *Cache) WBLen() int {
+	c.wbMu.Lock()
+	defer c.wbMu.Unlock()
+	return len(c.wbQ)
+}
+
+// WBCapacity returns the configured write-buffer capacity in pages.
+func (c *Cache) WBCapacity() int { return c.wbCap }
+
+// ForEachLine runs fn for every line index with that line's lock held.
+// Used by the fence sweeps.
+func (c *Cache) ForEachLine(fn func(l int, slots []*Slot)) {
+	for l := 0; l < c.Lines; l++ {
+		c.lineLocks[l].Lock()
+		fn(l, c.SlotsOfLine(l))
+		c.lineLocks[l].Unlock()
+	}
+}
+
+// Reset invalidates every slot and clears the write buffer (collective
+// reinitialization between measurement phases).
+func (c *Cache) Reset() {
+	for l := 0; l < c.Lines; l++ {
+		c.lineLocks[l].Lock()
+		for i := 0; i < c.PagesPerLine; i++ {
+			c.slots[l*c.PagesPerLine+i].Invalidate()
+			c.slots[l*c.PagesPerLine+i].ReadyAt = 0
+		}
+		c.lineLocks[l].Unlock()
+	}
+	c.wbMu.Lock()
+	c.wbQ = nil
+	c.wbMu.Unlock()
+	c.FetchGate.Reset()
+}

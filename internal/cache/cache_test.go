@@ -1,0 +1,237 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testCache() *Cache { return New(0, 4096, 8, 4, 16) }
+
+func TestGeometry(t *testing.T) {
+	c := testCache()
+	// Pages 0..3 share line 0; pages 32,33 live in line 0 of the next wrap.
+	if c.LineOf(0) != 0 || c.LineOf(3) != 0 || c.LineOf(4) != 1 {
+		t.Fatal("line mapping broken")
+	}
+	if c.LineOf(32) != 0 {
+		t.Fatalf("direct mapping should wrap: line of page 32 = %d", c.LineOf(32))
+	}
+	if c.LineBase(7) != 4 || c.LineBase(4) != 4 {
+		t.Fatal("line base broken")
+	}
+}
+
+func TestSlotForDistinctWithinLine(t *testing.T) {
+	c := testCache()
+	c.LockLine(0)
+	defer c.UnlockLine(0)
+	s0 := c.SlotFor(0)
+	s1 := c.SlotFor(1)
+	if s0 == s1 {
+		t.Fatal("pages of one line share a slot")
+	}
+	if got := c.SlotFor(32); got != s0 {
+		t.Fatal("conflicting page does not map to the same slot")
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero lines")
+		}
+	}()
+	New(0, 4096, 0, 4, 16)
+}
+
+func TestEnsureDataAndTwin(t *testing.T) {
+	c := testCache()
+	c.LockLine(0)
+	s := c.SlotFor(0)
+	c.EnsureData(s)
+	if len(s.Data) != 4096 {
+		t.Fatal("data buffer wrong size")
+	}
+	s.Data[5] = 42
+	c.EnsureTwin(s)
+	if s.Twin[5] != 42 {
+		t.Fatal("twin is not a snapshot of data")
+	}
+	s.Data[5] = 43
+	if s.Twin[5] != 42 {
+		t.Fatal("twin aliases data")
+	}
+	s.DropTwin()
+	if s.Twin != nil {
+		t.Fatal("twin not dropped")
+	}
+	c.UnlockLine(0)
+}
+
+func TestWriteBufferFIFO(t *testing.T) {
+	c := New(0, 4096, 8, 4, 3)
+	for pg := 0; pg < 3; pg++ {
+		if _, evict := c.WBPush(pg); evict {
+			t.Fatalf("premature eviction at page %d", pg)
+		}
+	}
+	victim, evict := c.WBPush(3)
+	if !evict || victim != 0 {
+		t.Fatalf("eviction = %v victim = %d, want oldest (0)", evict, victim)
+	}
+	victim, evict = c.WBPush(4)
+	if !evict || victim != 1 {
+		t.Fatalf("second eviction victim = %d, want 1", victim)
+	}
+	got := c.WBDrain()
+	want := []int{2, 3, 4}
+	if len(got) != 3 {
+		t.Fatalf("drain = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain order %v, want %v", got, want)
+		}
+	}
+	if c.WBLen() != 0 {
+		t.Fatal("drain did not empty the buffer")
+	}
+}
+
+func TestWBCapacityClamp(t *testing.T) {
+	c := New(0, 4096, 2, 1, 0)
+	if c.WBCapacity() != 1 {
+		t.Fatalf("zero capacity not clamped: %d", c.WBCapacity())
+	}
+}
+
+// Property: pushing n pages evicts exactly max(0, n-cap) in FIFO order.
+func TestWBEvictionProperty(t *testing.T) {
+	f := func(n uint8, capU uint8) bool {
+		capacity := int(capU)%32 + 1
+		c := New(0, 4096, 4, 2, capacity)
+		var evicted []int
+		for pg := 0; pg < int(n); pg++ {
+			if v, e := c.WBPush(pg); e {
+				evicted = append(evicted, v)
+			}
+		}
+		want := int(n) - capacity
+		if want < 0 {
+			want = 0
+		}
+		if len(evicted) != want {
+			return false
+		}
+		for i, v := range evicted {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachLineVisitsAll(t *testing.T) {
+	c := testCache()
+	count := 0
+	c.ForEachLine(func(l int, slots []*Slot) {
+		count += len(slots)
+	})
+	if count != 8*4 {
+		t.Fatalf("visited %d slots, want 32", count)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := testCache()
+	c.LockLine(0)
+	s := c.SlotFor(1)
+	s.Page = 1
+	s.St = Dirty
+	c.EnsureData(s)
+	c.EnsureTwin(s)
+	s.ReadyAt = 99
+	c.UnlockLine(0)
+	c.WBPush(1)
+	c.Reset()
+	c.LockLine(0)
+	s = c.SlotFor(1)
+	if s.Page != -1 || s.St != Invalid || s.Twin != nil || s.ReadyAt != 0 {
+		t.Fatalf("reset left state: %+v", s)
+	}
+	c.UnlockLine(0)
+	if c.WBLen() != 0 {
+		t.Fatal("reset left write-buffer entries")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Clean.String() != "C" || Dirty.String() != "D" {
+		t.Fatal("state names wrong")
+	}
+}
+
+func TestUsedLineTracking(t *testing.T) {
+	c := testCache()
+	seen := 0
+	c.ForEachUsedLine(func(l int, slots []*Slot) { seen++ })
+	if seen != 0 {
+		t.Fatalf("fresh cache has %d used lines", seen)
+	}
+	// Populate lines 1 and 3.
+	for _, l := range []int{1, 3} {
+		c.LockLine(l)
+		s := c.SlotFor(l * c.PagesPerLine)
+		s.Page = l * c.PagesPerLine
+		s.St = Clean
+		c.EnsureData(s)
+		c.MarkLineUsed(l)
+		c.UnlockLine(l)
+	}
+	var visited []int
+	c.ForEachUsedLine(func(l int, slots []*Slot) { visited = append(visited, l) })
+	if len(visited) != 2 {
+		t.Fatalf("visited %v, want lines 1 and 3", visited)
+	}
+	// Empty line 1 during a sweep: it must be retired.
+	c.ForEachUsedLine(func(l int, slots []*Slot) {
+		if l == 1 {
+			for _, s := range slots {
+				s.Invalidate()
+			}
+		}
+	})
+	visited = nil
+	c.ForEachUsedLine(func(l int, slots []*Slot) { visited = append(visited, l) })
+	if len(visited) != 1 || visited[0] != 3 {
+		t.Fatalf("after retirement visited %v, want [3]", visited)
+	}
+	// Re-marking a retired line brings it back exactly once.
+	c.LockLine(1)
+	s := c.SlotFor(c.PagesPerLine)
+	s.Page = c.PagesPerLine
+	s.St = Clean
+	c.MarkLineUsed(1)
+	c.MarkLineUsed(1) // idempotent
+	c.UnlockLine(1)
+	visited = nil
+	c.ForEachUsedLine(func(l int, slots []*Slot) { visited = append(visited, l) })
+	if len(visited) != 2 {
+		t.Fatalf("after re-mark visited %v", visited)
+	}
+}
+
+func TestLineSlotsView(t *testing.T) {
+	c := testCache()
+	c.LockLine(2)
+	c.SlotFor(2 * c.PagesPerLine).Page = 2 * c.PagesPerLine
+	view := c.LineSlots(2)
+	if len(view) != c.PagesPerLine || view[0].Page != 2*c.PagesPerLine {
+		t.Fatalf("LineSlots view wrong: %+v", view[0])
+	}
+	c.UnlockLine(2)
+}

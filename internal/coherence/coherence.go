@@ -1,0 +1,515 @@
+// Package coherence implements Carina, Argo's coherence protocol.
+//
+// Carina keeps page caches coherent for data-race-free programs with two
+// local mechanisms — self-invalidation (SI) and self-downgrade (SD) — and no
+// message handlers: every protocol action is a one-sided operation issued by
+// the requesting node against home memory (package mem) and the passive
+// Pyxis directory (package directory).
+//
+//   - A node may read any page, promising to self-invalidate it before
+//     passing a synchronization point with acquire semantics (the SI fence).
+//   - A node may write any cached page without permission, promising to make
+//     the writes visible at its home before passing a release point
+//     (the SD fence). Dirty pages drain continuously through a FIFO write
+//     buffer so the SD fence has a bounded amount of work left.
+//
+// Unconstrained SI is ruinous, so Carina filters it with the Pyxis
+// classification (Table 1 of the paper):
+//
+//	mode S    — no classification: every fence invalidates and downgrades
+//	            everything (the baseline).
+//	mode P/S  — the naive private/shared split: private pages skip SI but
+//	            are not continuously downgraded; instead every modified
+//	            private page must be checkpointed at each synchronization
+//	            point so P→S transitions can be serviced. The checkpoint
+//	            cost sits on the critical path of every sync.
+//	mode P/S3 — the full Carina scheme: private pages self-downgrade like
+//	            shared ones (trading bandwidth for latency, and making the
+//	            P→S transition agent-free), and shared pages carry a writer
+//	            classification: S,NW and pages whose single writer is this
+//	            node are exempt from SI.
+package coherence
+
+import (
+	"fmt"
+	"runtime"
+
+	"argo/internal/cache"
+	"argo/internal/directory"
+	"argo/internal/fabric"
+	"argo/internal/mem"
+	"argo/internal/sim"
+	"argo/internal/stats"
+	"argo/internal/trace"
+)
+
+// Mode selects the data classification used to filter self-invalidation.
+type Mode int
+
+const (
+	// ModeS — no classification; all pages shared.
+	ModeS Mode = iota
+	// ModePS — naive private/shared classification with checkpointing.
+	ModePS
+	// ModePS3 — full private/shared plus writer classification, with
+	// private self-downgrade (Argo's default).
+	ModePS3
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeS:
+		return "S"
+	case ModePS:
+		return "PS"
+	case ModePS3:
+		return "PS3"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configure a node's protocol behaviour.
+type Options struct {
+	Mode Mode
+	// SWDiffSuppress enables the paper's future-work optimization: a node
+	// that is the sole writer of a page writes back the full page instead
+	// of creating and transmitting a diff (latency for bandwidth).
+	SWDiffSuppress bool
+	// FencePerPage is the bookkeeping cost a fence pays per examined
+	// cached page (the amortized mprotect/metadata sweep).
+	FencePerPage sim.Time
+	// CheckpointPageCost is the naive-P/S per-page checkpoint overhead at
+	// a synchronization point: write-protecting the page, taking the later
+	// fault, and staging the copy where a P→S transition can be serviced,
+	// all synchronously at the fence. This cost is what makes the naive
+	// classification "no better than S" (§5.1).
+	CheckpointPageCost sim.Time
+}
+
+// DefaultOptions returns Argo's default protocol configuration.
+func DefaultOptions() Options {
+	return Options{Mode: ModePS3, FencePerPage: 10, CheckpointPageCost: 3000}
+}
+
+// Node is the per-node coherence agent: it owns the node's page cache and
+// drives all Carina actions for the threads running on that node.
+type Node struct {
+	ID    int
+	Fab   *fabric.Fabric
+	Space *mem.Space
+	Dir   *directory.Directory
+	Cache *cache.Cache
+	Opt   Options
+	St    *stats.Node
+
+	// Trc, when non-nil, receives one event per protocol action
+	// (package trace). The hot paths pay a nil check.
+	Trc *trace.Tracer
+}
+
+// NewNode creates the coherence agent of node id.
+func NewNode(id int, fab *fabric.Fabric, space *mem.Space, dir *directory.Directory, c *cache.Cache, opt Options) *Node {
+	return &Node{
+		ID:    id,
+		Fab:   fab,
+		Space: space,
+		Dir:   dir,
+		Cache: c,
+		Opt:   opt,
+		St:    fab.NodeStats(id),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Read and write paths
+// ---------------------------------------------------------------------------
+
+// ReadAt copies len(dst) bytes at global address addr into dst through the
+// page cache, faulting pages in as needed.
+func (n *Node) ReadAt(p *sim.Proc, addr mem.Addr, dst []byte) {
+	ps := n.Space.PageSize
+	for len(dst) > 0 {
+		page := n.Space.PageOf(addr)
+		off := int(addr) % ps
+		seg := ps - off
+		if seg > len(dst) {
+			seg = len(dst)
+		}
+		n.readSegment(p, page, off, dst[:seg])
+		dst = dst[seg:]
+		addr += mem.Addr(seg)
+	}
+}
+
+// WriteAt writes src to global address addr through the page cache,
+// faulting and write-missing pages as needed.
+func (n *Node) WriteAt(p *sim.Proc, addr mem.Addr, src []byte) {
+	ps := n.Space.PageSize
+	for len(src) > 0 {
+		page := n.Space.PageOf(addr)
+		off := int(addr) % ps
+		seg := ps - off
+		if seg > len(src) {
+			seg = len(src)
+		}
+		n.writeSegment(p, page, off, src[:seg])
+		src = src[seg:]
+		addr += mem.Addr(seg)
+	}
+}
+
+func (n *Node) readSegment(p *sim.Proc, page, off int, dst []byte) {
+	l := n.Cache.LineOf(page)
+	n.Cache.LockLine(l)
+	s := n.Cache.SlotFor(page)
+	if s.Page != page || s.St == cache.Invalid {
+		n.St.ReadMisses.Add(1)
+		n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvReadMiss, Page: page})
+		n.fetchLineLocked(p, l, page)
+		s = n.Cache.SlotFor(page)
+	} else {
+		p.Hits++
+	}
+	p.AdvanceTo(s.ReadyAt)
+	p.Advance(n.accessCost(len(dst)))
+	copy(dst, s.Data[off:off+len(dst)])
+	n.Cache.UnlockLine(l)
+}
+
+func (n *Node) writeSegment(p *sim.Proc, page, off int, src []byte) {
+	l := n.Cache.LineOf(page)
+	n.Cache.LockLine(l)
+	s := n.Cache.SlotFor(page)
+	if s.Page != page || s.St == cache.Invalid {
+		n.St.ReadMisses.Add(1) // write-allocate: fetch the page first
+		n.fetchLineLocked(p, l, page)
+		s = n.Cache.SlotFor(page)
+	} else {
+		p.Hits++
+	}
+	p.AdvanceTo(s.ReadyAt)
+
+	victim, evict := -1, false
+	miss := s.St == cache.Clean
+	if miss {
+		victim, evict = n.writeMissLocked(p, s)
+	}
+	p.Advance(n.accessCost(len(src)))
+	copy(s.Data[off:off+len(src)], src)
+	n.Cache.UnlockLine(l)
+
+	if evict {
+		// Write-buffer overflow: downgrade the oldest dirty page. Done
+		// after releasing the current line lock to keep lock order safe.
+		n.WritebackIfDirty(p, victim)
+	}
+	if miss {
+		// Yield at page-open points so the write streams of a node's
+		// threads interleave as they would under preemptive scheduling
+		// (on few-CPU hosts simulated threads otherwise run their whole
+		// loops back to back and the write buffer never sees concurrent
+		// streams). No semantic effect.
+		runtime.Gosched()
+	}
+}
+
+// accessCost is the cost of a cache-hitting access of n bytes: a hardware
+// memory access, plus a copy term for bulk transfers.
+func (n *Node) accessCost(nbytes int) sim.Time {
+	c := n.Fab.P.CacheHit
+	if nbytes > 64 {
+		c += n.Fab.P.CopyCost(nbytes)
+	}
+	return c
+}
+
+// writeMissLocked performs Carina's write-miss protocol on a clean cached
+// page: create the twin (checkpoint for diffing), register this node as a
+// writer if it is not one already (detecting NW→SW and SW→MW transitions and
+// notifying exactly the nodes that must learn of them), mark the page dirty
+// and enter it into the write buffer. The caller holds the line lock.
+// It returns the write-buffer victim to downgrade, if any.
+func (n *Node) writeMissLocked(p *sim.Proc, s *cache.Slot) (victim int, evict bool) {
+	n.St.WriteMisses.Add(1)
+	page := s.Page
+	n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvWriteMiss, Page: page})
+
+	// Twin creation: a local page copy (the paper's "checkpointing for
+	// diffs happens only on a write miss").
+	n.Cache.EnsureTwin(s)
+	p.Advance(n.Fab.P.CopyCost(n.Cache.PageSize))
+
+	cached := n.Dir.Cached(n.ID, page)
+	if !cached.W.Has(n.ID) {
+		old := n.Dir.RegisterWriter(p, page, n.ID)
+		switch {
+		case old.W.Empty():
+			// NW→SW: every node caching the page believed it read-only
+			// and must learn there is now a writer.
+			old.R.ForEach(func(r int) {
+				if r != n.ID {
+					n.Dir.Notify(p, page, r)
+					n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvNotify, Page: page, Arg: int64(r)})
+				}
+			})
+		case old.W.Count() == 1 && !old.W.Has(n.ID):
+			// SW→MW: only the previous single writer cares; for everyone
+			// else SW (someone else) and MW are equivalent.
+			n.Dir.Notify(p, page, old.W.First())
+			n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvNotify, Page: page, Arg: int64(old.W.First())})
+		}
+	}
+
+	s.St = cache.Dirty
+
+	// In the naive P/S mode private pages are *not* continuously
+	// downgraded; they linger dirty until the checkpoint sweep at the next
+	// synchronization point.
+	if n.Opt.Mode == ModePS && cached.R.Count() <= 1 {
+		return -1, false
+	}
+	return n.Cache.WBPush(page)
+}
+
+// fetchLineLocked services a miss on page by fetching its whole aligned
+// cache line (prefetching), evicting any conflicting residents. The caller
+// holds the line lock.
+func (n *Node) fetchLineLocked(p *sim.Proc, l, page int) {
+	base := n.Cache.LineBase(page)
+	slots := n.Cache.SlotsOfLine(l)
+
+	t0 := p.Now()
+	regs := make(map[int]int, 4)
+	pages := make(map[int]int, 4)
+	var fetched []*cache.Slot
+	for i, s := range slots {
+		want := base + i
+		if want >= n.Space.NPages {
+			break
+		}
+		if s.Page == want && s.St != cache.Invalid {
+			continue // already resident
+		}
+		if s.St == cache.Dirty {
+			// Conflict eviction of a dirty page: downgrade it first.
+			n.writebackSlotLocked(p, s)
+		}
+		s.Invalidate()
+		s.Page = want
+		n.Cache.EnsureData(s)
+
+		home := n.Space.HomeOf(want)
+		// The line's registrations and page transfers are independent
+		// one-sided operations: perform them functionally here, charge
+		// them as one pipelined burst below.
+		old := n.Dir.RegisterReaderBatched(want, n.ID)
+		if !old.R.Has(n.ID) {
+			regs[home]++
+		}
+		if old.R.Count() == 1 && !old.R.Has(n.ID) {
+			// P→S: the private owner must learn it now shares the page.
+			// Its own dirty data is already at the home (private pages
+			// self-downgrade in P/S3; in other modes everything does).
+			n.Dir.Notify(p, want, old.R.First())
+			n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvNotify, Page: want, Arg: int64(old.R.First())})
+		}
+		pages[home]++
+		fetched = append(fetched, s)
+	}
+	if len(fetched) == 0 {
+		return
+	}
+	n.Cache.MarkLineUsed(l)
+	if len(regs) == 0 {
+		// Re-fetching already-registered pages still refreshes the local
+		// directory-cache view with one atomic (§3.3: a node's view is
+		// updated "on its next request").
+		regs[n.Space.HomeOf(fetched[0].Page)]++
+	}
+	n.Fab.LineFetch(p, regs, pages, n.Cache.PageSize)
+	for _, s := range fetched {
+		n.Space.ReadPage(s.Page, s.Data)
+		s.St = cache.Clean
+		s.ReadyAt = p.Now()
+	}
+	n.St.ColdFetches.Add(int64(len(fetched)))
+	if len(fetched) > 1 {
+		n.St.PrefetchedPages.Add(int64(len(fetched) - 1))
+	}
+	n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvLineFetch, Page: base, Arg: int64(len(fetched))})
+	// Only one in-flight fetch per node (the prototype's MPI passive-RMA
+	// limitation): serialize the span of this fetch on the node gate.
+	n.Cache.FetchGate.OccupyAt(p, t0, p.Now()-t0)
+}
+
+// ---------------------------------------------------------------------------
+// Downgrade (writeback)
+// ---------------------------------------------------------------------------
+
+// WritebackIfDirty downgrades page to its home if it is still cached dirty.
+func (n *Node) WritebackIfDirty(p *sim.Proc, page int) {
+	l := n.Cache.LineOf(page)
+	n.Cache.LockLine(l)
+	s := n.Cache.SlotFor(page)
+	if s.Page == page && s.St == cache.Dirty {
+		n.writebackSlotLocked(p, s)
+	}
+	n.Cache.UnlockLine(l)
+}
+
+// writebackSlotLocked transmits a dirty page to its home and marks it clean.
+// With SWDiffSuppress, a node that is still the page's only writer (checked
+// under the home page lock, which makes the race with a concurrent new
+// writer benign — see package directory) sends the full page and skips diff
+// creation; otherwise the changed bytes are diffed against the twin.
+func (n *Node) writebackSlotLocked(p *sim.Proc, s *cache.Slot) {
+	page := s.Page
+	home := n.Space.HomeOf(page)
+
+	var preferFull func() bool
+	if n.Opt.SWDiffSuppress && n.Opt.Mode == ModePS3 {
+		preferFull = func() bool {
+			e := n.Dir.Cached(n.ID, page)
+			return e.W.Only(n.ID)
+		}
+	}
+	tx, full := n.Space.Writeback(page, s.Data, s.Twin, preferFull)
+	if !full {
+		// Diff creation scans the page against its twin.
+		p.Advance(n.Fab.P.CopyCost(n.Cache.PageSize))
+	}
+	// Downgrades are posted one-sided writes: they pipeline with each
+	// other; fences wait for outstanding completions once, at the end.
+	n.Fab.RemoteWritePosted(p, home, tx)
+	n.St.Writebacks.Add(1)
+	n.St.WritebackBytes.Add(int64(tx))
+	n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvWriteback, Page: page, Arg: int64(tx)})
+	s.St = cache.Clean
+	s.DropTwin()
+}
+
+// checkpointSlotLocked is the naive-P/S downgrade of a modified private
+// page at a synchronization point: create a checkpoint copy (charged) and
+// publish the content to the home so a later P→S transition can be serviced
+// without an active agent. The wire transfer is not charged here — on the
+// paper's naive scheme the data would move only when a consumer pulls it,
+// and the consumer pays a full page fetch either way.
+func (n *Node) checkpointSlotLocked(p *sim.Proc, s *cache.Slot) {
+	p.Advance(n.Opt.CheckpointPageCost + n.Fab.P.CopyCost(n.Cache.PageSize))
+	n.St.Checkpoints.Add(1)
+	n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvCheckpoint, Page: s.Page})
+	n.Space.WritePageFull(s.Page, s.Data)
+	s.St = cache.Clean
+	s.DropTwin()
+}
+
+// ---------------------------------------------------------------------------
+// Fences
+// ---------------------------------------------------------------------------
+
+// ShouldSelfInvalidate reports whether a page with directory-cache entry e
+// must be dropped at an SI fence under mode m, as seen by node self. This is
+// Table 1 of the paper as executable logic.
+func ShouldSelfInvalidate(m Mode, e directory.Entry, self int) bool {
+	switch m {
+	case ModeS:
+		return true
+	case ModePS:
+		return e.R.Count() > 1
+	default: // ModePS3
+		if e.R.Count() <= 1 {
+			return false // private
+		}
+		if e.W.Empty() {
+			return false // shared, no writers (read-only)
+		}
+		if e.W.Only(self) {
+			return false // shared, and we are the single writer
+		}
+		return true
+	}
+}
+
+// SIFence self-invalidates the node's page cache: every cached page that the
+// classification cannot exempt is dropped. Dirty pages that must be dropped
+// are downgraded first. Threads of one node share the cache, so one thread's
+// SI fence affects all of them (the paper's common-page-cache tradeoff).
+func (n *Node) SIFence(p *sim.Proc) {
+	n.St.SIFences.Add(1)
+	var inv, kept int64
+	n.Cache.ForEachUsedLine(func(l int, slots []*cache.Slot) {
+		for _, s := range slots {
+			if s.Page < 0 || s.St == cache.Invalid {
+				continue
+			}
+			p.Advance(n.Opt.FencePerPage)
+			e := n.Dir.Cached(n.ID, s.Page)
+			if !ShouldSelfInvalidate(n.Opt.Mode, e, n.ID) {
+				n.St.SIFiltered.Add(1)
+				kept++
+				continue
+			}
+			if s.St == cache.Dirty {
+				n.writebackSlotLocked(p, s)
+			}
+			n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvInvalidate, Page: s.Page})
+			s.Invalidate()
+			n.St.SelfInvalidations.Add(1)
+			inv++
+		}
+	})
+	n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvSIFence, Page: -1, Arg: inv})
+	_ = kept
+}
+
+// SDFence self-downgrades all dirty pages: the write buffer is flushed, and
+// in the naive P/S mode every modified private page is checkpointed on the
+// spot (the cost that motivates P/S3's private self-downgrade).
+func (n *Node) SDFence(p *sim.Proc) {
+	n.St.SDFences.Add(1)
+	wrote := false
+	n.Cache.ForEachUsedLine(func(l int, slots []*cache.Slot) {
+		for _, s := range slots {
+			if s.Page < 0 || s.St != cache.Dirty {
+				continue
+			}
+			if n.Opt.Mode == ModePS {
+				e := n.Dir.Cached(n.ID, s.Page)
+				if e.R.Count() <= 1 {
+					n.checkpointSlotLocked(p, s)
+					continue
+				}
+			}
+			n.writebackSlotLocked(p, s)
+			wrote = true
+		}
+	})
+	n.Cache.WBDrain()
+	if wrote {
+		// Wait for the last posted downgrade to land before the fence
+		// completes (the flush that makes the writes globally visible).
+		p.Advance(n.Fab.P.RemoteLatency)
+	}
+	n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvSDFence, Page: -1})
+}
+
+// ResetForPhase drops all cached state (after flushing it home so no data is
+// lost) without charging virtual time. Used by the collective classification
+// reset at the end of a program's initialization phase, and by decay-style
+// adaptive reclassification. The caller must have quiesced all threads.
+func (n *Node) ResetForPhase() {
+	n.Cache.ForEachUsedLine(func(l int, slots []*cache.Slot) {
+		for _, s := range slots {
+			if s.Page >= 0 && s.St == cache.Dirty {
+				// Diff against the twin so concurrent dirty copies of the
+				// same page on other nodes (false sharing during the init
+				// phase) are not clobbered.
+				n.Space.ApplyDiff(s.Page, s.Data, s.Twin)
+			}
+			s.Invalidate()
+			s.ReadyAt = 0
+		}
+	})
+	n.Cache.WBDrain()
+}

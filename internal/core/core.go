@@ -1,0 +1,553 @@
+// Package core assembles the Argo DSM system: it glues the global address
+// space, the Pyxis directory, the per-node Carina coherence agents and the
+// simulated fabric into a Cluster, and gives simulated threads a typed API
+// onto the shared global memory.
+//
+// The public entry point of the repository (package argo at the module root)
+// re-exports the types defined here.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"argo/internal/cache"
+	"argo/internal/coherence"
+	"argo/internal/directory"
+	"argo/internal/fabric"
+	"argo/internal/mem"
+	"argo/internal/sim"
+	"argo/internal/stats"
+	"argo/internal/trace"
+)
+
+// Config describes a simulated Argo cluster.
+type Config struct {
+	// Machine room.
+	Nodes          int // machines (each contributes home memory); max 128
+	SocketsPerNode int // NUMA domains per machine
+	CoresPerSocket int
+
+	// Global memory.
+	MemoryBytes int64      // size of the shared global address space
+	PageSize    int        // DSM page size (default 4096)
+	Policy      mem.Policy // home assignment policy
+
+	// Page cache geometry (per node).
+	CacheLines   int // number of direct-mapped lines
+	PagesPerLine int // pages fetched per line (prefetch degree)
+
+	// Write buffer.
+	WriteBufferPages int
+
+	// Protocol.
+	Mode           coherence.Mode
+	SWDiffSuppress bool
+	DecayEpochs    int // if >0, reset classification every that many default-barrier episodes
+	// Paranoia makes every barrier episode verify the protocol's
+	// structural invariants on every node (tests and debugging; the sweep
+	// is host-time only).
+	Paranoia bool
+
+	// Interconnect cost model.
+	Net fabric.Params
+}
+
+// DefaultConfig returns the configuration used as the evaluation baseline:
+// the paper's node type (two 2×4-core Opterons = 4 NUMA domains of 4 cores),
+// 4 KB pages interleaved across nodes, a 4-page prefetch line, an 8192-page
+// write buffer, and the full P/S3 classification.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:            nodes,
+		SocketsPerNode:   4,
+		CoresPerSocket:   4,
+		MemoryBytes:      64 << 20,
+		PageSize:         4096,
+		Policy:           mem.Interleaved,
+		CacheLines:       4096,
+		PagesPerLine:     4,
+		WriteBufferPages: 8192,
+		Mode:             coherence.ModePS3,
+		Net:              fabric.DefaultParams(),
+	}
+}
+
+// Validate normalizes zero fields to defaults and checks limits.
+func (c *Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("core: Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.Nodes > directory.MaxNodes {
+		return fmt.Errorf("core: at most %d nodes, got %d", directory.MaxNodes, c.Nodes)
+	}
+	if c.SocketsPerNode == 0 {
+		c.SocketsPerNode = 4
+	}
+	if c.CoresPerSocket == 0 {
+		c.CoresPerSocket = 4
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.MemoryBytes == 0 {
+		c.MemoryBytes = 64 << 20
+	}
+	if c.CacheLines == 0 {
+		c.CacheLines = 4096
+	}
+	if c.PagesPerLine == 0 {
+		c.PagesPerLine = 4
+	}
+	if c.WriteBufferPages == 0 {
+		c.WriteBufferPages = 8192
+	}
+	if c.Net == (fabric.Params{}) {
+		c.Net = fabric.DefaultParams()
+	}
+	return nil
+}
+
+// BarrierWaiter is the hook through which the Vela hierarchical barrier is
+// attached to threads (the implementation lives in package vela to keep the
+// dependency direction coherent).
+type BarrierWaiter interface {
+	Wait(t *Thread)
+}
+
+// Cluster is a simulated Argo DSM installation.
+type Cluster struct {
+	Cfg   Config
+	Topo  sim.Topology
+	Fab   *fabric.Fabric
+	Space *mem.Space
+	Dir   *directory.Directory
+	Nodes []*coherence.Node
+
+	// BarrierFactory builds the default barrier for each SPMD launch; the
+	// root argo package wires it to Vela's hierarchical barrier.
+	BarrierFactory func(c *Cluster, threadsPerNode int) BarrierWaiter
+
+	runMu  sync.Mutex
+	hits   atomic.Int64
+	epochs atomic.Int64 // default-barrier episodes (drives decay)
+}
+
+// NewCluster builds a cluster from cfg.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo := sim.Topology{Nodes: cfg.Nodes, Sockets: cfg.SocketsPerNode, CoresPerSocket: cfg.CoresPerSocket}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	fab := fabric.New(topo, cfg.Net)
+	space := mem.NewSpace(cfg.Nodes, cfg.MemoryBytes, cfg.PageSize, cfg.Policy)
+	dir := directory.New(fab, space.NPages, space.HomeOf)
+	cl := &Cluster{Cfg: cfg, Topo: topo, Fab: fab, Space: space, Dir: dir}
+	opt := coherence.DefaultOptions()
+	opt.Mode = cfg.Mode
+	opt.SWDiffSuppress = cfg.SWDiffSuppress
+	for n := 0; n < cfg.Nodes; n++ {
+		pc := cache.New(n, cfg.PageSize, cfg.CacheLines, cfg.PagesPerLine, cfg.WriteBufferPages)
+		cl.Nodes = append(cl.Nodes, coherence.NewNode(n, fab, space, dir, pc, opt))
+	}
+	if TraceHook != nil {
+		TraceHook(cl)
+	}
+	return cl, nil
+}
+
+// TraceHook, when non-nil, is invoked with every newly built Cluster.
+// Tooling (cmd/argo-trace) uses it to attach a tracer to clusters that
+// workload runners construct internally. Not for concurrent mutation.
+var TraceHook func(*Cluster)
+
+// MustNewCluster is NewCluster that panics on error (tests, examples).
+func MustNewCluster(cfg Config) *Cluster {
+	c, err := NewCluster(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Alloc reserves size bytes of global memory (8-byte aligned).
+func (c *Cluster) Alloc(size int64) mem.Addr { return c.Space.Alloc(size, 8) }
+
+// AllocPages reserves size bytes starting on a page boundary.
+func (c *Cluster) AllocPages(size int64) mem.Addr { return c.Space.AllocPageAligned(size) }
+
+// ResetVirtualState clears virtual-time residue (NIC occupancy, fetch
+// gates) and all cached pages + classification, making the next Run start
+// cold. Home memory contents are preserved.
+func (c *Cluster) ResetVirtualState() {
+	c.Fab.ResetNICs()
+	for _, n := range c.Nodes {
+		n.ResetForPhase()
+		n.Cache.Reset()
+	}
+	c.Dir.Reset()
+	c.epochs.Store(0)
+}
+
+// Stats aggregates all node counters plus the thread-local hit counts of
+// completed runs.
+func (c *Cluster) Stats() stats.Snapshot { return c.Fab.TotalStats() }
+
+// Hits returns the aggregated page-cache hit count of completed runs.
+func (c *Cluster) Hits() int64 { return c.hits.Load() }
+
+// NextEpoch advances and returns the default-barrier episode counter; the
+// Vela barrier uses it to drive decay-style classification resets.
+func (c *Cluster) NextEpoch() int64 { return c.epochs.Add(1) }
+
+// AttachTracer connects a protocol event tracer to every node (pass nil to
+// detach). Tracing adds one nil-check to hot paths when detached.
+func (c *Cluster) AttachTracer(t *trace.Tracer) {
+	for _, n := range c.Nodes {
+		n.Trc = t
+	}
+}
+
+// CheckInvariants verifies the protocol's structural invariants on every
+// node (see coherence.Node.CheckInvariants). Intended after a quiesce.
+func (c *Cluster) CheckInvariants() error {
+	for _, n := range c.Nodes {
+		if err := n.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Thread is one simulated application thread running on a cluster node.
+// A Thread must only be used from the goroutine Run gave it to.
+type Thread struct {
+	Rank  int // global rank, node*threadsPerNode+local
+	Node  int
+	Local int // index within the node
+	NT    int // total threads in this launch
+	TPN   int // threads per node in this launch
+
+	P   *sim.Proc
+	C   *Cluster
+	Coh *coherence.Node
+	Bar BarrierWaiter
+	Rng *rand.Rand
+
+	buf [8]byte
+}
+
+// Run launches threadsPerNode simulated threads on every node, runs body on
+// each, and returns the makespan (the maximum final virtual clock). Each Run
+// starts from cold caches and zeroed clocks; home memory persists.
+func (c *Cluster) Run(threadsPerNode int, body func(t *Thread)) sim.Time {
+	return c.RunSeeded(threadsPerNode, 1, body)
+}
+
+// RunSeeded is Run with an explicit RNG seed base for the threads.
+func (c *Cluster) RunSeeded(threadsPerNode int, seed int64, body func(t *Thread)) sim.Time {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	c.ResetVirtualState()
+
+	var bar BarrierWaiter
+	if c.BarrierFactory != nil {
+		bar = c.BarrierFactory(c, threadsPerNode)
+	}
+	nt := c.Cfg.Nodes * threadsPerNode
+	threads := make([]*Thread, nt)
+	procs := make([]*sim.Proc, nt)
+	for node := 0; node < c.Cfg.Nodes; node++ {
+		for l := 0; l < threadsPerNode; l++ {
+			r := node*threadsPerNode + l
+			p := c.Topo.NewProc(node, l)
+			threads[r] = &Thread{
+				Rank: r, Node: node, Local: l, NT: nt, TPN: threadsPerNode,
+				P: p, C: c, Coh: c.Nodes[node], Bar: bar,
+				Rng: rand.New(rand.NewSource(seed + int64(r)*1_000_003)),
+			}
+			procs[r] = p
+		}
+	}
+	g := sim.NewGroup(procs)
+	makespan := g.Run(func(i int, p *sim.Proc) {
+		body(threads[i])
+	})
+	for _, p := range procs {
+		c.hits.Add(p.Hits)
+	}
+	return makespan
+}
+
+// ---------------------------------------------------------------------------
+// Thread memory API
+// ---------------------------------------------------------------------------
+
+// Compute advances the thread's virtual clock by d nanoseconds of local
+// computation.
+func (t *Thread) Compute(d sim.Time) { t.P.Advance(d) }
+
+// ReadBytes copies len(dst) bytes from global address a.
+func (t *Thread) ReadBytes(a mem.Addr, dst []byte) { t.Coh.ReadAt(t.P, a, dst) }
+
+// WriteBytes writes src to global address a.
+func (t *Thread) WriteBytes(a mem.Addr, src []byte) { t.Coh.WriteAt(t.P, a, src) }
+
+// ReadU64 reads a little-endian 64-bit word at a.
+func (t *Thread) ReadU64(a mem.Addr) uint64 {
+	t.Coh.ReadAt(t.P, a, t.buf[:])
+	return leU64(t.buf[:])
+}
+
+// WriteU64 writes a little-endian 64-bit word at a.
+func (t *Thread) WriteU64(a mem.Addr, v uint64) {
+	putLeU64(t.buf[:], v)
+	t.Coh.WriteAt(t.P, a, t.buf[:])
+}
+
+// ReadI64 reads an int64 at a.
+func (t *Thread) ReadI64(a mem.Addr) int64 { return int64(t.ReadU64(a)) }
+
+// WriteI64 writes an int64 at a.
+func (t *Thread) WriteI64(a mem.Addr, v int64) { t.WriteU64(a, uint64(v)) }
+
+// ReadF64 reads a float64 at a.
+func (t *Thread) ReadF64(a mem.Addr) float64 { return math.Float64frombits(t.ReadU64(a)) }
+
+// WriteF64 writes a float64 at a.
+func (t *Thread) WriteF64(a mem.Addr, v float64) { t.WriteU64(a, math.Float64bits(v)) }
+
+// AcquireFence is Carina's SI fence (acquire semantics).
+func (t *Thread) AcquireFence() { t.Coh.SIFence(t.P) }
+
+// ReleaseFence is Carina's SD fence (release semantics).
+func (t *Thread) ReleaseFence() { t.Coh.SDFence(t.P) }
+
+// Barrier waits on the launch's default hierarchical barrier.
+func (t *Thread) Barrier() {
+	if t.Bar == nil {
+		panic("core: no default barrier configured for this cluster")
+	}
+	t.Bar.Wait(t)
+}
+
+// PhaseResetter is implemented by barriers that can perform a collective
+// classification reset (Vela's hierarchical barrier does).
+type PhaseResetter interface {
+	WaitAndReset(t *Thread)
+}
+
+// InitDone marks the end of the program's initialization phase: a collective
+// barrier that flushes and drops all cached pages and clears the Pyxis
+// full-maps, so initialization accesses do not pollute the classification.
+// Every thread of the launch must call it (it is a barrier).
+func (t *Thread) InitDone() {
+	r, ok := t.Bar.(PhaseResetter)
+	if !ok {
+		panic("core: default barrier cannot reset classification")
+	}
+	r.WaitAndReset(t)
+}
+
+// ---------------------------------------------------------------------------
+// Typed array views
+// ---------------------------------------------------------------------------
+
+// F64Slice is a view of n float64 values in global memory.
+type F64Slice struct {
+	Base mem.Addr
+	Len  int
+}
+
+// AllocF64 reserves a global float64 array of n elements on its own pages.
+func (c *Cluster) AllocF64(n int) F64Slice {
+	return F64Slice{Base: c.AllocPages(int64(n) * 8), Len: n}
+}
+
+// At returns the address of element i.
+func (s F64Slice) At(i int) mem.Addr { return s.Base + mem.Addr(i)*8 }
+
+// Get reads element i.
+func (t *Thread) GetF64(s F64Slice, i int) float64 { return t.ReadF64(s.At(i)) }
+
+// SetF64 writes element i.
+func (t *Thread) SetF64(s F64Slice, i int, v float64) { t.WriteF64(s.At(i), v) }
+
+// ReadF64s bulk-reads elements [lo,hi) into dst (len(dst) >= hi-lo).
+func (t *Thread) ReadF64s(s F64Slice, lo, hi int, dst []float64) {
+	n := hi - lo
+	raw := scratch(n * 8)
+	t.Coh.ReadAt(t.P, s.At(lo), raw)
+	for i := 0; i < n; i++ {
+		dst[i] = math.Float64frombits(leU64(raw[i*8:]))
+	}
+	putScratch(raw)
+}
+
+// WriteF64s bulk-writes src to elements [lo, lo+len(src)).
+func (t *Thread) WriteF64s(s F64Slice, lo int, src []float64) {
+	raw := scratch(len(src) * 8)
+	for i, v := range src {
+		putLeU64(raw[i*8:], math.Float64bits(v))
+	}
+	t.Coh.WriteAt(t.P, s.At(lo), raw)
+	putScratch(raw)
+}
+
+// I64Slice is a view of n int64 values in global memory.
+type I64Slice struct {
+	Base mem.Addr
+	Len  int
+}
+
+// AllocI64 reserves a global int64 array of n elements on its own pages.
+func (c *Cluster) AllocI64(n int) I64Slice {
+	return I64Slice{Base: c.AllocPages(int64(n) * 8), Len: n}
+}
+
+// At returns the address of element i.
+func (s I64Slice) At(i int) mem.Addr { return s.Base + mem.Addr(i)*8 }
+
+// GetI64 reads element i.
+func (t *Thread) GetI64(s I64Slice, i int) int64 { return t.ReadI64(s.At(i)) }
+
+// SetI64 writes element i.
+func (t *Thread) SetI64(s I64Slice, i int, v int64) { t.WriteI64(s.At(i), v) }
+
+// ReadI64s bulk-reads elements [lo,hi) into dst.
+func (t *Thread) ReadI64s(s I64Slice, lo, hi int, dst []int64) {
+	n := hi - lo
+	raw := scratch(n * 8)
+	t.Coh.ReadAt(t.P, s.At(lo), raw)
+	for i := 0; i < n; i++ {
+		dst[i] = int64(leU64(raw[i*8:]))
+	}
+	putScratch(raw)
+}
+
+// WriteI64s bulk-writes src to elements [lo, lo+len(src)).
+func (t *Thread) WriteI64s(s I64Slice, lo int, src []int64) {
+	raw := scratch(len(src) * 8)
+	for i, v := range src {
+		putLeU64(raw[i*8:], uint64(v))
+	}
+	t.Coh.WriteAt(t.P, s.At(lo), raw)
+	putScratch(raw)
+}
+
+// ---------------------------------------------------------------------------
+// Zero-cost initialization (outside the measured parallel section)
+// ---------------------------------------------------------------------------
+
+// InitF64 writes vals directly into home memory with no protocol activity
+// and no virtual cost: the paper excludes initialization from measurement
+// and resets classification after it.
+func (c *Cluster) InitF64(s F64Slice, vals []float64) {
+	raw := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		putLeU64(raw[i*8:], math.Float64bits(v))
+	}
+	c.InitBytes(s.Base, raw)
+}
+
+// InitI64 writes vals directly into home memory (see InitF64).
+func (c *Cluster) InitI64(s I64Slice, vals []int64) {
+	raw := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		putLeU64(raw[i*8:], uint64(v))
+	}
+	c.InitBytes(s.Base, raw)
+}
+
+// InitBytes writes src directly into home memory starting at a.
+func (c *Cluster) InitBytes(a mem.Addr, src []byte) {
+	ps := c.Space.PageSize
+	for len(src) > 0 {
+		page := c.Space.PageOf(a)
+		off := int(a) % ps
+		seg := ps - off
+		if seg > len(src) {
+			seg = len(src)
+		}
+		pg := c.Space.HomeBytes(page)
+		copy(pg[off:off+seg], src[:seg])
+		src = src[seg:]
+		a += mem.Addr(seg)
+	}
+}
+
+// DumpF64 reads the home-memory truth of s after all threads have quiesced
+// (verification helper; zero cost, no protocol activity).
+func (c *Cluster) DumpF64(s F64Slice) []float64 {
+	raw := make([]byte, s.Len*8)
+	c.dumpBytes(s.Base, raw)
+	out := make([]float64, s.Len)
+	for i := range out {
+		out[i] = math.Float64frombits(leU64(raw[i*8:]))
+	}
+	return out
+}
+
+// DumpI64 reads the home-memory truth of s (see DumpF64).
+func (c *Cluster) DumpI64(s I64Slice) []int64 {
+	raw := make([]byte, s.Len*8)
+	c.dumpBytes(s.Base, raw)
+	out := make([]int64, s.Len)
+	for i := range out {
+		out[i] = int64(leU64(raw[i*8:]))
+	}
+	return out
+}
+
+func (c *Cluster) dumpBytes(a mem.Addr, dst []byte) {
+	ps := c.Space.PageSize
+	for len(dst) > 0 {
+		page := c.Space.PageOf(a)
+		off := int(a) % ps
+		seg := ps - off
+		if seg > len(dst) {
+			seg = len(dst)
+		}
+		copy(dst[:seg], c.Space.HomeBytes(page)[off:off+seg])
+		dst = dst[seg:]
+		a += mem.Addr(seg)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------------
+
+var scratchPool = sync.Pool{New: func() any { return make([]byte, 0, 1<<16) }}
+
+func scratch(n int) []byte {
+	b := scratchPool.Get().([]byte)
+	if cap(b) < n {
+		b = make([]byte, n)
+	}
+	return b[:n]
+}
+
+func putScratch(b []byte) { scratchPool.Put(b[:0]) } //nolint:staticcheck // slice header boxing is fine here
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeU64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

@@ -1,0 +1,215 @@
+// Package directory implements Pyxis, Argo's passive classification
+// directory. For every global page the home node keeps two full-maps — the
+// readers and the writers of the page. There is no explicit page state and
+// no message handler: requesting nodes deposit their ID with a remote atomic
+// fetch-and-or (which returns both maps), infer the classification
+// themselves, and, when they cause a classification transition
+// (P→S, NW→SW, SW→MW), remotely update the *directory cache* of the one
+// node (or set of reader nodes) that must eventually notice. The notified
+// node observes the change passively, at its next synchronization point or
+// its next request — deferred invalidation, valid under DRF semantics.
+//
+// In the simulator the home-truth entry and all per-node cached copies of it
+// share one striped lock per page; the causing node updates the victim's
+// cached copy inside the same critical section as its own registration,
+// which yields exactly the ordering argument of the paper (the notification
+// is visible before the notifier can issue any subsequent data operation).
+package directory
+
+import (
+	"fmt"
+	"sync"
+
+	"argo/internal/fabric"
+	"argo/internal/sim"
+)
+
+// Entry is one directory entry: the readers and writers full-maps of a page.
+type Entry struct {
+	R Bitmap // nodes that fetched the page since the last reset
+	W Bitmap // nodes that wrote the page since the last reset
+}
+
+// Classification is the page state a node infers from a directory entry.
+// The directory itself never stores it (Pyxis is state-free).
+type Classification int
+
+const (
+	// Unshared: nobody has registered (uninitialized page).
+	Unshared Classification = iota
+	// Private: exactly one reader node.
+	Private
+	// SharedNW: multiple readers, no writers.
+	SharedNW
+	// SharedSW: multiple readers, a single writer.
+	SharedSW
+	// SharedMW: multiple readers, multiple writers.
+	SharedMW
+)
+
+func (c Classification) String() string {
+	switch c {
+	case Unshared:
+		return "—"
+	case Private:
+		return "P"
+	case SharedNW:
+		return "S,NW"
+	case SharedSW:
+		return "S,SW"
+	case SharedMW:
+		return "S,MW"
+	default:
+		return fmt.Sprintf("Classification(%d)", int(c))
+	}
+}
+
+// Classify derives the classification from an entry.
+func (e Entry) Classify() Classification {
+	switch {
+	case e.R.Empty():
+		return Unshared
+	case e.R.Count() == 1:
+		return Private
+	case e.W.Empty():
+		return SharedNW
+	case e.W.Count() == 1:
+		return SharedSW
+	default:
+		return SharedMW
+	}
+}
+
+const stripeCount = 1024
+
+// Directory is the Pyxis instance of one cluster: home-truth entries for
+// every global page plus each node's passive directory cache.
+type Directory struct {
+	fab    *fabric.Fabric
+	npages int
+	homeOf func(page int) int
+
+	stripes [stripeCount]sync.Mutex
+	entries []Entry   // home truth, indexed by global page
+	caches  [][]Entry // [node][page] cached copies
+}
+
+// New creates a directory for npages pages whose homes are given by homeOf.
+func New(fab *fabric.Fabric, npages int, homeOf func(int) int) *Directory {
+	if fab.Topo.Nodes > MaxNodes {
+		panic(fmt.Sprintf("directory: at most %d nodes supported, got %d", MaxNodes, fab.Topo.Nodes))
+	}
+	d := &Directory{
+		fab:     fab,
+		npages:  npages,
+		homeOf:  homeOf,
+		entries: make([]Entry, npages),
+		caches:  make([][]Entry, fab.Topo.Nodes),
+	}
+	for n := range d.caches {
+		d.caches[n] = make([]Entry, npages)
+	}
+	return d
+}
+
+func (d *Directory) lock(page int) *sync.Mutex { return &d.stripes[page%stripeCount] }
+
+// RegisterReader deposits node's ID in page's readers map with one remote
+// fetch-and-or, refreshes node's cached copy, and returns the entry as it
+// was *before* the update — the caller detects transitions from it.
+func (d *Directory) RegisterReader(p *sim.Proc, page, node int) Entry {
+	d.fab.RemoteAtomic(p, d.homeOf(page))
+	return d.registerReader(page, node)
+}
+
+// RegisterReaderBatched is RegisterReader without the network charge: when
+// a line fetch registers several consecutive pages that share a home node,
+// the registrations travel as one batched one-sided operation and only the
+// first page of each home pays the round trip.
+func (d *Directory) RegisterReaderBatched(page, node int) Entry {
+	return d.registerReader(page, node)
+}
+
+func (d *Directory) registerReader(page, node int) Entry {
+	mu := d.lock(page)
+	mu.Lock()
+	old := d.entries[page]
+	d.entries[page].R.Set(node)
+	d.caches[node][page] = d.entries[page]
+	mu.Unlock()
+	return old
+}
+
+// RegisterWriter deposits node's ID in page's writers map (and readers map,
+// since a writer always holds a copy), refreshes node's cached copy, and
+// returns the prior entry.
+func (d *Directory) RegisterWriter(p *sim.Proc, page, node int) Entry {
+	d.fab.RemoteAtomic(p, d.homeOf(page))
+	mu := d.lock(page)
+	mu.Lock()
+	old := d.entries[page]
+	d.entries[page].R.Set(node)
+	d.entries[page].W.Set(node)
+	d.caches[node][page] = d.entries[page]
+	mu.Unlock()
+	return old
+}
+
+// Notify remotely updates target's cached copy of page's entry with the
+// current home truth. This is the passive notification used for P→S, NW→SW
+// and SW→MW transitions; it costs one small RDMA write.
+func (d *Directory) Notify(p *sim.Proc, page, target int) {
+	if target == p.Node {
+		// Own cache was already refreshed by the registration.
+		return
+	}
+	d.fab.RemoteWrite(p, target, 16)
+	d.fab.NodeStats(p.Node).DirNotifies.Add(1)
+	mu := d.lock(page)
+	mu.Lock()
+	d.caches[target][page] = d.entries[page]
+	mu.Unlock()
+}
+
+// Cached returns node's current cached copy of page's entry. Reading the
+// local directory cache costs nothing on the network.
+func (d *Directory) Cached(node, page int) Entry {
+	mu := d.lock(page)
+	mu.Lock()
+	e := d.caches[node][page]
+	mu.Unlock()
+	return e
+}
+
+// Home returns the home truth for page (tests and debug output).
+func (d *Directory) Home(page int) Entry {
+	mu := d.lock(page)
+	mu.Lock()
+	e := d.entries[page]
+	mu.Unlock()
+	return e
+}
+
+// NPages returns the number of pages tracked.
+func (d *Directory) NPages() int { return d.npages }
+
+// Reset clears every entry and every cached copy. The paper resets the
+// full-maps at the end of the initialization phase so that initialization
+// writes do not pollute the classification; the caller must have quiesced
+// all simulated threads (a global barrier) first.
+func (d *Directory) Reset() {
+	for i := 0; i < stripeCount; i++ {
+		d.stripes[i].Lock()
+	}
+	for i := range d.entries {
+		d.entries[i] = Entry{}
+	}
+	for n := range d.caches {
+		for i := range d.caches[n] {
+			d.caches[n][i] = Entry{}
+		}
+	}
+	for i := 0; i < stripeCount; i++ {
+		d.stripes[i].Unlock()
+	}
+}

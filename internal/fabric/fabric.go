@@ -1,0 +1,318 @@
+// Package fabric models the cluster interconnect of the Argo DSM simulator:
+// an RDMA-capable network (think QDR InfiniBand driven through MPI one-sided
+// operations, as in the paper's prototype) plus the intra-node memory
+// hierarchy tiers of a multi-socket NUMA machine.
+//
+// The fabric is purely a cost and accounting layer: it charges virtual time
+// to the issuing Proc and serializes transfers on the target node's NIC
+// (a sim.Resource), but it moves no bytes itself. Data movement is done by
+// the memory and directory layers, which call into the fabric to pay for it.
+// This split mirrors the paper's central design rule — all protocol actions
+// are one-sided operations paid for by the requester; no message handlers
+// run anywhere.
+package fabric
+
+import (
+	"fmt"
+
+	"argo/internal/sim"
+	"argo/internal/stats"
+)
+
+// Params is the interconnect and memory-hierarchy cost model. All times are
+// virtual nanoseconds. Defaults are calibrated in DefaultParams to the
+// paper's testbed (Figure 1 trends, QDR InfiniBand through OpenMPI RMA).
+type Params struct {
+	// RemoteLatency is the one-way inter-node latency of a network
+	// operation, including the software overhead of the one-sided MPI
+	// path. A round trip costs 2*RemoteLatency plus transfer terms.
+	RemoteLatency sim.Time
+	// NsPerKB is the wire occupancy per kilobyte transferred; the
+	// reciprocal is the saturated network bandwidth.
+	NsPerKB sim.Time
+	// DirService is the service time of a remote atomic (fetch-and-or on a
+	// directory entry) at the target NIC.
+	DirService sim.Time
+	// PostOverhead is the issue cost of a posted (fire-and-forget)
+	// one-sided write: building and injecting the descriptor. Posted
+	// writes pipeline; only a fence waits for their completion.
+	PostOverhead sim.Time
+	// DRAMLatency is the local main-memory access latency.
+	DRAMLatency sim.Time
+	// SocketLatency is a cross-socket (NUMA) cache-to-cache transfer.
+	SocketLatency sim.Time
+	// LocalLatency is a same-socket cache-to-cache transfer.
+	LocalLatency sim.Time
+	// CacheHit is the cost of a load/store that hits in local caches; it
+	// is also what a page-cache hit costs in Argo (after the fault-free
+	// fast path, a DSM hit is an ordinary memory access).
+	CacheHit sim.Time
+	// MemCopyPerKB is the local memory-copy cost per kilobyte (twin
+	// creation, checkpointing, diff application on the local side).
+	MemCopyPerKB sim.Time
+	// NICSerialize controls whether transfers serialize on the target
+	// node's NIC. The paper's prototype additionally allowed only one
+	// in-flight fetch per node (an MPI passive-RMA limitation), which the
+	// cache layer models separately.
+	NICSerialize bool
+}
+
+// DefaultParams returns the cost model used throughout the evaluation:
+// a 3.4 GHz CPU against a QDR InfiniBand fabric driven by MPI one-sided
+// operations. One-way latency includes MPI software overhead; the wire term
+// saturates at ~2.5 GB/s, which is what the paper measures in Figure 7.
+func DefaultParams() Params {
+	return Params{
+		RemoteLatency: 2500,
+		NsPerKB:       400,
+		DirService:    100,
+		PostOverhead:  300,
+		DRAMLatency:   60,
+		SocketLatency: 120,
+		LocalLatency:  40,
+		CacheHit:      2,
+		MemCopyPerKB:  60,
+		NICSerialize:  true,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.RemoteLatency < 0 || p.NsPerKB < 0 || p.DirService < 0 || p.PostOverhead < 0 ||
+		p.DRAMLatency < 0 || p.SocketLatency < 0 || p.LocalLatency < 0 ||
+		p.CacheHit < 0 || p.MemCopyPerKB < 0 {
+		return fmt.Errorf("fabric: negative cost in params %+v", p)
+	}
+	return nil
+}
+
+// TransferCost returns the wire occupancy of moving n bytes.
+func (p Params) TransferCost(n int) sim.Time {
+	return sim.Time(n) * p.NsPerKB / 1024
+}
+
+// CopyCost returns the local memory-copy cost of n bytes.
+func (p Params) CopyCost(n int) sim.Time {
+	return sim.Time(n) * p.MemCopyPerKB / 1024
+}
+
+// Fabric is the interconnect instance for one simulated cluster.
+type Fabric struct {
+	P    Params
+	Topo sim.Topology
+
+	nics  []sim.Resource // per-node NIC DMA engines
+	nodes []*stats.Node
+}
+
+// New creates a fabric for the given topology and cost model, with one
+// stats.Node per machine.
+func New(topo sim.Topology, p Params) *Fabric {
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	f := &Fabric{
+		P:     p,
+		Topo:  topo,
+		nics:  make([]sim.Resource, topo.Nodes),
+		nodes: make([]*stats.Node, topo.Nodes),
+	}
+	for i := range f.nodes {
+		f.nodes[i] = &stats.Node{}
+	}
+	return f
+}
+
+// NodeStats returns the counters of node n.
+func (f *Fabric) NodeStats(n int) *stats.Node { return f.nodes[n] }
+
+// TotalStats aggregates all nodes' counters.
+func (f *Fabric) TotalStats() stats.Snapshot {
+	var s stats.Snapshot
+	for _, n := range f.nodes {
+		s.Add(n.Snapshot())
+	}
+	return s
+}
+
+// ResetNICs clears virtual NIC occupancy (used between measurement phases).
+func (f *Fabric) ResetNICs() {
+	for i := range f.nics {
+		f.nics[i].Reset()
+	}
+}
+
+// occupyNIC serializes a transfer of wire nanoseconds at node n's NIC.
+func (f *Fabric) occupyNIC(p *sim.Proc, n int, wire sim.Time) {
+	if f.P.NICSerialize {
+		f.nics[n].Occupy(p, wire)
+	} else {
+		p.Advance(wire)
+	}
+}
+
+// RemoteRead charges for an RDMA read of n bytes homed at node home, issued
+// by p. A loopback read (home == p.Node) costs only local memory time.
+func (f *Fabric) RemoteRead(p *sim.Proc, home, n int) {
+	if home == p.Node {
+		p.Advance(f.P.DRAMLatency + f.P.CopyCost(n))
+		return
+	}
+	p.Advance(f.P.RemoteLatency) // request reaches the home NIC
+	f.occupyNIC(p, home, f.P.TransferCost(n))
+	p.Advance(f.P.RemoteLatency) // data returns
+	f.account(p.Node, home, n)
+	f.nodes[home].BytesSent.Add(int64(n))
+	f.nodes[p.Node].BytesReceived.Add(int64(n))
+}
+
+// RemoteWrite charges for an RDMA write of n bytes to node home, issued by
+// p. The paper's writebacks are fire-and-forget until a fence; we charge the
+// posting cost (latency + wire) to the issuer, which is conservative.
+func (f *Fabric) RemoteWrite(p *sim.Proc, home, n int) {
+	if home == p.Node {
+		p.Advance(f.P.DRAMLatency + f.P.CopyCost(n))
+		return
+	}
+	p.Advance(f.P.RemoteLatency)
+	f.occupyNIC(p, home, f.P.TransferCost(n))
+	f.account(p.Node, home, n)
+	f.nodes[p.Node].BytesSent.Add(int64(n))
+	f.nodes[home].BytesReceived.Add(int64(n))
+}
+
+// LineFetch charges for one cache-line fetch (Argo's prefetching): the
+// directory registrations of the line's pages and the page transfers are
+// all independent one-sided operations, so the implementation posts them
+// together. The whole burst shares one request and one response latency;
+// at each involved home the NIC serializes that home's share (its
+// registrations and its page transfers), and distinct homes overlap.
+// regs[h] counts registrations targeting home h; pages[h] counts page
+// transfers from home h.
+func (f *Fabric) LineFetch(p *sim.Proc, regs, pages map[int]int, bytesEach int) {
+	// Local work first: loopback registrations and page copies.
+	if c := regs[p.Node]; c > 0 {
+		p.Advance(sim.Time(c) * f.P.DRAMLatency)
+		f.nodes[p.Node].DirOps.Add(int64(c))
+	}
+	if c := pages[p.Node]; c > 0 {
+		p.Advance(f.P.DRAMLatency + f.P.CopyCost(c*bytesEach))
+	}
+	anyRemote := false
+	for h := range regs {
+		if h != p.Node {
+			anyRemote = true
+		}
+	}
+	for h := range pages {
+		if h != p.Node {
+			anyRemote = true
+		}
+	}
+	if !anyRemote {
+		return
+	}
+	p.Advance(f.P.RemoteLatency)
+	arrival := p.Now()
+	wire := f.P.TransferCost(bytesEach)
+	occupy := func(h int, service sim.Time) {
+		if f.P.NICSerialize {
+			f.nics[h].OccupyAt(p, arrival, service)
+		} else {
+			p.AdvanceTo(arrival + service)
+		}
+	}
+	for h, c := range regs {
+		if h == p.Node {
+			continue
+		}
+		service := sim.Time(c) * f.P.DirService
+		if pc := pages[h]; pc > 0 {
+			service += sim.Time(pc) * wire
+		}
+		occupy(h, service)
+		f.nodes[p.Node].DirOps.Add(int64(c))
+		f.account(p.Node, h, 16*c)
+	}
+	for h, c := range pages {
+		if h == p.Node {
+			continue
+		}
+		if _, done := regs[h]; !done {
+			occupy(h, sim.Time(c)*wire)
+		}
+		f.account(p.Node, h, c*bytesEach)
+		f.nodes[h].BytesSent.Add(int64(c * bytesEach))
+		f.nodes[p.Node].BytesReceived.Add(int64(c * bytesEach))
+	}
+	p.Advance(f.P.RemoteLatency)
+}
+
+// RemoteWritePosted charges for a posted one-sided write of n bytes to
+// node home: the issuer pays only the injection overhead and the wire
+// occupancy at the target NIC. Writebacks use this path — they pipeline
+// with each other and with computation; the SD fence pays one latency at
+// the end to wait for the last completion.
+func (f *Fabric) RemoteWritePosted(p *sim.Proc, home, n int) {
+	if home == p.Node {
+		p.Advance(f.P.DRAMLatency + f.P.CopyCost(n))
+		return
+	}
+	p.Advance(f.P.PostOverhead)
+	f.occupyNIC(p, home, f.P.TransferCost(n))
+	f.account(p.Node, home, n)
+	f.nodes[p.Node].BytesSent.Add(int64(n))
+	f.nodes[home].BytesReceived.Add(int64(n))
+}
+
+// RemoteAtomic charges for a remote atomic (fetch-and-or / fetch-and-add /
+// CAS) on a word homed at node home, issued by p. The home NIC performs the
+// operation; no remote CPU is involved.
+func (f *Fabric) RemoteAtomic(p *sim.Proc, home int) {
+	if home == p.Node {
+		p.Advance(f.P.DRAMLatency)
+		return
+	}
+	p.Advance(f.P.RemoteLatency)
+	f.occupyNIC(p, home, f.P.DirService)
+	p.Advance(f.P.RemoteLatency)
+	f.account(p.Node, home, 16)
+	f.nodes[p.Node].DirOps.Add(1)
+}
+
+// account records one network transaction of n payload bytes between nodes.
+func (f *Fabric) account(from, to, n int) {
+	f.nodes[from].Messages.Add(1)
+	_ = to
+}
+
+// IntraNodeAccess charges the cost of one shared-memory access between two
+// cores of the same node, used by the native lock models: same core is a
+// cache hit, same socket a local transfer, different socket a NUMA transfer.
+func (f *Fabric) IntraNodeAccess(p *sim.Proc, otherSocket int) {
+	switch {
+	case otherSocket == p.Socket:
+		p.Advance(f.P.LocalLatency)
+	default:
+		p.Advance(f.P.SocketLatency)
+	}
+}
+
+// HandoverCost returns the cost of transferring a contended cache line from
+// the core that last held it to p: same core ~ hit, same socket ~ local,
+// other socket ~ NUMA, other node ~ network round trip.
+func (f *Fabric) HandoverCost(p *sim.Proc, lastNode, lastSocket, lastCore int) sim.Time {
+	switch {
+	case lastNode != p.Node:
+		return 2 * f.P.RemoteLatency
+	case lastSocket != p.Socket:
+		return f.P.SocketLatency
+	case lastCore != p.Core:
+		return f.P.LocalLatency
+	default:
+		return f.P.CacheHit
+	}
+}

@@ -1,0 +1,180 @@
+package fabric
+
+import (
+	"testing"
+
+	"argo/internal/sim"
+)
+
+func testTopo() sim.Topology {
+	return sim.Topology{Nodes: 4, Sockets: 4, CoresPerSocket: 4}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsNegative(t *testing.T) {
+	p := DefaultParams()
+	p.RemoteLatency = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative latency validated")
+	}
+}
+
+func TestTransferAndCopyCosts(t *testing.T) {
+	p := DefaultParams()
+	if got := p.TransferCost(1024); got != p.NsPerKB {
+		t.Fatalf("1KB transfer = %d, want %d", got, p.NsPerKB)
+	}
+	if got := p.TransferCost(4096); got != 4*p.NsPerKB {
+		t.Fatalf("4KB transfer = %d, want %d", got, 4*p.NsPerKB)
+	}
+	if p.CopyCost(4096) >= p.TransferCost(4096) {
+		t.Fatal("local copies should be cheaper than the wire")
+	}
+}
+
+func TestRemoteReadCharges(t *testing.T) {
+	f := New(testTopo(), DefaultParams())
+	p := &sim.Proc{Node: 0}
+	f.RemoteRead(p, 1, 4096)
+	want := 2*f.P.RemoteLatency + f.P.TransferCost(4096)
+	if p.Now() != want {
+		t.Fatalf("remote read cost %d, want %d", p.Now(), want)
+	}
+	if f.NodeStats(1).BytesSent.Load() != 4096 {
+		t.Fatal("home-side bytes not accounted")
+	}
+	if f.NodeStats(0).BytesReceived.Load() != 4096 {
+		t.Fatal("requester-side bytes not accounted")
+	}
+}
+
+func TestLoopbackIsCheap(t *testing.T) {
+	f := New(testTopo(), DefaultParams())
+	p := &sim.Proc{Node: 2}
+	f.RemoteRead(p, 2, 4096)
+	if p.Now() >= 2*f.P.RemoteLatency {
+		t.Fatalf("loopback read cost %d — paid network latency", p.Now())
+	}
+}
+
+func TestRemoteWriteOneWay(t *testing.T) {
+	f := New(testTopo(), DefaultParams())
+	p := &sim.Proc{Node: 0}
+	f.RemoteWrite(p, 1, 1024)
+	// A posted write pays one latency plus wire, not a round trip.
+	want := f.P.RemoteLatency + f.P.TransferCost(1024)
+	if p.Now() != want {
+		t.Fatalf("remote write cost %d, want %d", p.Now(), want)
+	}
+}
+
+func TestRemoteAtomicRoundTrip(t *testing.T) {
+	f := New(testTopo(), DefaultParams())
+	p := &sim.Proc{Node: 0}
+	f.RemoteAtomic(p, 3)
+	want := 2*f.P.RemoteLatency + f.P.DirService
+	if p.Now() != want {
+		t.Fatalf("remote atomic cost %d, want %d", p.Now(), want)
+	}
+	if f.NodeStats(0).DirOps.Load() != 1 {
+		t.Fatal("dir op not counted")
+	}
+}
+
+func TestNICSerialization(t *testing.T) {
+	f := New(testTopo(), DefaultParams())
+	a := &sim.Proc{Node: 0}
+	b := &sim.Proc{Node: 2}
+	f.RemoteRead(a, 1, 64<<10)
+	f.RemoteRead(b, 1, 64<<10)
+	// Both hit node 1's NIC: the second transfer queues behind the first.
+	wire := f.P.TransferCost(64 << 10)
+	if b.Now() < a.Now() {
+		t.Fatalf("second reader (%d) finished before first (%d) despite shared NIC", b.Now(), a.Now())
+	}
+	if b.Now() < 2*wire {
+		t.Fatalf("second reader %d did not queue behind first (wire %d)", b.Now(), wire)
+	}
+}
+
+func TestNICSerializationDisabled(t *testing.T) {
+	prm := DefaultParams()
+	prm.NICSerialize = false
+	f := New(testTopo(), prm)
+	a := &sim.Proc{Node: 0}
+	b := &sim.Proc{Node: 2}
+	f.RemoteRead(a, 1, 64<<10)
+	f.RemoteRead(b, 1, 64<<10)
+	if a.Now() != b.Now() {
+		t.Fatalf("without serialization both transfers should cost the same: %d vs %d", a.Now(), b.Now())
+	}
+}
+
+func TestLineFetchSharesLatency(t *testing.T) {
+	f := New(testTopo(), DefaultParams())
+	// 4 pages (two from home 1, one each from homes 2 and 3) plus their
+	// registrations, issued as one pipelined burst.
+	p := &sim.Proc{Node: 0}
+	f.LineFetch(p, map[int]int{1: 2, 2: 1, 3: 1}, map[int]int{1: 2, 2: 1, 3: 1}, 4096)
+	pipelined := p.Now()
+
+	// The same operations issued one by one.
+	q := &sim.Proc{Node: 0}
+	for _, h := range []int{1, 2, 3, 1} {
+		f.RemoteAtomic(q, h)
+		f.RemoteRead(q, h, 4096)
+	}
+	if pipelined >= q.Now() {
+		t.Fatalf("line fetch (%d) not cheaper than serial operations (%d)", pipelined, q.Now())
+	}
+	// Lower bound: one round trip plus home 1's share (two registrations
+	// and two page transfers serialized on its NIC).
+	min := 2*f.P.RemoteLatency + 2*f.P.DirService + 2*f.P.TransferCost(4096)
+	if pipelined < min {
+		t.Fatalf("line fetch %d below physical floor %d", pipelined, min)
+	}
+	if f.NodeStats(0).DirOps.Load() != 4+4 {
+		t.Fatalf("dir ops = %d, want 8", f.NodeStats(0).DirOps.Load())
+	}
+}
+
+func TestLineFetchAllLocal(t *testing.T) {
+	f := New(testTopo(), DefaultParams())
+	p := &sim.Proc{Node: 1}
+	f.LineFetch(p, map[int]int{1: 2}, map[int]int{1: 2}, 4096)
+	if p.Now() >= f.P.RemoteLatency {
+		t.Fatal("all-local line fetch paid network latency")
+	}
+}
+
+func TestHandoverCostTiers(t *testing.T) {
+	f := New(testTopo(), DefaultParams())
+	p := &sim.Proc{Node: 0, Socket: 0, Core: 0}
+	same := f.HandoverCost(p, 0, 0, 0)
+	core := f.HandoverCost(p, 0, 0, 1)
+	sock := f.HandoverCost(p, 0, 1, 0)
+	node := f.HandoverCost(p, 1, 0, 0)
+	if !(same < core && core < sock && sock < node) {
+		t.Fatalf("handover tiers out of order: %d %d %d %d", same, core, sock, node)
+	}
+}
+
+func TestTotalStatsAggregates(t *testing.T) {
+	f := New(testTopo(), DefaultParams())
+	p0 := &sim.Proc{Node: 0}
+	p2 := &sim.Proc{Node: 2}
+	f.RemoteWrite(p0, 1, 100)
+	f.RemoteWrite(p2, 3, 200)
+	tot := f.TotalStats()
+	if tot.BytesSent != 300 {
+		t.Fatalf("total bytes sent = %d, want 300", tot.BytesSent)
+	}
+	if tot.Messages != 2 {
+		t.Fatalf("total messages = %d, want 2", tot.Messages)
+	}
+}

@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"argo/internal/workloads/blackscholes"
+	"argo/internal/workloads/cg"
+	"argo/internal/workloads/ep"
+	"argo/internal/workloads/lu"
+	"argo/internal/workloads/mm"
+	"argo/internal/workloads/nbody"
+	"argo/internal/workloads/wload"
+)
+
+func init() {
+	register("fig13a", "Figure 13a: SPLASH-2 LU speedup (Argo vs Pthreads)", fig13a)
+	register("fig13b", "Figure 13b: N-body speedup (Argo vs Pthreads vs MPI)", fig13b)
+	register("fig13c", "Figure 13c: PARSEC blackscholes speedup (Argo vs Pthreads vs MPI)", fig13c)
+	register("fig13d", "Figure 13d: Matrix Multiply speedup, small & large input", fig13d)
+	register("fig13e", "Figure 13e: NAS EP speedup (Argo vs OpenMP vs UPC)", fig13e)
+	register("fig13f", "Figure 13f: NAS CG speedup (Argo vs OpenMP vs UPC)", fig13f)
+}
+
+const scalingTPN = 15 // the paper leaves one core per node for the OS
+
+// runner produces one system's result at a node count (or a thread count
+// for single-machine baselines).
+type runner struct {
+	label string
+	// kind: "argo"/"mpi"/"upc" scale over nodes; "local" scales threads.
+	kind string
+	run  func(nodes int) wload.Result
+}
+
+// scalingTable prints speedup-vs-scale series, all normalized to the serial
+// (1-thread) run.
+func scalingTable(w io.Writer, title string, serial wload.Result, nodeCounts []int, localThreads []int, rs []runner) {
+	headers := []string{"Nodes", "Threads"}
+	for _, r := range rs {
+		headers = append(headers, r.label)
+	}
+	var rows [][]string
+	// Single-machine baselines first: one row per thread count.
+	for _, t := range localThreads {
+		row := []string{"1", d(int64(t))}
+		for _, r := range rs {
+			if r.kind != "local" {
+				row = append(row, "")
+				continue
+			}
+			res := r.run(t)
+			if res.Check != serial.Check && !closeEnough(res.Check, serial.Check) {
+				row = append(row, "BADCHECK")
+			} else {
+				row = append(row, f2(res.Speedup(serial)))
+			}
+		}
+		rows = append(rows, row)
+	}
+	for _, n := range nodeCounts {
+		row := []string{d(int64(n)), d(int64(n * scalingTPN))}
+		for _, r := range rs {
+			if r.kind == "local" {
+				row = append(row, "")
+				continue
+			}
+			res := r.run(n)
+			if res.Check != serial.Check && !closeEnough(res.Check, serial.Check) {
+				row = append(row, "BADCHECK")
+			} else {
+				row = append(row, f2(res.Speedup(serial)))
+			}
+		}
+		rows = append(rows, row)
+	}
+	Table(w, title+fmt.Sprintf(" — speedup over serial (%.3f virtual ms)", float64(serial.Time)/1e6), headers, rows)
+}
+
+func closeEnough(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	mag := b
+	if mag < 0 {
+		mag = -mag
+	}
+	if mag < 1 {
+		mag = 1
+	}
+	return diff <= 1e-6*mag
+}
+
+func nodesFor(quick bool, max int) []int {
+	all := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	var out []int
+	for _, n := range all {
+		if n > max {
+			break
+		}
+		out = append(out, n)
+	}
+	if quick && len(out) > 3 {
+		return out[:3]
+	}
+	return out
+}
+
+func threadsFor(quick bool) []int {
+	if quick {
+		return []int{1, 4}
+	}
+	return []int{1, 2, 4, 8, 16}
+}
+
+func fig13a(w io.Writer, quick bool) {
+	p := lu.DefaultParams()
+	if quick {
+		p = lu.Params{N: 96, Block: 16}
+	}
+	serial := lu.RunSerial(p)
+	scalingTable(w, "SPLASH-2 LU", serial, nodesFor(quick, 8), threadsFor(quick), []runner{
+		{"Argo", "argo", func(n int) wload.Result {
+			return lu.RunArgo(wload.ArgoConfig(n, 64<<20), p, scalingTPN)
+		}},
+		{"Pthread", "local", func(t int) wload.Result { return lu.RunLocal(p, t) }},
+	})
+}
+
+func fig13b(w io.Writer, quick bool) {
+	p := nbody.DefaultParams()
+	if quick {
+		p = nbody.Params{Bodies: 512, Steps: 2}
+	}
+	serial := nbody.RunSerial(p)
+	scalingTable(w, "N-body", serial, nodesFor(quick, 32), threadsFor(quick), []runner{
+		{"Argo", "argo", func(n int) wload.Result {
+			return nbody.RunArgo(wload.ArgoConfig(n, 64<<20), p, scalingTPN)
+		}},
+		{"Pthread", "local", func(t int) wload.Result { return nbody.RunLocal(p, t) }},
+		{"MPI", "mpi", func(n int) wload.Result { return nbody.RunMPI(n, 16, p) }},
+	})
+}
+
+func fig13c(w io.Writer, quick bool) {
+	p := blackscholes.DefaultParams()
+	if quick {
+		p = blackscholes.Params{Options: 16384, Iters: 2}
+	}
+	serial := blackscholes.RunSerial(p)
+	scalingTable(w, "PARSEC blackscholes", serial, nodesFor(quick, 64), threadsFor(quick), []runner{
+		{"Argo", "argo", func(n int) wload.Result {
+			return blackscholes.RunArgo(wload.ArgoConfig(n, 64<<20), p, scalingTPN)
+		}},
+		{"Pthread", "local", func(t int) wload.Result { return blackscholes.RunLocal(p, t) }},
+		{"MPI", "mpi", func(n int) wload.Result { return blackscholes.RunMPI(n, 16, p) }},
+	})
+}
+
+func fig13d(w io.Writer, quick bool) {
+	small, large := mm.SmallParams(), mm.LargeParams()
+	if quick {
+		small, large = mm.Params{N: 48}, mm.Params{N: 96}
+	}
+	serialS := mm.RunSerial(small)
+	serialL := mm.RunSerial(large)
+	nodes := nodesFor(quick, 32)
+	headers := []string{"Nodes", "Threads",
+		"Argo-L", "MPI-L", "Argo-S", "MPI-S"}
+	var rows [][]string
+	for _, t := range threadsFor(quick) {
+		rows = append(rows, []string{"1", d(int64(t)),
+			"", "", f2(mm.RunLocal(large, t).Speedup(serialL)), f2(mm.RunLocal(small, t).Speedup(serialS))})
+	}
+	for _, n := range nodes {
+		rows = append(rows, []string{d(int64(n)), d(int64(n * scalingTPN)),
+			f2(mm.RunArgo(wload.ArgoConfig(n, 64<<20), large, scalingTPN).Speedup(serialL)),
+			f2(mm.RunMPI(n, 16, large).Speedup(serialL)),
+			f2(mm.RunArgo(wload.ArgoConfig(n, 64<<20), small, scalingTPN).Speedup(serialS)),
+			f2(mm.RunMPI(n, 16, small).Speedup(serialS)),
+		})
+	}
+	Table(w, fmt.Sprintf("Matrix Multiply %d² (L) and %d² (S) — speedup over serial", large.N, small.N), headers, rows)
+	fmt.Fprintln(w, "Pthread columns (rows with empty Argo/MPI cells) are per-thread-count baselines")
+	fmt.Fprintln(w, "of the small (Argo-S column) and large (Argo-L column) inputs respectively.")
+}
+
+func fig13e(w io.Writer, quick bool) {
+	p := ep.DefaultParams()
+	if quick {
+		p = ep.Params{Chunks: 1024, PairsPerChunk: 128}
+	}
+	serial := ep.RunSerial(p)
+	scalingTable(w, "NAS EP", serial, nodesFor(quick, 64), threadsFor(quick), []runner{
+		{"Argo", "argo", func(n int) wload.Result {
+			return ep.RunArgo(wload.ArgoConfig(n, 64<<20), p, scalingTPN)
+		}},
+		{"OpenMP", "local", func(t int) wload.Result { return ep.RunLocal(p, t) }},
+		{"UPC", "upc", func(n int) wload.Result { return ep.RunUPC(n, 16, p) }},
+	})
+}
+
+func fig13f(w io.Writer, quick bool) {
+	p := cg.DefaultParams()
+	if quick {
+		p = cg.Params{N: 2048, PerRow: 12, Iters: 4}
+	}
+	serial := cg.RunSerial(p)
+	scalingTable(w, "NAS CG", serial, nodesFor(quick, 32), threadsFor(quick), []runner{
+		{"Argo", "argo", func(n int) wload.Result {
+			return cg.RunArgo(wload.ArgoConfig(n, 64<<20), p, scalingTPN)
+		}},
+		{"OpenMP", "local", func(t int) wload.Result { return cg.RunLocal(p, t) }},
+		{"UPC", "upc", func(n int) wload.Result { return cg.RunUPC(n, 16, p) }},
+	})
+}

@@ -1,0 +1,76 @@
+package locks
+
+import (
+	"testing"
+
+	"argo/internal/core"
+	"argo/internal/sim"
+)
+
+func TestQDDelegateAsyncOverlapsWork(t *testing.T) {
+	f := testFab()
+	l := NewQDLock(f)
+	topo := sim.Topology{Nodes: 1, Sockets: 2, CoresPerSocket: 4}
+	const workers, iters = 8, 100
+	var executed int64 // serialized by the lock
+	g := sim.NewGroup(procs(topo, workers))
+	g.Run(func(i int, p *sim.Proc) {
+		for k := 0; k < iters; k++ {
+			wait := l.DelegateAsync(p, func(h *sim.Proc) {
+				executed++
+				h.Advance(5)
+			})
+			// Overlap local work with the section's execution.
+			p.Advance(50)
+			if wait != nil {
+				wait(p)
+			}
+		}
+	})
+	if executed != workers*iters {
+		t.Fatalf("executed %d sections, want %d", executed, workers*iters)
+	}
+}
+
+func TestHQDLDelegateAsync(t *testing.T) {
+	c := dsmCluster(2)
+	slot := c.AllocI64(1)
+	l := NewHQDLock(c)
+	const tpn, iters = 3, 40
+	c.Run(tpn, func(th *core.Thread) {
+		for k := 0; k < iters; k++ {
+			wait := l.DelegateAsync(th, func(h *core.Thread) {
+				h.SetI64(slot, 0, h.GetI64(slot, 0)+1)
+			})
+			th.Compute(100) // overlapped work
+			if wait != nil {
+				wait(th)
+			}
+		}
+		th.Barrier()
+	})
+	want := int64(2 * tpn * iters)
+	if got := c.DumpI64(slot)[0]; got != want {
+		t.Fatalf("async sections lost: counter = %d, want %d", got, want)
+	}
+}
+
+func TestDelegateAsyncUncontendedRunsInline(t *testing.T) {
+	f := testFab()
+	l := NewQDLock(f)
+	p := &sim.Proc{}
+	ran := false
+	wait := l.DelegateAsync(p, func(h *sim.Proc) {
+		ran = true
+		h.Advance(9)
+	})
+	if !ran {
+		t.Fatal("uncontended DelegateAsync did not execute the section")
+	}
+	if wait != nil {
+		t.Fatal("inline execution should return a nil wait")
+	}
+	if p.Now() < 9 {
+		t.Fatalf("caller clock %d missed the section cost", p.Now())
+	}
+}

@@ -1,0 +1,175 @@
+package locks
+
+import (
+	"runtime"
+	"sync"
+
+	"argo/internal/core"
+	"argo/internal/sim"
+)
+
+// DSMLock is a mutual-exclusion lock for threads anywhere in the cluster.
+// Implementations apply Carina's fence discipline themselves: SI on acquire,
+// SD on release (synchronization is a data race, so the coherence layer
+// must be told about it).
+type DSMLock interface {
+	Lock(t *core.Thread)
+	Unlock(t *core.Thread)
+}
+
+// ---------------------------------------------------------------------------
+// Global ticket lock (no fences — building block)
+// ---------------------------------------------------------------------------
+
+// GlobalTicketLock is a FIFO spin lock whose word lives at one home node and
+// is manipulated purely with one-sided operations: fetch-and-increment to
+// take a ticket, remote polling until the grant counter matches. It carries
+// no fence semantics of its own; it is the building block under the fenced
+// DSM locks and under HQDL.
+type GlobalTicketLock struct {
+	c    *core.Cluster
+	home int
+
+	mu      sync.Mutex
+	locked  bool
+	waiters []chan struct{}
+	freeAt  sim.Time
+}
+
+// NewGlobalTicketLock creates a ticket lock homed at node home.
+func NewGlobalTicketLock(c *core.Cluster, home int) *GlobalTicketLock {
+	return &GlobalTicketLock{c: c, home: home}
+}
+
+// Lock takes a ticket (one remote atomic) and waits for the grant. The
+// handover is observed by polling the remote grant word, which costs a
+// round trip after the previous holder releases.
+func (l *GlobalTicketLock) Lock(t *core.Thread) {
+	l.c.Fab.RemoteAtomic(t.P, l.home) // fetch-and-increment the ticket word
+	l.mu.Lock()
+	if !l.locked {
+		l.locked = true
+		t.P.AdvanceTo(l.freeAt)
+		l.mu.Unlock()
+		// Yield so contenders arrive and queue while the section runs
+		// (interleaving aid for few-CPU hosts; no semantic effect).
+		runtime.Gosched()
+		return
+	}
+	ch := make(chan struct{})
+	l.waiters = append(l.waiters, ch)
+	l.mu.Unlock()
+	<-ch
+	l.mu.Lock()
+	t.P.AdvanceTo(l.freeAt)
+	l.mu.Unlock()
+	// The winning poll that observes the grant.
+	l.c.Fab.RemoteRead(t.P, l.home, 8)
+	runtime.Gosched()
+}
+
+// Unlock bumps the grant counter (one remote write).
+func (l *GlobalTicketLock) Unlock(t *core.Thread) {
+	l.c.Fab.RemoteWrite(t.P, l.home, 8)
+	l.mu.Lock()
+	l.freeAt = t.P.Now()
+	if len(l.waiters) == 0 {
+		l.locked = false
+		l.mu.Unlock()
+		return
+	}
+	next := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	l.mu.Unlock()
+	close(next)
+}
+
+// ---------------------------------------------------------------------------
+// Fenced DSM locks
+// ---------------------------------------------------------------------------
+
+// DSMMutex is the straightforward port of a mutex to Argo: a global ticket
+// lock with an SI fence on every acquire and an SD fence on every release.
+// Every critical section pays both fences plus the misses the SI causes.
+type DSMMutex struct {
+	g *GlobalTicketLock
+}
+
+// NewDSMMutex creates a fenced global mutex homed at node home.
+func NewDSMMutex(c *core.Cluster, home int) *DSMMutex {
+	return &DSMMutex{g: NewGlobalTicketLock(c, home)}
+}
+
+var _ DSMLock = (*DSMMutex)(nil)
+
+// Lock acquires the mutex and self-invalidates the caller's node.
+func (l *DSMMutex) Lock(t *core.Thread) {
+	l.g.Lock(t)
+	t.Coh.SIFence(t.P)
+}
+
+// Unlock self-downgrades the caller's node and releases.
+func (l *DSMMutex) Unlock(t *core.Thread) {
+	t.Coh.SDFence(t.P)
+	l.g.Unlock(t)
+}
+
+// DSMCohortLock is a state-of-the-art Cohort lock ported to Argo: a local
+// queue lock per node plus a global ticket lock owned by the node whose
+// thread holds the cohort, handing over locally while local waiters exist.
+// Being a generic lock, it must still fence around every critical section —
+// the coherence layer cannot know that a handover stayed on the node. This
+// is the paper's Figure 12 baseline.
+type DSMCohortLock struct {
+	c      *core.Cluster
+	global *GlobalTicketLock
+	nodes  []*cohortSocket
+
+	// BatchLimit bounds consecutive local handovers.
+	BatchLimit int
+}
+
+// NewDSMCohortLock creates a cohort lock over the cluster, homed at node 0.
+func NewDSMCohortLock(c *core.Cluster) *DSMCohortLock {
+	l := &DSMCohortLock{
+		c:          c,
+		global:     NewGlobalTicketLock(c, 0),
+		BatchLimit: 64,
+	}
+	for i := 0; i < c.Cfg.Nodes; i++ {
+		l.nodes = append(l.nodes, &cohortSocket{
+			local: fifoCore{fab: c.Fab, enqCost: c.Fab.P.LocalLatency, hoCost: c.Fab.P.SocketLatency},
+		})
+	}
+	return l
+}
+
+var _ DSMLock = (*DSMCohortLock)(nil)
+
+// Lock acquires the cohort lock and self-invalidates the caller's node.
+func (l *DSMCohortLock) Lock(t *core.Thread) {
+	s := l.nodes[t.Node]
+	s.local.lock(t.P)
+	if !s.ownsGlobal {
+		l.global.Lock(t)
+		s.ownsGlobal = true
+		s.batch = 0
+	}
+	t.Coh.SIFence(t.P)
+}
+
+// Unlock self-downgrades and hands over, preferring a waiter on this node.
+func (l *DSMCohortLock) Unlock(t *core.Thread) {
+	t.Coh.SDFence(t.P)
+	s := l.nodes[t.Node]
+	s.batch++
+	if s.local.hasWaiters() && s.batch < l.BatchLimit {
+		l.c.Fab.NodeStats(t.Node).LockHandoversLocal.Add(1)
+		s.local.unlock(t.P)
+		return
+	}
+	l.c.Fab.NodeStats(t.Node).LockHandoversRemote.Add(1)
+	s.ownsGlobal = false
+	l.global.Unlock(t)
+	s.local.unlock(t.P)
+}

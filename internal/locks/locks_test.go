@@ -1,0 +1,306 @@
+package locks
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"argo/internal/fabric"
+	"argo/internal/sim"
+)
+
+func testFab() *fabric.Fabric {
+	return fabric.New(sim.Topology{Nodes: 1, Sockets: 4, CoresPerSocket: 4}, fabric.DefaultParams())
+}
+
+func procs(topo sim.Topology, n int) []*sim.Proc {
+	out := make([]*sim.Proc, n)
+	for i := range out {
+		out[i] = topo.NewProc(0, i)
+	}
+	return out
+}
+
+// exclusionTest hammers a plain counter under the lock; any mutual-exclusion
+// violation shows up as a lost update.
+func exclusionTest(t *testing.T, mk func(f *fabric.Fabric) NativeLock) {
+	t.Helper()
+	f := testFab()
+	l := mk(f)
+	topo := sim.Topology{Nodes: 1, Sockets: 4, CoresPerSocket: 4}
+	const workers, iters = 16, 500
+	counter := 0
+	g := sim.NewGroup(procs(topo, workers))
+	g.Run(func(i int, p *sim.Proc) {
+		for k := 0; k < iters; k++ {
+			l.Lock(p)
+			counter++
+			p.Advance(10)
+			l.Unlock(p)
+		}
+	})
+	if counter != workers*iters {
+		t.Fatalf("lost updates: counter = %d, want %d", counter, workers*iters)
+	}
+	// Virtual serialization: the makespan cannot be shorter than the sum
+	// of hold times.
+	if g.MaxNow() < int64(workers*iters*10) {
+		t.Fatalf("makespan %d shorter than total hold time %d", g.MaxNow(), workers*iters*10)
+	}
+}
+
+func TestPthreadMutexExclusion(t *testing.T) {
+	exclusionTest(t, func(f *fabric.Fabric) NativeLock { return NewPthreadMutex(f) })
+}
+
+func TestMCSExclusion(t *testing.T) {
+	exclusionTest(t, func(f *fabric.Fabric) NativeLock { return NewMCSLock(f) })
+}
+
+func TestCLHExclusion(t *testing.T) {
+	exclusionTest(t, func(f *fabric.Fabric) NativeLock { return NewCLHLock(f) })
+}
+
+func TestCohortExclusion(t *testing.T) {
+	exclusionTest(t, func(f *fabric.Fabric) NativeLock { return NewCohortLock(f, 4) })
+}
+
+func TestMCSIsFIFO(t *testing.T) {
+	f := testFab()
+	l := NewMCSLock(f)
+	topo := sim.Topology{Nodes: 1, Sockets: 1, CoresPerSocket: 8}
+	p0 := topo.NewProc(0, 0)
+	l.Lock(p0)
+
+	// Enqueue three waiters in a known order.
+	var order []int
+	var mu sync.Mutex
+	var started, done sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		started.Add(1)
+		done.Add(1)
+		go func(i int) {
+			p := topo.NewProc(0, i)
+			// Signal that this goroutine is about to block, serialized
+			// by polling hasWaiters below.
+			started.Done()
+			l.Lock(p)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			l.Unlock(p)
+			done.Done()
+		}(i)
+		// Wait until waiter i is actually queued before starting i+1.
+		for {
+			l.c.mu.Lock()
+			n := len(l.c.waiters)
+			l.c.mu.Unlock()
+			if n == i {
+				break
+			}
+		}
+	}
+	started.Wait()
+	l.Unlock(p0)
+	done.Wait()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("MCS handover order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestCohortPrefersLocalHandover(t *testing.T) {
+	f := testFab()
+	l := NewCohortLock(f, 4)
+	topo := sim.Topology{Nodes: 1, Sockets: 4, CoresPerSocket: 4}
+	const workers, iters = 16, 200
+	g := sim.NewGroup(procs(topo, workers))
+	g.Run(func(i int, p *sim.Proc) {
+		for k := 0; k < iters; k++ {
+			l.Lock(p)
+			p.Advance(50)
+			l.Unlock(p)
+		}
+	})
+	s := f.NodeStats(0).Snapshot()
+	if s.LockHandoversLocal <= s.LockHandoversRemote {
+		t.Fatalf("cohort lock not batching locally: local=%d remote=%d",
+			s.LockHandoversLocal, s.LockHandoversRemote)
+	}
+}
+
+func TestCohortBatchLimitBoundsUnfairness(t *testing.T) {
+	f := testFab()
+	l := NewCohortLock(f, 2)
+	l.BatchLimit = 4
+	topo := sim.Topology{Nodes: 1, Sockets: 2, CoresPerSocket: 4}
+	const iters = 100
+	var maxStreak, streak int
+	lastSocket := -1
+	g := sim.NewGroup(procs(topo, 8))
+	g.Run(func(i int, p *sim.Proc) {
+		for k := 0; k < iters; k++ {
+			l.Lock(p)
+			if p.Socket == lastSocket {
+				streak++
+			} else {
+				streak = 1
+				lastSocket = p.Socket
+			}
+			if streak > maxStreak {
+				maxStreak = streak
+			}
+			l.Unlock(p)
+		}
+	})
+	// A socket may slightly exceed the limit when it reacquires the free
+	// global lock, but unbounded streaks mean the limit is broken.
+	if maxStreak > 3*l.BatchLimit {
+		t.Fatalf("socket streak %d far exceeds batch limit %d", maxStreak, l.BatchLimit)
+	}
+}
+
+func TestQDAllSectionsExecuteExactlyOnce(t *testing.T) {
+	f := testFab()
+	l := NewQDLock(f)
+	topo := sim.Topology{Nodes: 1, Sockets: 4, CoresPerSocket: 4}
+	const workers, iters = 16, 300
+	var counter int64 // written only inside sections, which are serialized
+	g := sim.NewGroup(procs(topo, workers))
+	g.Run(func(i int, p *sim.Proc) {
+		for k := 0; k < iters; k++ {
+			if k%2 == 0 {
+				l.Delegate(p, func(h *sim.Proc) {
+					counter++
+					h.Advance(5)
+				})
+			} else {
+				l.DelegateWait(p, func(h *sim.Proc) {
+					counter++
+					h.Advance(5)
+				})
+			}
+		}
+	})
+	if counter != workers*iters {
+		t.Fatalf("sections executed %d times, want %d", counter, workers*iters)
+	}
+}
+
+func TestQDDelegateWaitObservesResult(t *testing.T) {
+	f := testFab()
+	l := NewQDLock(f)
+	topo := sim.Topology{Nodes: 1, Sockets: 2, CoresPerSocket: 2}
+	const workers = 4
+	results := make([]int64, workers)
+	var next int64
+	g := sim.NewGroup(procs(topo, workers))
+	g.Run(func(i int, p *sim.Proc) {
+		for k := 0; k < 100; k++ {
+			var got int64
+			l.DelegateWait(p, func(h *sim.Proc) {
+				next++
+				got = next
+				h.Advance(3)
+			})
+			if got == 0 {
+				panic("DelegateWait returned before the section ran")
+			}
+			results[i] = got
+		}
+	})
+	if next != workers*100 {
+		t.Fatalf("ticket counter = %d, want %d", next, workers*100)
+	}
+	if atomic.LoadInt64(&results[0]) == 0 {
+		t.Fatal("no results recorded")
+	}
+}
+
+func TestQDWaiterClockReachesCompletion(t *testing.T) {
+	f := testFab()
+	l := NewQDLock(f)
+	topo := sim.Topology{Nodes: 1, Sockets: 1, CoresPerSocket: 4}
+	// Helper holds the queue open with a long own section; a waiter's
+	// clock must end at least at its section's completion time.
+	var helperDone, waiterEnd sim.Time
+	var wg sync.WaitGroup
+	wg.Add(2)
+	ready := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		p := topo.NewProc(0, 0)
+		l.Delegate(p, func(h *sim.Proc) {
+			close(ready)
+			// Long section: the waiter delegates while this runs.
+			for i := 0; i < 100; i++ {
+				h.Advance(100)
+			}
+		})
+		helperDone = p.Now()
+	}()
+	go func() {
+		defer wg.Done()
+		<-ready
+		p := topo.NewProc(0, 1)
+		l.DelegateWait(p, func(h *sim.Proc) { h.Advance(7) })
+		waiterEnd = p.Now()
+	}()
+	wg.Wait()
+	if waiterEnd < 7 {
+		t.Fatalf("waiter clock %d never saw its section cost", waiterEnd)
+	}
+	_ = helperDone
+}
+
+func TestMigratoryDataLocality(t *testing.T) {
+	f := testFab()
+	m := NewMigratoryData(10, 100)
+	topo := sim.Topology{Nodes: 2, Sockets: 4, CoresPerSocket: 4}
+
+	same := topo.NewProc(0, 0)
+	m.Touch(same, f) // cold
+	cold := same.Now()
+	m.Touch(same, f) // hot: same core
+	hot := same.Now() - cold
+
+	cross := topo.NewProc(0, 5) // other socket, same node
+	m.Touch(cross, f)
+	socketCost := cross.Now()
+
+	remote := &sim.Proc{Node: 1}
+	m.Touch(remote, f)
+	remoteCost := remote.Now()
+
+	if !(hot < socketCost && socketCost < remoteCost) {
+		t.Fatalf("locality tiers broken: hot=%d socket=%d remote=%d", hot, socketCost, remoteCost)
+	}
+}
+
+func TestPthreadMutexContentionPenalty(t *testing.T) {
+	// More waiters must mean more virtual time per op. The benchmark loop
+	// yields between operations so that simulated threads interleave even
+	// on a single-CPU host (as the real harness does).
+	run := func(workers int) sim.Time {
+		f := testFab()
+		l := NewPthreadMutex(f)
+		topo := sim.Topology{Nodes: 1, Sockets: 4, CoresPerSocket: 4}
+		g := sim.NewGroup(procs(topo, workers))
+		const iters = 200
+		g.Run(func(i int, p *sim.Proc) {
+			for k := 0; k < iters; k++ {
+				l.Lock(p)
+				p.Advance(10)
+				l.Unlock(p)
+				runtime.Gosched()
+			}
+		})
+		return g.MaxNow() / int64(workers*iters)
+	}
+	low := run(2)
+	high := run(16)
+	if high <= low {
+		t.Fatalf("per-op cost did not grow with contention: 2w=%d 16w=%d", low, high)
+	}
+}

@@ -1,0 +1,218 @@
+package locks
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"argo/internal/fabric"
+	"argo/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// Pthread-style mutex
+// ---------------------------------------------------------------------------
+
+// PthreadMutex models a plain pthread mutex: no queue, no locality. Under
+// contention every waiter hammers the lock word, so a handover additionally
+// costs a penalty proportional to the number of waiters (the invalidation
+// storm that makes test-and-set locks collapse on NUMA machines).
+type PthreadMutex struct {
+	fab *fabric.Fabric
+	mu  sync.Mutex
+
+	waiters atomic.Int32
+	h       holder
+
+	// SpinPenalty is charged per concurrent waiter on each acquisition.
+	SpinPenalty sim.Time
+}
+
+// NewPthreadMutex creates a pthread-style mutex over fabric f.
+func NewPthreadMutex(f *fabric.Fabric) *PthreadMutex {
+	return &PthreadMutex{fab: f, SpinPenalty: f.P.SocketLatency / 2}
+}
+
+// Lock acquires the mutex.
+func (l *PthreadMutex) Lock(p *sim.Proc) {
+	l.waiters.Add(1)
+	l.mu.Lock()
+	w := l.waiters.Add(-1)
+	l.h.acquired(p, l.fab)
+	p.Advance(sim.Time(w) * l.SpinPenalty)
+	// Yield so contenders can arrive while the section "executes"; on a
+	// host with few CPUs, simulated threads would otherwise run their
+	// whole loops back to back and no queueing would ever form.
+	runtime.Gosched()
+}
+
+// Unlock releases the mutex.
+func (l *PthreadMutex) Unlock(p *sim.Proc) {
+	l.h.released(p)
+	l.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// FIFO queue core (shared by MCS and CLH)
+// ---------------------------------------------------------------------------
+
+// fifoCore is a strict-FIFO queue lock: waiters are released in arrival
+// order. MCS and CLH differ in how the queue is threaded through memory;
+// at the level of this simulator they share the mechanism and differ in the
+// constant overhead of enqueueing and handover.
+type fifoCore struct {
+	fab *fabric.Fabric
+
+	mu      sync.Mutex
+	locked  bool
+	waiters []chan struct{}
+	h       holder
+
+	enqCost sim.Time // atomic swap/append on the shared tail
+	hoCost  sim.Time // extra cost of waking the successor
+}
+
+func (l *fifoCore) lock(p *sim.Proc) {
+	l.mu.Lock()
+	if !l.locked {
+		l.locked = true
+		l.h.acquired(p, l.fab)
+		p.Advance(l.enqCost)
+		l.mu.Unlock()
+		// Yield so contenders can arrive and queue while the critical
+		// section "executes" (see PthreadMutex.Lock).
+		runtime.Gosched()
+		return
+	}
+	ch := make(chan struct{})
+	l.waiters = append(l.waiters, ch)
+	l.mu.Unlock()
+	p.Advance(l.enqCost)
+	<-ch
+	// The releaser left h untouched for us; charge serialization+handover.
+	l.mu.Lock()
+	l.h.acquired(p, l.fab)
+	p.Advance(l.hoCost)
+	l.mu.Unlock()
+	runtime.Gosched()
+}
+
+func (l *fifoCore) unlock(p *sim.Proc) {
+	l.mu.Lock()
+	l.h.released(p)
+	if len(l.waiters) == 0 {
+		l.locked = false
+		l.mu.Unlock()
+		return
+	}
+	next := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	l.mu.Unlock()
+	close(next)
+}
+
+// hasWaiters reports whether threads are queued (used by the cohort lock's
+// pass-locally decision).
+func (l *fifoCore) hasWaiters() bool {
+	l.mu.Lock()
+	n := len(l.waiters)
+	l.mu.Unlock()
+	return n > 0
+}
+
+// MCSLock is the Mellor-Crummey/Scott queue lock: FIFO handover, each
+// waiter spinning on its own queue node.
+type MCSLock struct{ c fifoCore }
+
+// NewMCSLock creates an MCS lock over fabric f.
+func NewMCSLock(f *fabric.Fabric) *MCSLock {
+	return &MCSLock{c: fifoCore{fab: f, enqCost: f.P.LocalLatency, hoCost: f.P.LocalLatency}}
+}
+
+// Lock acquires the lock in FIFO order.
+func (l *MCSLock) Lock(p *sim.Proc) { l.c.lock(p) }
+
+// Unlock hands the lock to the oldest waiter.
+func (l *MCSLock) Unlock(p *sim.Proc) { l.c.unlock(p) }
+
+// CLHLock is the Craig/Landin-Hagersten queue lock: FIFO handover with each
+// waiter spinning on its predecessor's node. Slightly cheaper enqueue,
+// slightly costlier handover than MCS on this cost model.
+type CLHLock struct{ c fifoCore }
+
+// NewCLHLock creates a CLH lock over fabric f.
+func NewCLHLock(f *fabric.Fabric) *CLHLock {
+	return &CLHLock{c: fifoCore{fab: f, enqCost: f.P.CacheHit, hoCost: 2 * f.P.LocalLatency}}
+}
+
+// Lock acquires the lock in FIFO order.
+func (l *CLHLock) Lock(p *sim.Proc) { l.c.lock(p) }
+
+// Unlock hands the lock to the oldest waiter.
+func (l *CLHLock) Unlock(p *sim.Proc) { l.c.unlock(p) }
+
+// ---------------------------------------------------------------------------
+// Cohort lock
+// ---------------------------------------------------------------------------
+
+// CohortLock is a NUMA-aware lock (Dice, Marathe, Shavit): one queue lock
+// per socket plus a global lock held by the socket whose thread currently
+// owns the cohort. While waiters from the same socket exist and the batch
+// limit is not exhausted, the lock is handed over locally (cheap); only
+// then does the global lock — and the migratory data — move to another
+// socket.
+type CohortLock struct {
+	fab        *fabric.Fabric
+	global     fifoCore
+	socks      []*cohortSocket
+	BatchLimit int
+}
+
+type cohortSocket struct {
+	local fifoCore
+	// ownsGlobal and batch are protected by holding the local lock.
+	ownsGlobal bool
+	batch      int
+}
+
+// NewCohortLock creates a cohort lock for a machine with sockets NUMA
+// domains. BatchLimit bounds consecutive local handovers (fairness).
+func NewCohortLock(f *fabric.Fabric, sockets int) *CohortLock {
+	l := &CohortLock{
+		fab:        f,
+		global:     fifoCore{fab: f, enqCost: f.P.SocketLatency, hoCost: f.P.SocketLatency},
+		BatchLimit: 64,
+	}
+	for i := 0; i < sockets; i++ {
+		l.socks = append(l.socks, &cohortSocket{
+			local: fifoCore{fab: f, enqCost: f.P.LocalLatency, hoCost: f.P.LocalLatency},
+		})
+	}
+	return l
+}
+
+// Lock acquires the cohort lock.
+func (l *CohortLock) Lock(p *sim.Proc) {
+	s := l.socks[p.Socket%len(l.socks)]
+	s.local.lock(p)
+	if !s.ownsGlobal {
+		l.global.lock(p)
+		s.ownsGlobal = true
+		s.batch = 0
+	}
+}
+
+// Unlock releases the cohort lock, preferring a local handover.
+func (l *CohortLock) Unlock(p *sim.Proc) {
+	s := l.socks[p.Socket%len(l.socks)]
+	s.batch++
+	if s.local.hasWaiters() && s.batch < l.BatchLimit {
+		l.fab.NodeStats(p.Node).LockHandoversLocal.Add(1)
+		s.local.unlock(p)
+		return
+	}
+	l.fab.NodeStats(p.Node).LockHandoversRemote.Add(1)
+	s.ownsGlobal = false
+	l.global.unlock(p)
+	s.local.unlock(p)
+}

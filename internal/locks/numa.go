@@ -1,0 +1,189 @@
+package locks
+
+import (
+	"runtime"
+	"sync"
+
+	"argo/internal/fabric"
+	"argo/internal/sim"
+)
+
+// HBOLock is the Hierarchical Back-Off lock of Radović and Hagersten
+// (HPCA 2003), cited in §2.2: a test-and-set lock whose waiters back off
+// more gently when the holder is on their own NUMA domain, so the lock
+// statistically stays within a socket. Modeled as explicit same-socket
+// preference on release, bounded by MaxStreak for fairness, with remote
+// acquirers paying their longer back-off.
+type HBOLock struct {
+	fab *fabric.Fabric
+
+	mu      sync.Mutex
+	locked  bool
+	h       holder
+	waiters map[int][]chan struct{} // per socket, FIFO
+	order   []int                   // round-robin over sockets with waiters
+	streak  int
+
+	// MaxStreak bounds consecutive same-socket handovers.
+	MaxStreak int
+	// RemoteBackoff is the extra wake-up lag of a cross-socket acquirer
+	// (it was sleeping in a long back-off when the lock freed).
+	RemoteBackoff sim.Time
+}
+
+// NewHBOLock creates an HBO lock over fabric f.
+func NewHBOLock(f *fabric.Fabric) *HBOLock {
+	return &HBOLock{
+		fab:           f,
+		waiters:       map[int][]chan struct{}{},
+		MaxStreak:     32,
+		RemoteBackoff: 2 * f.P.SocketLatency,
+	}
+}
+
+// Lock acquires the lock; same-socket waiters are favoured.
+func (l *HBOLock) Lock(p *sim.Proc) {
+	l.mu.Lock()
+	if !l.locked {
+		l.locked = true
+		l.h.acquired(p, l.fab)
+		l.mu.Unlock()
+		runtime.Gosched()
+		return
+	}
+	ch := make(chan struct{})
+	if len(l.waiters[p.Socket]) == 0 {
+		l.order = append(l.order, p.Socket)
+	}
+	l.waiters[p.Socket] = append(l.waiters[p.Socket], ch)
+	l.mu.Unlock()
+	<-ch
+	l.mu.Lock()
+	crossed := l.h.valid && l.h.socket != p.Socket
+	l.h.acquired(p, l.fab)
+	if crossed {
+		p.Advance(l.RemoteBackoff)
+	}
+	l.mu.Unlock()
+	runtime.Gosched()
+}
+
+// Unlock hands the lock over, preferring a waiter on the releaser's socket
+// while the streak budget lasts.
+func (l *HBOLock) Unlock(p *sim.Proc) {
+	l.mu.Lock()
+	l.h.released(p)
+	var next chan struct{}
+	pick := func(sock int) bool {
+		q := l.waiters[sock]
+		if len(q) == 0 {
+			return false
+		}
+		next = q[0]
+		l.waiters[sock] = q[1:]
+		if len(l.waiters[sock]) == 0 {
+			for i, s := range l.order {
+				if s == sock {
+					l.order = append(l.order[:i], l.order[i+1:]...)
+					break
+				}
+			}
+		}
+		return true
+	}
+	if l.streak < l.MaxStreak && pick(p.Socket) {
+		l.streak++
+		l.fab.NodeStats(p.Node).LockHandoversLocal.Add(1)
+	} else {
+		l.streak = 0
+		picked := false
+		for _, s := range append([]int(nil), l.order...) {
+			if s != p.Socket && pick(s) {
+				picked = true
+				break
+			}
+		}
+		if !picked {
+			picked = pick(p.Socket) // only own-socket waiters left
+		}
+		if picked {
+			l.fab.NodeStats(p.Node).LockHandoversRemote.Add(1)
+		}
+	}
+	if next == nil {
+		l.locked = false
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Unlock()
+	close(next)
+}
+
+// HCLHLock is the hierarchical CLH lock of Luchangco, Nussbaum and Shavit
+// (ICPP 2006), cited in §2.2: waiters enqueue on a per-socket CLH queue,
+// and whole local queues are spliced into the global queue, so the lock
+// serves socket-sized batches in FIFO-of-batches order.
+type HCLHLock struct {
+	fab *fabric.Fabric
+
+	mu     sync.Mutex
+	locked bool
+	h      holder
+	local  map[int][]chan struct{} // accumulating per-socket queues
+	batch  []chan struct{}         // the batch currently being served
+	splice []int                   // FIFO of sockets awaiting splice
+}
+
+// NewHCLHLock creates an HCLH lock over fabric f.
+func NewHCLHLock(f *fabric.Fabric) *HCLHLock {
+	return &HCLHLock{fab: f, local: map[int][]chan struct{}{}}
+}
+
+// Lock enqueues on the caller's socket queue and waits for its batch.
+func (l *HCLHLock) Lock(p *sim.Proc) {
+	l.mu.Lock()
+	if !l.locked {
+		l.locked = true
+		l.h.acquired(p, l.fab)
+		l.mu.Unlock()
+		runtime.Gosched()
+		return
+	}
+	ch := make(chan struct{})
+	if len(l.local[p.Socket]) == 0 {
+		l.splice = append(l.splice, p.Socket)
+	}
+	l.local[p.Socket] = append(l.local[p.Socket], ch)
+	l.mu.Unlock()
+	<-ch
+	l.mu.Lock()
+	l.h.acquired(p, l.fab)
+	l.mu.Unlock()
+	runtime.Gosched()
+}
+
+// Unlock hands over within the current batch, splicing the next socket's
+// whole local queue when the batch drains.
+func (l *HCLHLock) Unlock(p *sim.Proc) {
+	l.mu.Lock()
+	l.h.released(p)
+	if len(l.batch) == 0 && len(l.splice) > 0 {
+		// Splice the oldest waiting socket's entire queue as the new batch.
+		sock := l.splice[0]
+		l.splice = l.splice[1:]
+		l.batch = l.local[sock]
+		delete(l.local, sock)
+		l.fab.NodeStats(p.Node).LockHandoversRemote.Add(1)
+	} else if len(l.batch) > 0 {
+		l.fab.NodeStats(p.Node).LockHandoversLocal.Add(1)
+	}
+	if len(l.batch) == 0 {
+		l.locked = false
+		l.mu.Unlock()
+		return
+	}
+	next := l.batch[0]
+	l.batch = l.batch[1:]
+	l.mu.Unlock()
+	close(next)
+}

@@ -1,0 +1,138 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Arena is a dynamic allocator with free() over a region of the global
+// address space — what long-running Argo applications use on top of the
+// collective bump allocator (which can only grow). First-fit with eager
+// coalescing; allocation sizes are tracked so Free needs only the address.
+type Arena struct {
+	mu   sync.Mutex
+	base Addr
+	size int64
+
+	free  []span         // sorted by offset, non-adjacent (coalesced)
+	sizes map[Addr]int64 // live allocations
+}
+
+type span struct {
+	off Addr
+	len int64
+}
+
+// NewArena carves a size-byte region (page-aligned) out of the space and
+// returns an allocator over it.
+func NewArena(s *Space, size int64) *Arena {
+	base := s.AllocPageAligned(size)
+	return &Arena{
+		base:  base,
+		size:  size,
+		free:  []span{{off: base, len: size}},
+		sizes: map[Addr]int64{},
+	}
+}
+
+// Base returns the arena's first address.
+func (a *Arena) Base() Addr { return a.base }
+
+// Size returns the arena's capacity in bytes.
+func (a *Arena) Size() int64 { return a.size }
+
+// Alloc reserves size bytes aligned to align (power of two; 0 means 8).
+func (a *Arena) Alloc(size, align int64) (Addr, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("mem: arena alloc of %d bytes", size)
+	}
+	if align == 0 {
+		align = 8
+	}
+	if align&(align-1) != 0 {
+		return 0, fmt.Errorf("mem: alignment %d not a power of two", align)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, f := range a.free {
+		start := (f.off + align - 1) &^ (align - 1)
+		pad := int64(start - f.off)
+		if pad+size > f.len {
+			continue
+		}
+		// Split the span: [f.off,start) stays free (padding), the
+		// allocation takes [start,start+size), the tail stays free.
+		var repl []span
+		if pad > 0 {
+			repl = append(repl, span{off: f.off, len: pad})
+		}
+		if tail := f.len - pad - size; tail > 0 {
+			repl = append(repl, span{off: start + Addr(size), len: tail})
+		}
+		a.free = append(a.free[:i], append(repl, a.free[i+1:]...)...)
+		a.sizes[start] = size
+		return start, nil
+	}
+	return 0, fmt.Errorf("mem: arena exhausted (want %d bytes, %d free in %d fragments)",
+		size, a.freeBytesLocked(), len(a.free))
+}
+
+// Free returns an allocation to the arena, coalescing with neighbours.
+// Freeing an address that is not a live allocation is an error.
+func (a *Arena) Free(addr Addr) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	size, ok := a.sizes[addr]
+	if !ok {
+		return fmt.Errorf("mem: free of unallocated address %d", addr)
+	}
+	delete(a.sizes, addr)
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].off > addr })
+	ns := span{off: addr, len: size}
+	// Coalesce with the predecessor.
+	if i > 0 && a.free[i-1].off+Addr(a.free[i-1].len) == ns.off {
+		ns.off = a.free[i-1].off
+		ns.len += a.free[i-1].len
+		i--
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+	// Coalesce with the successor.
+	if i < len(a.free) && ns.off+Addr(ns.len) == a.free[i].off {
+		ns.len += a.free[i].len
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = ns
+	return nil
+}
+
+// FreeBytes returns the total free capacity.
+func (a *Arena) FreeBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.freeBytesLocked()
+}
+
+func (a *Arena) freeBytesLocked() int64 {
+	var n int64
+	for _, f := range a.free {
+		n += f.len
+	}
+	return n
+}
+
+// Fragments returns the number of free spans (1 when fully coalesced).
+func (a *Arena) Fragments() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.free)
+}
+
+// Live returns the number of outstanding allocations.
+func (a *Arena) Live() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.sizes)
+}

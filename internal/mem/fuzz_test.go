@@ -1,0 +1,109 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDiffMerge feeds arbitrary base/update byte patterns through the
+// twin/diff machinery and checks the merge matches a direct overwrite of
+// the changed bytes.
+func FuzzDiffMerge(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, []byte{1, 9, 3, 4})
+	f.Add([]byte{}, []byte{})
+	f.Add(bytes.Repeat([]byte{7}, 100), bytes.Repeat([]byte{7}, 100))
+	f.Fuzz(func(t *testing.T, base, update []byte) {
+		n := len(base)
+		if len(update) < n {
+			n = len(update)
+		}
+		if n == 0 {
+			return
+		}
+		base, update = base[:n], update[:n]
+		s := NewSpace(1, int64(n), n2pow(n), Interleaved)
+		// Home starts as base; a cached copy with twin=base gets the
+		// update written into it, then diffs back.
+		home0 := make([]byte, n)
+		copy(home0, base)
+		copy(s.HomeBytes(0), base)
+		tx := s.ApplyDiff(0, update, base)
+		if !bytes.Equal(s.HomeBytes(0)[:n], update) {
+			t.Fatalf("diff merge diverged:\nbase   %v\nupdate %v\nhome   %v", base, update, s.HomeBytes(0)[:n])
+		}
+		// Transmitted bytes must never exceed data + headers and must be
+		// zero when nothing changed.
+		if bytes.Equal(base, update) && tx != 0 {
+			t.Fatalf("no-op diff transmitted %d bytes", tx)
+		}
+		if tx > 9*n {
+			t.Fatalf("diff transmitted %d bytes for %d-byte page", tx, n)
+		}
+		if DiffSize(update, base) != tx {
+			t.Fatal("DiffSize disagrees with ApplyDiff")
+		}
+	})
+}
+
+// n2pow rounds n up to a power of two (valid page size).
+func n2pow(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// FuzzArena drives the allocator with an op tape: each byte either
+// allocates (high bit clear, size = byte+1) or frees the i-th oldest live
+// allocation. Invariants: no overlap, conservation, full coalescing at the
+// end.
+func FuzzArena(f *testing.F) {
+	f.Add([]byte{10, 20, 0x80, 30})
+	f.Add([]byte{1, 1, 1, 0x81, 0x80, 0x80})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		s := NewSpace(1, 1<<16, 4096, Interleaved)
+		a := NewArena(s, 1<<15)
+		type alloc struct {
+			addr Addr
+			size int64
+		}
+		var live []alloc
+		for _, op := range tape {
+			if op&0x80 == 0 {
+				size := int64(op) + 1
+				addr, err := a.Alloc(size, 8)
+				if err != nil {
+					continue
+				}
+				for _, l := range live {
+					if addr < l.addr+Addr(l.size) && l.addr < addr+Addr(size) {
+						t.Fatalf("overlap: [%d,%d) vs [%d,%d)", addr, addr+Addr(size), l.addr, l.addr+Addr(l.size))
+					}
+				}
+				live = append(live, alloc{addr, size})
+			} else if len(live) > 0 {
+				i := int(op&0x7f) % len(live)
+				if err := a.Free(live[i].addr); err != nil {
+					t.Fatalf("free failed: %v", err)
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			var liveBytes int64
+			for _, l := range live {
+				liveBytes += l.size
+			}
+			if a.FreeBytes()+liveBytes != a.Size() {
+				t.Fatalf("conservation broken: free %d + live %d != %d", a.FreeBytes(), liveBytes, a.Size())
+			}
+		}
+		for _, l := range live {
+			if err := a.Free(l.addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if a.Fragments() != 1 {
+			t.Fatalf("not coalesced after freeing all: %d fragments", a.Fragments())
+		}
+	})
+}

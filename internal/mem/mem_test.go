@@ -1,0 +1,246 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestHomeInterleaved(t *testing.T) {
+	s := NewSpace(4, 16*4096, 4096, Interleaved)
+	if s.NPages != 16 {
+		t.Fatalf("NPages = %d, want 16", s.NPages)
+	}
+	for p := 0; p < 16; p++ {
+		if got := s.HomeOf(p); got != p%4 {
+			t.Fatalf("page %d home = %d, want %d", p, got, p%4)
+		}
+	}
+}
+
+func TestHomeBlocked(t *testing.T) {
+	s := NewSpace(4, 16*4096, 4096, Blocked)
+	for p := 0; p < 16; p++ {
+		if got, want := s.HomeOf(p), p/4; got != want {
+			t.Fatalf("page %d home = %d, want %d", p, got, want)
+		}
+	}
+	// Non-divisible page counts must still map every page to a valid node.
+	s = NewSpace(3, 10*4096, 4096, Blocked)
+	for p := 0; p < s.NPages; p++ {
+		if h := s.HomeOf(p); h < 0 || h >= 3 {
+			t.Fatalf("page %d home = %d out of range", p, h)
+		}
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	s := NewSpace(2, 1<<20, 4096, Interleaved)
+	a := s.Alloc(10, 0)
+	if a%8 != 0 {
+		t.Fatalf("default alignment broken: %d", a)
+	}
+	b := s.Alloc(100, 64)
+	if b%64 != 0 {
+		t.Fatalf("alloc not 64-aligned: %d", b)
+	}
+	c := s.AllocPageAligned(5000)
+	if c%4096 != 0 {
+		t.Fatalf("alloc not page-aligned: %d", c)
+	}
+	if b < a+10 || c < b+100 {
+		t.Fatalf("allocations overlap: %d %d %d", a, b, c)
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	s := NewSpace(1, 4096, 4096, Interleaved)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-allocation did not panic")
+		}
+	}()
+	s.Alloc(8192, 8)
+}
+
+// Property: concurrent allocations never overlap and never exceed capacity.
+func TestAllocConcurrentNonOverlap(t *testing.T) {
+	s := NewSpace(2, 1<<20, 4096, Interleaved)
+	const workers, each = 8, 50
+	var mu sync.Mutex
+	type span struct{ lo, hi Addr }
+	var spans []span
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < each; i++ {
+				n := int64(rng.Intn(200) + 1)
+				a := s.Alloc(n, 8)
+				mu.Lock()
+				spans = append(spans, span{a, a + n})
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.lo < b.hi && b.lo < a.hi {
+				t.Fatalf("allocations overlap: [%d,%d) and [%d,%d)", a.lo, a.hi, b.lo, b.hi)
+			}
+		}
+	}
+}
+
+func TestReadWritePage(t *testing.T) {
+	s := NewSpace(2, 8*4096, 4096, Interleaved)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	s.WritePageFull(3, src)
+	dst := make([]byte, 4096)
+	s.ReadPage(3, dst)
+	if !bytes.Equal(src, dst) {
+		t.Fatal("page round trip corrupted data")
+	}
+}
+
+func TestApplyDiffOnlyChangedBytes(t *testing.T) {
+	s := NewSpace(1, 4096, 4096, Interleaved)
+	home := s.HomeBytes(0)
+	for i := range home {
+		home[i] = 0xAA
+	}
+	twin := make([]byte, 4096)
+	data := make([]byte, 4096)
+	for i := range twin {
+		twin[i] = 0x11
+		data[i] = 0x11
+	}
+	// Node writes bytes 100..109 and 200.
+	for i := 100; i < 110; i++ {
+		data[i] = 0x22
+	}
+	data[200] = 0x33
+	tx := s.ApplyDiff(0, data, twin)
+	wantTx := (10 + 8) + (1 + 8)
+	if tx != wantTx {
+		t.Fatalf("diff tx = %d, want %d", tx, wantTx)
+	}
+	for i := range home {
+		switch {
+		case i >= 100 && i < 110:
+			if home[i] != 0x22 {
+				t.Fatalf("byte %d = %#x, want 0x22", i, home[i])
+			}
+		case i == 200:
+			if home[i] != 0x33 {
+				t.Fatalf("byte 200 = %#x, want 0x33", home[i])
+			}
+		default:
+			if home[i] != 0xAA {
+				t.Fatalf("untouched byte %d clobbered to %#x", i, home[i])
+			}
+		}
+	}
+}
+
+func TestWritebackPreferFull(t *testing.T) {
+	s := NewSpace(1, 4096, 4096, Interleaved)
+	data := bytes.Repeat([]byte{7}, 4096)
+	twin := bytes.Repeat([]byte{7}, 4096)
+	data[5] = 9
+	tx, full := s.Writeback(0, data, twin, func() bool { return true })
+	if !full || tx != 4096 {
+		t.Fatalf("preferFull writeback: full=%v tx=%d", full, tx)
+	}
+	if s.HomeBytes(0)[5] != 9 || s.HomeBytes(0)[6] != 7 {
+		t.Fatal("full writeback did not copy page")
+	}
+	tx, full = s.Writeback(0, data, twin, nil)
+	if full {
+		t.Fatal("nil preferFull must diff")
+	}
+	if tx != 1+8 {
+		t.Fatalf("diff tx = %d, want 9", tx)
+	}
+}
+
+// Property: two writers with disjoint dirty bytes merge cleanly through
+// diffs, in either order (false sharing on one page).
+func TestDiffMergeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSpace(2, 4096, 64, Interleaved)
+		base := make([]byte, 64)
+		rng.Read(base)
+		s.WritePageFull(0, base)
+
+		dataA := append([]byte(nil), base...)
+		dataB := append([]byte(nil), base...)
+		want := append([]byte(nil), base...)
+		// Disjoint index sets: A writes evens, B writes odds (random subset).
+		for i := 0; i < 64; i += 2 {
+			if rng.Intn(2) == 0 {
+				v := byte(rng.Intn(255) + 1) // ensure change
+				if v == base[i] {
+					v++
+				}
+				dataA[i], want[i] = v, v
+			}
+		}
+		for i := 1; i < 64; i += 2 {
+			if rng.Intn(2) == 0 {
+				v := byte(rng.Intn(255) + 1)
+				if v == base[i] {
+					v++
+				}
+				dataB[i], want[i] = v, v
+			}
+		}
+		if seed%2 == 0 {
+			s.ApplyDiff(0, dataA, base)
+			s.ApplyDiff(0, dataB, base)
+		} else {
+			s.ApplyDiff(0, dataB, base)
+			s.ApplyDiff(0, dataA, base)
+		}
+		return bytes.Equal(s.HomeBytes(0), want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffSizeMatchesApply(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSpace(1, 4096, 256, Interleaved)
+		twin := make([]byte, 256)
+		rng.Read(twin)
+		data := append([]byte(nil), twin...)
+		for k := 0; k < rng.Intn(40); k++ {
+			data[rng.Intn(256)] ^= byte(rng.Intn(255) + 1)
+		}
+		return DiffSize(data, twin) == s.ApplyDiff(0, data, twin)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Interleaved.String() != "interleaved" || Blocked.String() != "blocked" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(42).String() != "Policy(42)" {
+		t.Fatal("unknown policy name wrong")
+	}
+}

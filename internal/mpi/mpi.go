@@ -1,0 +1,259 @@
+// Package mpi is a small message-passing runtime over the simulated fabric —
+// the substrate for the paper's MPI baselines (and the transport role MPI
+// plays under the real Argo prototype). It provides eager point-to-point
+// sends, binomial-tree collectives and a ring allgather, all charged with
+// the same latency/bandwidth model the DSM uses, so Argo-vs-MPI comparisons
+// ride identical wires.
+package mpi
+
+import (
+	"fmt"
+	"math/bits"
+
+	"argo/internal/fabric"
+	"argo/internal/sim"
+)
+
+// World is one MPI job: Size ranks placed round-robin-compactly over the
+// fabric's nodes.
+type World struct {
+	Fab          *fabric.Fabric
+	Size         int
+	RanksPerNode int
+
+	mail    []chan message // per (src,dst) pair
+	barrier *sim.Barrier
+}
+
+type message struct {
+	data    []float64
+	ints    []int64
+	bytes   int
+	availAt sim.Time
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	W  *World
+	ID int
+	P  *sim.Proc
+}
+
+// NewWorld creates a world of ranksPerNode ranks on every node of fab.
+func NewWorld(fab *fabric.Fabric, ranksPerNode int) *World {
+	size := fab.Topo.Nodes * ranksPerNode
+	w := &World{
+		Fab:          fab,
+		Size:         size,
+		RanksPerNode: ranksPerNode,
+		mail:         make([]chan message, size*size),
+		barrier:      sim.NewBarrier(size),
+	}
+	for i := range w.mail {
+		w.mail[i] = make(chan message, 64)
+	}
+	return w
+}
+
+// NodeOf returns the node rank r runs on.
+func (w *World) NodeOf(r int) int { return r / w.RanksPerNode }
+
+// Run launches one goroutine per rank and returns the makespan.
+func (w *World) Run(body func(r *Rank)) sim.Time {
+	ranks := make([]*Rank, w.Size)
+	procs := make([]*sim.Proc, w.Size)
+	for i := 0; i < w.Size; i++ {
+		p := w.Fab.Topo.NewProc(w.NodeOf(i), i%w.RanksPerNode)
+		ranks[i] = &Rank{W: w, ID: i, P: p}
+		procs[i] = p
+	}
+	g := sim.NewGroup(procs)
+	return g.Run(func(i int, p *sim.Proc) { body(ranks[i]) })
+}
+
+func (w *World) box(src, dst int) chan message { return w.mail[src*w.Size+dst] }
+
+// sendCost charges the sender for injecting bytes toward dst and returns
+// the virtual time at which the message is available at the receiver.
+func (r *Rank) sendCost(dst, bytes int) sim.Time {
+	pp := r.W.Fab.P
+	srcNode, dstNode := r.P.Node, r.W.NodeOf(dst)
+	if srcNode == dstNode {
+		r.P.Advance(pp.DRAMLatency + pp.CopyCost(bytes))
+		return r.P.Now()
+	}
+	r.W.Fab.RemoteWrite(r.P, dstNode, bytes)
+	return r.P.Now() + pp.RemoteLatency
+}
+
+// Send transmits a float64 payload to dst (eager; ownership of the slice
+// passes to the receiver).
+func (r *Rank) Send(dst int, data []float64) {
+	avail := r.sendCost(dst, len(data)*8)
+	r.W.box(r.ID, dst) <- message{data: data, bytes: len(data) * 8, availAt: avail}
+}
+
+// SendI64 transmits an int64 payload to dst.
+func (r *Rank) SendI64(dst int, data []int64) {
+	avail := r.sendCost(dst, len(data)*8)
+	r.W.box(r.ID, dst) <- message{ints: data, bytes: len(data) * 8, availAt: avail}
+}
+
+// Recv receives the next float64 payload from src (blocking, in-order).
+func (r *Rank) Recv(src int) []float64 {
+	m := <-r.W.box(src, r.ID)
+	r.P.AdvanceTo(m.availAt)
+	r.P.Advance(r.W.Fab.P.CacheHit)
+	return m.data
+}
+
+// RecvI64 receives the next int64 payload from src.
+func (r *Rank) RecvI64(src int) []int64 {
+	m := <-r.W.box(src, r.ID)
+	r.P.AdvanceTo(m.availAt)
+	r.P.Advance(r.W.Fab.P.CacheHit)
+	return m.ints
+}
+
+// Barrier synchronizes all ranks (cost of a binomial dissemination barrier).
+func (r *Rank) Barrier() {
+	cost := sim.Time(0)
+	if r.W.Size > 1 {
+		cost = 2 * r.W.Fab.P.RemoteLatency * sim.Time(bits.Len(uint(r.W.Size-1)))
+	}
+	r.W.barrier.Wait(r.P, cost)
+}
+
+// Bcast distributes root's data to every rank along a binomial tree and
+// returns each rank's copy.
+func (r *Rank) Bcast(root int, data []float64) []float64 {
+	rel := (r.ID - root + r.W.Size) % r.W.Size
+	// Binomial tree on relative ranks: receive from parent, then forward
+	// to children.
+	if rel != 0 {
+		parent := (parentOf(rel) + root) % r.W.Size
+		data = r.Recv(parent)
+	}
+	for _, c := range childrenOf(rel, r.W.Size) {
+		dst := (c + root) % r.W.Size
+		r.Send(dst, data)
+	}
+	return data
+}
+
+// ReduceSum element-wise sums vals across ranks at root (binomial tree);
+// non-root ranks get nil.
+func (r *Rank) ReduceSum(root int, vals []float64) []float64 {
+	rel := (r.ID - root + r.W.Size) % r.W.Size
+	acc := append([]float64(nil), vals...)
+	for _, c := range childrenOf(rel, r.W.Size) {
+		src := (c + root) % r.W.Size
+		got := r.Recv(src)
+		if len(got) != len(acc) {
+			panic(fmt.Sprintf("mpi: reduce length mismatch %d vs %d", len(got), len(acc)))
+		}
+		for i := range acc {
+			acc[i] += got[i]
+		}
+		r.P.Advance(sim.Time(len(acc))) // ~1ns per element combine
+	}
+	if rel != 0 {
+		parent := (parentOf(rel) + root) % r.W.Size
+		r.Send(parent, acc)
+		return nil
+	}
+	return acc
+}
+
+// AllreduceSum is ReduceSum to rank 0 followed by a broadcast.
+func (r *Rank) AllreduceSum(vals []float64) []float64 {
+	acc := r.ReduceSum(0, vals)
+	if r.ID != 0 {
+		acc = nil
+	}
+	if r.ID == 0 {
+		return r.Bcast(0, acc)
+	}
+	return r.Bcast(0, nil)
+}
+
+// AllgatherRing concatenates every rank's mine (equal lengths) in rank
+// order using the standard ring algorithm: Size-1 steps, each shifting one
+// block to the right neighbour.
+func (r *Rank) AllgatherRing(mine []float64) []float64 {
+	n := len(mine)
+	out := make([]float64, n*r.W.Size)
+	copy(out[r.ID*n:], mine)
+	right := (r.ID + 1) % r.W.Size
+	left := (r.ID - 1 + r.W.Size) % r.W.Size
+	blk := r.ID
+	cur := mine
+	for step := 0; step < r.W.Size-1; step++ {
+		r.Send(right, cur)
+		got := r.Recv(left)
+		blk = (blk - 1 + r.W.Size) % r.W.Size
+		copy(out[blk*n:], got)
+		cur = got
+	}
+	return out
+}
+
+// Scatter splits root's data into Size equal chunks and delivers chunk i to
+// rank i. Non-root ranks pass nil.
+func (r *Rank) Scatter(root int, data []float64, chunk int) []float64 {
+	if r.ID == root {
+		mine := make([]float64, chunk)
+		copy(mine, data[root*chunk:(root+1)*chunk])
+		for dst := 0; dst < r.W.Size; dst++ {
+			if dst == root {
+				continue
+			}
+			out := make([]float64, chunk)
+			copy(out, data[dst*chunk:(dst+1)*chunk])
+			r.Send(dst, out)
+		}
+		return mine
+	}
+	return r.Recv(root)
+}
+
+// Gather collects each rank's chunk at root in rank order; non-root ranks
+// get nil.
+func (r *Rank) Gather(root int, mine []float64) []float64 {
+	if r.ID != root {
+		r.Send(root, mine)
+		return nil
+	}
+	out := make([]float64, len(mine)*r.W.Size)
+	copy(out[root*len(mine):], mine)
+	for src := 0; src < r.W.Size; src++ {
+		if src == root {
+			continue
+		}
+		got := r.Recv(src)
+		copy(out[src*len(got):], got)
+	}
+	return out
+}
+
+// Compute advances the rank's clock (local work).
+func (r *Rank) Compute(d sim.Time) { r.P.Advance(d) }
+
+// parentOf returns the binomial-tree parent of relative rank rel (rel > 0):
+// rel with its lowest set bit cleared.
+func parentOf(rel int) int { return rel & (rel - 1) }
+
+// childrenOf returns the binomial-tree children of relative rank rel:
+// rel + 2^k for every power of two below rel's lowest set bit (all powers
+// for the root), bounded by size.
+func childrenOf(rel, size int) []int {
+	limit := rel & -rel
+	if rel == 0 {
+		limit = size
+	}
+	var out []int
+	for k := 1; k < limit && rel+k < size; k <<= 1 {
+		out = append(out, rel+k)
+	}
+	return out
+}

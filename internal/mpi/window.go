@@ -1,0 +1,133 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Window is an MPI-3 RMA window under passive-target synchronization: every
+// rank exposes bytesPerRank bytes that any rank may Put/Get/atomically
+// update with one-sided operations, no receiver code involved — the exact
+// transport the Argo prototype is built on (§3: "implemented entirely in
+// user space on top of MPI", OpenMPI 1.8.4, MPI-3 RMA).
+//
+// Puts are posted (pipelined); Flush waits for outstanding puts to a target
+// to complete. Atomics are performed "at the target NIC" — modeled with a
+// per-word lock and a remote-atomic charge.
+type Window struct {
+	w    *World
+	size int
+	data [][]byte
+	mus  []sync.Mutex // per target rank, for atomic ops
+}
+
+// NewWindow collectively creates a window of bytesPerRank bytes per rank.
+// Create it before World.Run (like MPI_Win_create before the worker loop).
+func (w *World) NewWindow(bytesPerRank int) *Window {
+	win := &Window{w: w, size: bytesPerRank}
+	win.data = make([][]byte, w.Size)
+	win.mus = make([]sync.Mutex, w.Size)
+	for i := range win.data {
+		win.data[i] = make([]byte, bytesPerRank)
+	}
+	return win
+}
+
+// Size returns the per-rank window size in bytes.
+func (win *Window) Size() int { return win.size }
+
+func (win *Window) check(target, off, n int) {
+	if target < 0 || target >= win.w.Size {
+		panic(fmt.Sprintf("mpi: window target %d out of range", target))
+	}
+	if off < 0 || off+n > win.size {
+		panic(fmt.Sprintf("mpi: window access [%d,%d) outside %d-byte window", off, off+n, win.size))
+	}
+}
+
+// Put posts a one-sided write of src into target's window at off. It
+// returns after injection; use Flush for completion (remote visibility is
+// modeled as immediate under the data-race-free usage MPI requires).
+func (win *Window) Put(r *Rank, target, off int, src []byte) {
+	win.check(target, off, len(src))
+	tn := win.w.NodeOf(target)
+	if tn == r.P.Node {
+		r.P.Advance(win.w.Fab.P.DRAMLatency + win.w.Fab.P.CopyCost(len(src)))
+	} else {
+		win.w.Fab.RemoteWritePosted(r.P, tn, len(src))
+	}
+	win.mus[target].Lock()
+	copy(win.data[target][off:], src)
+	win.mus[target].Unlock()
+}
+
+// Get performs a one-sided read of n bytes from target's window at off.
+func (win *Window) Get(r *Rank, target, off int, dst []byte) {
+	win.check(target, off, len(dst))
+	tn := win.w.NodeOf(target)
+	if tn == r.P.Node {
+		r.P.Advance(win.w.Fab.P.DRAMLatency + win.w.Fab.P.CopyCost(len(dst)))
+	} else {
+		win.w.Fab.RemoteRead(r.P, tn, len(dst))
+	}
+	win.mus[target].Lock()
+	copy(dst, win.data[target][off:off+len(dst)])
+	win.mus[target].Unlock()
+}
+
+// FetchAdd64 atomically adds delta to the 64-bit word at (target, off) and
+// returns the previous value (MPI_Fetch_and_op with MPI_SUM).
+func (win *Window) FetchAdd64(r *Rank, target, off int, delta int64) int64 {
+	win.check(target, off, 8)
+	win.w.Fab.RemoteAtomic(r.P, win.w.NodeOf(target))
+	win.mus[target].Lock()
+	old := int64(binary.LittleEndian.Uint64(win.data[target][off:]))
+	binary.LittleEndian.PutUint64(win.data[target][off:], uint64(old+delta))
+	win.mus[target].Unlock()
+	return old
+}
+
+// FetchOr64 atomically ORs bits into the word at (target, off) and returns
+// the previous value (MPI_Fetch_and_op with MPI_BOR — Pyxis's primitive).
+func (win *Window) FetchOr64(r *Rank, target, off int, bits uint64) uint64 {
+	win.check(target, off, 8)
+	win.w.Fab.RemoteAtomic(r.P, win.w.NodeOf(target))
+	win.mus[target].Lock()
+	old := binary.LittleEndian.Uint64(win.data[target][off:])
+	binary.LittleEndian.PutUint64(win.data[target][off:], old|bits)
+	win.mus[target].Unlock()
+	return old
+}
+
+// CompareAndSwap64 atomically replaces the word at (target, off) with new
+// if it equals old, returning the value found (MPI_Compare_and_swap).
+func (win *Window) CompareAndSwap64(r *Rank, target, off int, old, new uint64) uint64 {
+	win.check(target, off, 8)
+	win.w.Fab.RemoteAtomic(r.P, win.w.NodeOf(target))
+	win.mus[target].Lock()
+	cur := binary.LittleEndian.Uint64(win.data[target][off:])
+	if cur == old {
+		binary.LittleEndian.PutUint64(win.data[target][off:], new)
+	}
+	win.mus[target].Unlock()
+	return cur
+}
+
+// Flush completes all outstanding posted puts from this rank to target
+// (MPI_Win_flush): one network latency.
+func (win *Window) Flush(r *Rank, target int) {
+	if win.w.NodeOf(target) != r.P.Node {
+		r.P.Advance(win.w.Fab.P.RemoteLatency)
+	}
+}
+
+// FlushAll completes outstanding puts to every target (MPI_Win_flush_all).
+func (win *Window) FlushAll(r *Rank) {
+	r.P.Advance(win.w.Fab.P.RemoteLatency)
+}
+
+// Local exposes the caller's own window memory (like querying the base
+// pointer of one's own MPI window). The caller must uphold DRF against
+// concurrent remote accesses.
+func (win *Window) Local(r *Rank) []byte { return win.data[r.ID] }

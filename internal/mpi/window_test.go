@@ -1,0 +1,144 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestWindowPutGet(t *testing.T) {
+	w := world(2, 2)
+	win := w.NewWindow(4096)
+	w.Run(func(r *Rank) {
+		if r.ID == 0 {
+			src := []byte{1, 2, 3, 4, 5}
+			win.Put(r, 3, 100, src)
+			win.Flush(r, 3)
+		}
+		r.Barrier()
+		if r.ID == 2 {
+			dst := make([]byte, 5)
+			win.Get(r, 3, 100, dst)
+			for i, b := range dst {
+				if b != byte(i+1) {
+					panic("window round trip corrupted")
+				}
+			}
+		}
+	})
+}
+
+func TestWindowBoundsPanics(t *testing.T) {
+	w := world(1, 2)
+	win := w.NewWindow(64)
+	w.Run(func(r *Rank) {
+		if r.ID != 0 {
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				panic("out-of-bounds put did not panic")
+			}
+		}()
+		win.Put(r, 0, 60, make([]byte, 8))
+	})
+}
+
+func TestWindowFetchAddAtomicity(t *testing.T) {
+	w := world(2, 4)
+	win := w.NewWindow(8)
+	const per = 200
+	w.Run(func(r *Rank) {
+		for i := 0; i < per; i++ {
+			win.FetchAdd64(r, 0, 0, 1)
+		}
+	})
+	got := int64(binary.LittleEndian.Uint64(win.data[0]))
+	if got != int64(8*per) {
+		t.Fatalf("fetch-add lost updates: %d, want %d", got, 8*per)
+	}
+}
+
+func TestWindowFetchOr(t *testing.T) {
+	w := world(2, 2)
+	win := w.NewWindow(8)
+	w.Run(func(r *Rank) {
+		old := win.FetchOr64(r, 1, 0, 1<<uint(r.ID))
+		_ = old
+	})
+	got := binary.LittleEndian.Uint64(win.data[1])
+	if got != 0b1111 {
+		t.Fatalf("fetch-or merged to %b, want 1111", got)
+	}
+}
+
+func TestWindowCAS(t *testing.T) {
+	w := world(1, 4)
+	win := w.NewWindow(8)
+	// Exactly one rank wins an uncontended CAS from 0.
+	winners := make([]bool, 4)
+	w.Run(func(r *Rank) {
+		if win.CompareAndSwap64(r, 0, 0, 0, uint64(r.ID)+1) == 0 {
+			winners[r.ID] = true
+		}
+	})
+	n := 0
+	for _, won := range winners {
+		if won {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("%d CAS winners, want exactly 1", n)
+	}
+}
+
+func TestWindowCostTiers(t *testing.T) {
+	w := world(2, 1)
+	win := w.NewWindow(1 << 16)
+	w.Run(func(r *Rank) {
+		if r.ID != 0 {
+			return
+		}
+		t0 := r.P.Now()
+		win.Put(r, 0, 0, make([]byte, 4096)) // own window: local copy
+		local := r.P.Now() - t0
+		t0 = r.P.Now()
+		win.Put(r, 1, 0, make([]byte, 4096)) // remote window
+		remote := r.P.Now() - t0
+		if local >= remote {
+			panic("local window put not cheaper than remote")
+		}
+		t0 = r.P.Now()
+		win.Get(r, 1, 0, make([]byte, 4096))
+		get := r.P.Now() - t0
+		if get <= remote {
+			panic("one-sided get (round trip) should cost more than a posted put")
+		}
+	})
+}
+
+// TestWindowBuildsTicketLock exercises the window API the way Vela's global
+// locks use MPI RMA: a ticket lock from FetchAdd64 + Get polling.
+func TestWindowBuildsTicketLock(t *testing.T) {
+	w := world(2, 2)
+	win := w.NewWindow(16) // [next, serving]
+	counter := 0
+	const per = 50
+	w.Run(func(r *Rank) {
+		buf := make([]byte, 8)
+		for i := 0; i < per; i++ {
+			my := win.FetchAdd64(r, 0, 0, 1)
+			for {
+				win.Get(r, 0, 8, buf)
+				if int64(binary.LittleEndian.Uint64(buf)) == my {
+					break
+				}
+			}
+			counter++ // inside the lock
+			win.FetchAdd64(r, 0, 8, 1)
+		}
+	})
+	if counter != 4*per {
+		t.Fatalf("ticket lock lost updates: %d, want %d", counter, 4*per)
+	}
+}

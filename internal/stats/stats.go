@@ -1,0 +1,161 @@
+// Package stats collects per-node and per-thread counters for the Argo DSM
+// simulator: cache misses, writebacks, network traffic, fence activity.
+//
+// Counters that are bumped on hot paths (cache hits) are per-thread and
+// aggregated on demand; rare events (misses, writebacks, fences) use atomic
+// per-node counters so they can be shared by all threads of a node.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Node holds the shared counters of one simulated node. All fields are
+// safe for concurrent update.
+type Node struct {
+	ReadMisses          atomic.Int64 // page-cache read misses
+	WriteMisses         atomic.Int64 // first write to a clean cached page
+	ColdFetches         atomic.Int64 // pages fetched from a home node
+	PrefetchedPages     atomic.Int64 // pages brought in as part of a line beyond the demand page
+	Writebacks          atomic.Int64 // pages written back to their home (diff or full)
+	WritebackBytes      atomic.Int64 // bytes actually transmitted by writebacks
+	SelfInvalidations   atomic.Int64 // pages dropped by SI fences
+	SIFences            atomic.Int64
+	SDFences            atomic.Int64
+	SIFiltered          atomic.Int64 // pages retained across an SI fence thanks to classification
+	DirOps              atomic.Int64 // remote directory atomics issued
+	DirNotifies         atomic.Int64 // remote directory-cache updates (P->S, NW->SW, SW->MW)
+	Checkpoints         atomic.Int64 // naive-P/S checkpoint copies at sync points
+	BytesSent           atomic.Int64 // all bytes this node put on the wire
+	BytesReceived       atomic.Int64
+	Messages            atomic.Int64 // discrete network transactions
+	LockHandoversLocal  atomic.Int64
+	LockHandoversRemote atomic.Int64
+	DelegatedSections   atomic.Int64
+}
+
+// Snapshot is a plain-value copy of a Node's counters.
+type Snapshot struct {
+	ReadMisses, WriteMisses, ColdFetches, PrefetchedPages int64
+	Writebacks, WritebackBytes                            int64
+	SelfInvalidations, SIFences, SDFences, SIFiltered     int64
+	DirOps, DirNotifies, Checkpoints                      int64
+	BytesSent, BytesReceived, Messages                    int64
+	LockHandoversLocal, LockHandoversRemote               int64
+	DelegatedSections                                     int64
+}
+
+// Snapshot returns a consistent-enough copy of the counters. Individual
+// loads are atomic; the set is not a transaction, which is fine for
+// end-of-run reporting.
+func (n *Node) Snapshot() Snapshot {
+	return Snapshot{
+		ReadMisses:          n.ReadMisses.Load(),
+		WriteMisses:         n.WriteMisses.Load(),
+		ColdFetches:         n.ColdFetches.Load(),
+		PrefetchedPages:     n.PrefetchedPages.Load(),
+		Writebacks:          n.Writebacks.Load(),
+		WritebackBytes:      n.WritebackBytes.Load(),
+		SelfInvalidations:   n.SelfInvalidations.Load(),
+		SIFences:            n.SIFences.Load(),
+		SDFences:            n.SDFences.Load(),
+		SIFiltered:          n.SIFiltered.Load(),
+		DirOps:              n.DirOps.Load(),
+		DirNotifies:         n.DirNotifies.Load(),
+		Checkpoints:         n.Checkpoints.Load(),
+		BytesSent:           n.BytesSent.Load(),
+		BytesReceived:       n.BytesReceived.Load(),
+		Messages:            n.Messages.Load(),
+		LockHandoversLocal:  n.LockHandoversLocal.Load(),
+		LockHandoversRemote: n.LockHandoversRemote.Load(),
+		DelegatedSections:   n.DelegatedSections.Load(),
+	}
+}
+
+// Add accumulates another snapshot into s.
+func (s *Snapshot) Add(o Snapshot) {
+	s.ReadMisses += o.ReadMisses
+	s.WriteMisses += o.WriteMisses
+	s.ColdFetches += o.ColdFetches
+	s.PrefetchedPages += o.PrefetchedPages
+	s.Writebacks += o.Writebacks
+	s.WritebackBytes += o.WritebackBytes
+	s.SelfInvalidations += o.SelfInvalidations
+	s.SIFences += o.SIFences
+	s.SDFences += o.SDFences
+	s.SIFiltered += o.SIFiltered
+	s.DirOps += o.DirOps
+	s.DirNotifies += o.DirNotifies
+	s.Checkpoints += o.Checkpoints
+	s.BytesSent += o.BytesSent
+	s.BytesReceived += o.BytesReceived
+	s.Messages += o.Messages
+	s.LockHandoversLocal += o.LockHandoversLocal
+	s.LockHandoversRemote += o.LockHandoversRemote
+	s.DelegatedSections += o.DelegatedSections
+}
+
+// Sub returns s - o, field by field.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	r := s
+	r.ReadMisses -= o.ReadMisses
+	r.WriteMisses -= o.WriteMisses
+	r.ColdFetches -= o.ColdFetches
+	r.PrefetchedPages -= o.PrefetchedPages
+	r.Writebacks -= o.Writebacks
+	r.WritebackBytes -= o.WritebackBytes
+	r.SelfInvalidations -= o.SelfInvalidations
+	r.SIFences -= o.SIFences
+	r.SDFences -= o.SDFences
+	r.SIFiltered -= o.SIFiltered
+	r.DirOps -= o.DirOps
+	r.DirNotifies -= o.DirNotifies
+	r.Checkpoints -= o.Checkpoints
+	r.BytesSent -= o.BytesSent
+	r.BytesReceived -= o.BytesReceived
+	r.Messages -= o.Messages
+	r.LockHandoversLocal -= o.LockHandoversLocal
+	r.LockHandoversRemote -= o.LockHandoversRemote
+	r.DelegatedSections -= o.DelegatedSections
+	return r
+}
+
+// String renders the non-zero counters, one per line, sorted by name.
+func (s Snapshot) String() string {
+	type kv struct {
+		k string
+		v int64
+	}
+	rows := []kv{
+		{"read-misses", s.ReadMisses},
+		{"write-misses", s.WriteMisses},
+		{"cold-fetches", s.ColdFetches},
+		{"prefetched-pages", s.PrefetchedPages},
+		{"writebacks", s.Writebacks},
+		{"writeback-bytes", s.WritebackBytes},
+		{"self-invalidations", s.SelfInvalidations},
+		{"si-fences", s.SIFences},
+		{"sd-fences", s.SDFences},
+		{"si-filtered", s.SIFiltered},
+		{"dir-ops", s.DirOps},
+		{"dir-notifies", s.DirNotifies},
+		{"checkpoints", s.Checkpoints},
+		{"bytes-sent", s.BytesSent},
+		{"bytes-received", s.BytesReceived},
+		{"messages", s.Messages},
+		{"lock-handovers-local", s.LockHandoversLocal},
+		{"lock-handovers-remote", s.LockHandoversRemote},
+		{"delegated-sections", s.DelegatedSections},
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].k < rows[j].k })
+	var b strings.Builder
+	for _, r := range rows {
+		if r.v != 0 {
+			fmt.Fprintf(&b, "%-24s %d\n", r.k, r.v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,216 @@
+// Package trace records protocol events — misses, fetches, writebacks,
+// fences, classification transitions, lock handovers — with virtual
+// timestamps, for debugging protocol behaviour and for post-mortem
+// analysis of benchmark runs (what the paper does with aggregate counters,
+// but per event).
+//
+// Tracing is off unless a Tracer is attached; the hot paths pay one nil
+// check. Events are buffered per node to avoid cross-node contention and
+// merged on demand.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds, in rough protocol order.
+const (
+	EvReadMiss Kind = iota
+	EvWriteMiss
+	EvLineFetch
+	EvWriteback
+	EvCheckpoint
+	EvSIFence
+	EvSDFence
+	EvInvalidate
+	EvKeep // page retained across an SI fence by classification
+	EvNotify
+	EvClassTransition
+	EvBarrier
+	EvLockAcquire
+	EvLockRelease
+	EvDelegate
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"read-miss", "write-miss", "line-fetch", "writeback", "checkpoint",
+	"si-fence", "sd-fence", "invalidate", "keep", "notify",
+	"class-transition", "barrier", "lock-acquire", "lock-release", "delegate",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one protocol action.
+type Event struct {
+	T    int64 // virtual time (ns)
+	Node int
+	Kind Kind
+	Page int   // page involved, or -1
+	Arg  int64 // kind-specific: bytes written back, pages invalidated, target node…
+}
+
+func (e Event) String() string {
+	if e.Page >= 0 {
+		return fmt.Sprintf("%12d n%-3d %-16s page=%-6d arg=%d", e.T, e.Node, e.Kind, e.Page, e.Arg)
+	}
+	return fmt.Sprintf("%12d n%-3d %-16s arg=%d", e.T, e.Node, e.Kind, e.Arg)
+}
+
+// Tracer collects events from all nodes of a cluster.
+type Tracer struct {
+	mu    sync.Mutex
+	lanes map[int]*lane
+	limit int
+}
+
+type lane struct {
+	mu     sync.Mutex
+	events []Event
+	drops  int
+}
+
+// New creates a tracer that keeps at most limit events per node
+// (0 means 1<<20).
+func New(limit int) *Tracer {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Tracer{lanes: map[int]*lane{}, limit: limit}
+}
+
+func (t *Tracer) lane(node int) *lane {
+	t.mu.Lock()
+	l, ok := t.lanes[node]
+	if !ok {
+		l = &lane{}
+		t.lanes[node] = l
+	}
+	t.mu.Unlock()
+	return l
+}
+
+// Record appends an event. Safe for concurrent use; events of one node are
+// recorded in real order (which is also virtual order per thread).
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	l := t.lane(e.Node)
+	l.mu.Lock()
+	if len(l.events) < t.limit {
+		l.events = append(l.events, e)
+	} else {
+		l.drops++
+	}
+	l.mu.Unlock()
+}
+
+// Events returns all recorded events merged and sorted by virtual time
+// (ties by node, then kind).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	lanes := make([]*lane, 0, len(t.lanes))
+	for _, l := range t.lanes {
+		lanes = append(lanes, l)
+	}
+	t.mu.Unlock()
+	var out []Event
+	for _, l := range lanes {
+		l.mu.Lock()
+		out = append(out, l.events...)
+		l.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+// Dropped reports how many events were discarded due to the per-node limit.
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, l := range t.lanes {
+		l.mu.Lock()
+		n += l.drops
+		l.mu.Unlock()
+	}
+	return n
+}
+
+// Reset discards all recorded events.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	for _, l := range t.lanes {
+		l.mu.Lock()
+		l.events = nil
+		l.drops = 0
+		l.mu.Unlock()
+	}
+	t.mu.Unlock()
+}
+
+// Summary aggregates event counts by kind.
+func (t *Tracer) Summary() map[Kind]int {
+	out := map[Kind]int{}
+	for _, e := range t.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// WriteText dumps the merged trace, one event per line.
+func (t *Tracer) WriteText(w io.Writer) error {
+	for _, e := range t.Events() {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV dumps the merged trace as CSV with a header row.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "t_ns,node,kind,page,arg\n"); err != nil {
+		return err
+	}
+	var b strings.Builder
+	for _, e := range t.Events() {
+		b.Reset()
+		fmt.Fprintf(&b, "%d,%d,%s,%d,%d\n", e.T, e.Node, e.Kind, e.Page, e.Arg)
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{Kind: EvReadMiss})
+	if tr.Events() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer misbehaved")
+	}
+	tr.Reset()
+}
+
+func TestRecordAndMergeSorted(t *testing.T) {
+	tr := New(0)
+	tr.Record(Event{T: 30, Node: 1, Kind: EvWriteback, Page: 7, Arg: 100})
+	tr.Record(Event{T: 10, Node: 0, Kind: EvReadMiss, Page: 3})
+	tr.Record(Event{T: 20, Node: 1, Kind: EvSIFence, Page: -1})
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events", len(ev))
+	}
+	if ev[0].T != 10 || ev[1].T != 20 || ev[2].T != 30 {
+		t.Fatalf("not sorted: %v", ev)
+	}
+}
+
+func TestLimitDrops(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{T: int64(i), Node: 0, Kind: EvReadMiss})
+	}
+	if got := len(tr.Events()); got != 2 {
+		t.Fatalf("kept %d events, want 2", got)
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tr.Dropped())
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 || tr.Dropped() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := New(0)
+	var wg sync.WaitGroup
+	for n := 0; n < 8; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Record(Event{T: int64(i), Node: n, Kind: EvWriteMiss, Page: i})
+			}
+		}(n)
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != 800 {
+		t.Fatalf("got %d events, want 800", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tr := New(0)
+	tr.Record(Event{Kind: EvReadMiss})
+	tr.Record(Event{Kind: EvReadMiss})
+	tr.Record(Event{Kind: EvSDFence})
+	s := tr.Summary()
+	if s[EvReadMiss] != 2 || s[EvSDFence] != 1 {
+		t.Fatalf("summary = %v", s)
+	}
+}
+
+func TestWriters(t *testing.T) {
+	tr := New(0)
+	tr.Record(Event{T: 5, Node: 2, Kind: EvWriteback, Page: 9, Arg: 64})
+	var txt, csv strings.Builder
+	if err := tr.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "writeback") || !strings.Contains(txt.String(), "page=9") {
+		t.Fatalf("text output: %q", txt.String())
+	}
+	if err := tr.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "t_ns,node,kind,page,arg\n") ||
+		!strings.Contains(csv.String(), "5,2,writeback,9,64") {
+		t.Fatalf("csv output: %q", csv.String())
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Fatal("unknown kind name wrong")
+	}
+}

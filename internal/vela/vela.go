@@ -1,0 +1,194 @@
+// Package vela implements Argo's synchronization system (barriers and
+// signal/wait flags; the lock algorithms live in package locks).
+//
+// The hierarchical barrier follows §4.1 of the paper: threads of a node
+// first meet at a node-local barrier; one representative per node performs
+// the node's self-downgrade (the page cache is shared, so one SD covers all
+// local threads), the representatives meet at a global (MPI-like) barrier,
+// self-invalidate, and finally release their local threads through a second
+// node-local barrier.
+package vela
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"argo/internal/core"
+	"argo/internal/sim"
+)
+
+// HierBarrier is the hierarchical DSM barrier. It also doubles as the
+// cluster's phase-reset collective (classification reset after program
+// initialization, and the decay-style adaptive reclassification extension).
+type HierBarrier struct {
+	c   *core.Cluster
+	tpn int
+
+	local  []*sim.Barrier // first rendezvous, per node
+	final  []*sim.Barrier // release rendezvous, per node
+	global *sim.Barrier   // node representatives
+
+	localCost  sim.Time
+	globalCost sim.Time
+
+	episodes atomic.Int64
+	resets   atomic.Int64
+}
+
+// NewHierBarrier builds the default barrier for a launch of threadsPerNode
+// threads on every node of c.
+func NewHierBarrier(c *core.Cluster, threadsPerNode int) *HierBarrier {
+	b := &HierBarrier{
+		c:      c,
+		tpn:    threadsPerNode,
+		global: sim.NewBarrier(c.Cfg.Nodes),
+	}
+	for n := 0; n < c.Cfg.Nodes; n++ {
+		b.local = append(b.local, sim.NewBarrier(threadsPerNode))
+		b.final = append(b.final, sim.NewBarrier(threadsPerNode))
+	}
+	p := c.Fab.P
+	b.localCost = p.SocketLatency * sim.Time(1+log2ceil(threadsPerNode))
+	if c.Cfg.Nodes > 1 {
+		b.globalCost = 2 * p.RemoteLatency * sim.Time(log2ceil(c.Cfg.Nodes))
+	}
+	return b
+}
+
+var _ core.BarrierWaiter = (*HierBarrier)(nil)
+
+// Wait performs one hierarchical barrier episode with full fence semantics
+// (SD before the global rendezvous, SI after).
+func (b *HierBarrier) Wait(t *core.Thread) { b.wait(t, false) }
+
+// WaitAndReset performs a barrier episode that additionally resets the data
+// classification cluster-wide: all page caches are flushed and dropped and
+// the Pyxis full-maps cleared. The paper performs exactly this at the end of
+// a program's initialization phase so init-time accesses do not pollute the
+// classification.
+func (b *HierBarrier) WaitAndReset(t *core.Thread) { b.wait(t, true) }
+
+func (b *HierBarrier) wait(t *core.Thread, forceReset bool) {
+	n := t.Node
+	b.local[n].Wait(t.P, b.localCost)
+	if t.Local == 0 {
+		// Node representative: downgrade, rendezvous, (maybe reset),
+		// invalidate. The reset decision travels with the rendezvous so
+		// all representatives of one episode agree on it.
+		t.Coh.SDFence(t.P)
+		want := forceReset
+		if t.Node == 0 {
+			ep := b.episodes.Add(1)
+			if d := b.c.Cfg.DecayEpochs; d > 0 && ep%int64(d) == 0 {
+				want = true
+			}
+		}
+		if b.c.Cfg.Paranoia {
+			if err := t.Coh.CheckQuiesced(); err != nil {
+				panic("vela: paranoia check failed after SD: " + err.Error())
+			}
+		}
+		if b.global.WaitOr(t.P, b.globalCost, want) {
+			t.Coh.ResetForPhase()
+			if t.Node == 0 {
+				b.c.Dir.Reset()
+				b.resets.Add(1)
+			}
+			// Second rendezvous: nobody may re-register pages while the
+			// directory wipe is in progress on node 0.
+			b.global.Wait(t.P, b.globalCost)
+		} else {
+			t.Coh.SIFence(t.P)
+		}
+	}
+	b.final[n].Wait(t.P, b.localCost)
+}
+
+// Episodes returns the number of completed barrier episodes.
+func (b *HierBarrier) Episodes() int64 { return b.episodes.Load() }
+
+// Resets returns the number of classification resets performed.
+func (b *HierBarrier) Resets() int64 { return b.resets.Load() }
+
+var _ core.PhaseResetter = (*HierBarrier)(nil)
+
+// Flag is a signal/wait synchronization flag homed at one node. Signal has
+// release semantics (SD fence before the flag becomes visible); Wait has
+// acquire semantics (SI fence after observing it). The flag word itself is a
+// data race by construction, so it lives outside the paged address space and
+// is accessed with one-sided operations, like the rest of Vela.
+type Flag struct {
+	c    *core.Cluster
+	home int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	set  bool
+	when sim.Time
+}
+
+// NewFlag creates a flag whose word is homed at node home.
+func NewFlag(c *core.Cluster, home int) *Flag {
+	f := &Flag{c: c, home: home}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Signal downgrades the caller's node and raises the flag.
+func (f *Flag) Signal(t *core.Thread) {
+	t.Coh.SDFence(t.P)
+	f.c.Fab.RemoteWrite(t.P, f.home, 8)
+	f.mu.Lock()
+	f.set = true
+	if t.P.Now() > f.when {
+		f.when = t.P.Now()
+	}
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// Wait blocks until the flag is raised, charges the polling round trip, and
+// self-invalidates the caller's node.
+func (f *Flag) Wait(t *core.Thread) {
+	f.mu.Lock()
+	for !f.set {
+		f.cond.Wait()
+	}
+	when := f.when
+	f.mu.Unlock()
+	t.P.AdvanceTo(when)
+	// One last poll observes the raised flag.
+	f.c.Fab.RemoteRead(t.P, f.home, 8)
+	t.Coh.SIFence(t.P)
+}
+
+// TryWait reports whether the flag is raised without blocking; when it is,
+// it applies the same costs and acquire fence as Wait.
+func (f *Flag) TryWait(t *core.Thread) bool {
+	f.mu.Lock()
+	set := f.set
+	when := f.when
+	f.mu.Unlock()
+	f.c.Fab.RemoteRead(t.P, f.home, 8)
+	if !set {
+		return false
+	}
+	t.P.AdvanceTo(when)
+	t.Coh.SIFence(t.P)
+	return true
+}
+
+// Reset lowers the flag (only when no Wait is pending).
+func (f *Flag) Reset() {
+	f.mu.Lock()
+	f.set = false
+	f.mu.Unlock()
+}
+
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

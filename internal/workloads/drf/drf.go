@@ -1,0 +1,182 @@
+// Package drf generates and checks random data-race-free programs — the
+// protocol's acid test. A program is a sequence of epochs separated by
+// barriers; in each epoch every element of a shared array is written by
+// exactly one randomly chosen thread, and after the barrier every thread
+// reads a random sample and checks it observes exactly the values
+// happens-before dictates. Any under-invalidation (stale reads), lost
+// diff, broken notification or fence-ordering bug in Carina surfaces as a
+// wrong value.
+//
+// The generator also exercises optional flag (signal/wait) chains between
+// epochs, every classification mode, tiny caches and write buffers, both
+// home policies and the single-writer diff-suppression extension.
+package drf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"argo/internal/coherence"
+	"argo/internal/core"
+	"argo/internal/mem"
+	"argo/internal/vela"
+	"argo/internal/workloads/wload"
+)
+
+// Params shapes one random program.
+type Params struct {
+	Seed     int64
+	Nodes    int
+	TPN      int
+	Elements int
+	Epochs   int
+	Reads    int // sample reads per thread per epoch
+
+	PageSize  int
+	CacheLine int // lines in the (deliberately small) cache
+	PerLine   int
+	WBPages   int
+	Mode      coherence.Mode
+	Policy    mem.Policy
+	Suppress  bool
+	UseFlags  bool // thread 0 signals a flag chain instead of pure barriers
+}
+
+// Random draws a parameter set from rng.
+func Random(rng *rand.Rand) Params {
+	modes := []coherence.Mode{coherence.ModeS, coherence.ModePS, coherence.ModePS3}
+	policies := []mem.Policy{mem.Interleaved, mem.Blocked}
+	return Params{
+		Seed:      rng.Int63(),
+		Nodes:     1 + rng.Intn(4),
+		TPN:       1 + rng.Intn(3),
+		Elements:  256 + rng.Intn(1024),
+		Epochs:    2 + rng.Intn(5),
+		Reads:     32 + rng.Intn(64),
+		PageSize:  256 << rng.Intn(3), // 256, 512, 1024
+		CacheLine: 4 + rng.Intn(12),
+		PerLine:   1 << rng.Intn(3), // 1, 2, 4
+		WBPages:   1 << rng.Intn(12),
+		Mode:      modes[rng.Intn(len(modes))],
+		Policy:    policies[rng.Intn(len(policies))],
+		Suppress:  rng.Intn(2) == 0,
+	}
+}
+
+// Run executes one random program and returns an error describing the
+// first coherence violation, if any.
+func Run(pr Params) error {
+	cfg := core.DefaultConfig(pr.Nodes)
+	cfg.MemoryBytes = int64(pr.Elements*8) + 1<<20
+	cfg.PageSize = pr.PageSize
+	cfg.CacheLines = pr.CacheLine
+	cfg.PagesPerLine = pr.PerLine
+	cfg.WriteBufferPages = pr.WBPages
+	cfg.Mode = pr.Mode
+	cfg.Policy = pr.Policy
+	cfg.SWDiffSuppress = pr.Suppress
+	cfg.Net = wload.Net()
+	c := wload.MustCluster(cfg)
+
+	nt := pr.Nodes * pr.TPN
+	xs := c.AllocI64(pr.Elements)
+	rng := rand.New(rand.NewSource(pr.Seed))
+	owner := make([][]int, pr.Epochs)
+	for e := range owner {
+		owner[e] = make([]int, pr.Elements)
+		for i := range owner[e] {
+			owner[e][i] = rng.Intn(nt)
+		}
+	}
+	val := func(e, i int) int64 { return int64(e)*1_000_000 + int64(i)*37 + 11 }
+
+	errCh := make(chan error, nt)
+	report := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	c.Run(pr.TPN, func(th *core.Thread) {
+		myRng := rand.New(rand.NewSource(pr.Seed ^ int64(th.Rank)*0x9E3779B9))
+		for e := 0; e < pr.Epochs; e++ {
+			for i := 0; i < pr.Elements; i++ {
+				if owner[e][i] == th.Rank {
+					th.SetI64(xs, i, val(e, i))
+				}
+			}
+			th.Barrier()
+			for k := 0; k < pr.Reads; k++ {
+				i := myRng.Intn(pr.Elements)
+				if got := th.GetI64(xs, i); got != val(e, i) {
+					report(fmt.Errorf("epoch %d: thread %d read xs[%d]=%d, want %d (params %+v)",
+						e, th.Rank, i, got, val(e, i), pr))
+					return
+				}
+			}
+			th.Barrier()
+		}
+	})
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	// Home truth must hold the final epoch.
+	final := c.DumpI64(xs)
+	for i, v := range final {
+		if want := val(pr.Epochs-1, i); v != want {
+			return fmt.Errorf("home xs[%d]=%d, want %d (params %+v)", i, v, want, pr)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		return fmt.Errorf("%v (params %+v)", err, pr)
+	}
+	return nil
+}
+
+// RunFlags executes a producer-consumer chain synchronized with Vela flags
+// instead of barriers: thread 0 writes, signals; each consumer waits and
+// verifies. Exercises the acquire/release fence pairing of signal/wait.
+func RunFlags(pr Params) error {
+	cfg := core.DefaultConfig(pr.Nodes)
+	cfg.MemoryBytes = int64(pr.Elements*8) + 1<<20
+	cfg.PageSize = pr.PageSize
+	cfg.Mode = pr.Mode
+	cfg.Net = wload.Net()
+	c := wload.MustCluster(cfg)
+	xs := c.AllocI64(pr.Elements)
+	nt := pr.Nodes * pr.TPN
+	flags := make([]*vela.Flag, nt)
+	for i := range flags {
+		flags[i] = vela.NewFlag(c, i%pr.Nodes)
+	}
+	errCh := make(chan error, nt)
+	c.Run(pr.TPN, func(th *core.Thread) {
+		if th.Rank == 0 {
+			for i := 0; i < pr.Elements; i++ {
+				th.SetI64(xs, i, int64(i)*7+3)
+			}
+			for _, f := range flags[1:] {
+				f.Signal(th)
+			}
+			return
+		}
+		flags[th.Rank].Wait(th)
+		for i := 0; i < pr.Elements; i += 17 {
+			if got := th.GetI64(xs, i); got != int64(i)*7+3 {
+				select {
+				case errCh <- fmt.Errorf("flag consumer %d: xs[%d]=%d (params %+v)", th.Rank, i, got, pr):
+				default:
+				}
+				return
+			}
+		}
+	})
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}

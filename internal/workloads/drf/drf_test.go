@@ -1,0 +1,70 @@
+package drf
+
+import (
+	"math/rand"
+	"testing"
+
+	"argo/internal/coherence"
+	"argo/internal/mem"
+)
+
+func TestRandomProgramsPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(20150615)) // HPDC'15
+	n := 25
+	if testing.Short() {
+		n = 6
+	}
+	for i := 0; i < n; i++ {
+		pr := Random(rng)
+		if err := Run(pr); err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+	}
+}
+
+func TestFlagChainsPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 6; i++ {
+		pr := Random(rng)
+		if err := RunFlags(pr); err != nil {
+			t.Fatalf("flag program %d: %v", i, err)
+		}
+	}
+}
+
+func TestWorstCaseGeometry(t *testing.T) {
+	// The most hostile deterministic corner: 1-page write buffer, 4-line
+	// cache, tiny pages, multiple writers per page, mode S.
+	pr := Params{
+		Seed: 99, Nodes: 4, TPN: 2, Elements: 512, Epochs: 4, Reads: 64,
+		PageSize: 256, CacheLine: 4, PerLine: 1, WBPages: 1,
+		Mode: coherence.ModeS, Policy: mem.Blocked,
+	}
+	if err := Run(pr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuppressionUnderFalseSharing(t *testing.T) {
+	pr := Params{
+		Seed: 123, Nodes: 3, TPN: 2, Elements: 384, Epochs: 5, Reads: 48,
+		PageSize: 512, CacheLine: 8, PerLine: 2, WBPages: 64,
+		Mode: coherence.ModePS3, Policy: mem.Interleaved, Suppress: true,
+	}
+	if err := Run(pr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomParamsInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		pr := Random(rng)
+		if pr.Nodes < 1 || pr.Nodes > 4 || pr.TPN < 1 || pr.TPN > 3 {
+			t.Fatalf("shape out of range: %+v", pr)
+		}
+		if pr.PageSize&(pr.PageSize-1) != 0 {
+			t.Fatalf("page size not a power of two: %+v", pr)
+		}
+	}
+}

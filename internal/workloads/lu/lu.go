@@ -1,0 +1,318 @@
+// Package lu reproduces the SPLASH-2 LU benchmark (Figure 13a): blocked
+// right-looking LU factorization without pivoting, with barriers between
+// the diagonal, perimeter and interior phases of every step. Blocks are
+// owned round-robin by threads, so perimeter blocks written in step k are
+// read by almost everyone in step k+1 — the heavy data-migration pattern
+// that makes LU the costliest of the paper's benchmarks on a DSM (it still
+// beats the single machine and gains up to eight nodes).
+package lu
+
+import (
+	"fmt"
+
+	"argo/internal/core"
+	"argo/internal/sim"
+	"argo/internal/workloads/wload"
+)
+
+// Params sizes the benchmark.
+type Params struct {
+	N     int // matrix dimension
+	Block int // block size
+}
+
+// DefaultParams is the evaluation input.
+func DefaultParams() Params { return Params{N: 384, Block: 32} }
+
+// FlopCost is the modeled cost of one multiply-add in the block kernels.
+const FlopCost sim.Time = 6
+
+// Matrix returns the deterministic, diagonally dominant input matrix.
+func Matrix(n int) []float64 {
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = float64((i*16807+j*48271)%2000)/1000.0 - 1.0
+		}
+		a[i*n+i] += float64(2 * n)
+	}
+	return a
+}
+
+// factorDiag factors a b×b block in place (L unit lower / U upper).
+func factorDiag(a []float64, b int) {
+	for k := 0; k < b; k++ {
+		for i := k + 1; i < b; i++ {
+			a[i*b+k] /= a[k*b+k]
+			lik := a[i*b+k]
+			for j := k + 1; j < b; j++ {
+				a[i*b+j] -= lik * a[k*b+j]
+			}
+		}
+	}
+}
+
+// solveRow computes blk = L(diag)^{-1} · blk (unit lower triangular solve).
+func solveRow(diag, blk []float64, b int) {
+	for k := 0; k < b; k++ {
+		for i := k + 1; i < b; i++ {
+			lik := diag[i*b+k]
+			for j := 0; j < b; j++ {
+				blk[i*b+j] -= lik * blk[k*b+j]
+			}
+		}
+	}
+}
+
+// solveCol computes blk = blk · U(diag)^{-1} (upper triangular solve).
+func solveCol(diag, blk []float64, b int) {
+	for k := 0; k < b; k++ {
+		ukk := diag[k*b+k]
+		for i := 0; i < b; i++ {
+			blk[i*b+k] /= ukk
+		}
+		for j := k + 1; j < b; j++ {
+			ukj := diag[k*b+j]
+			for i := 0; i < b; i++ {
+				blk[i*b+j] -= blk[i*b+k] * ukj
+			}
+		}
+	}
+}
+
+// mulSub computes c -= a·bb for b×b blocks.
+func mulSub(c, a, bb []float64, b int) {
+	for i := 0; i < b; i++ {
+		for k := 0; k < b; k++ {
+			aik := a[i*b+k]
+			for j := 0; j < b; j++ {
+				c[i*b+j] -= aik * bb[k*b+j]
+			}
+		}
+	}
+}
+
+// Serial factors the input with the same blocked algorithm (bit-identical
+// reference for the parallel variants).
+func Serial(p Params) []float64 {
+	n, b := p.N, p.Block
+	a := Matrix(n)
+	nb := n / b
+	get := func(bi, bj int) []float64 {
+		blk := make([]float64, b*b)
+		for r := 0; r < b; r++ {
+			copy(blk[r*b:(r+1)*b], a[(bi*b+r)*n+bj*b:(bi*b+r)*n+bj*b+b])
+		}
+		return blk
+	}
+	put := func(bi, bj int, blk []float64) {
+		for r := 0; r < b; r++ {
+			copy(a[(bi*b+r)*n+bj*b:(bi*b+r)*n+bj*b+b], blk[r*b:(r+1)*b])
+		}
+	}
+	for k := 0; k < nb; k++ {
+		diag := get(k, k)
+		factorDiag(diag, b)
+		put(k, k, diag)
+		for j := k + 1; j < nb; j++ {
+			blk := get(k, j)
+			solveRow(diag, blk, b)
+			put(k, j, blk)
+		}
+		for i := k + 1; i < nb; i++ {
+			blk := get(i, k)
+			solveCol(diag, blk, b)
+			put(i, k, blk)
+		}
+		for i := k + 1; i < nb; i++ {
+			left := get(i, k)
+			for j := k + 1; j < nb; j++ {
+				up := get(k, j)
+				blk := get(i, j)
+				mulSub(blk, left, up, b)
+				put(i, j, blk)
+			}
+		}
+	}
+	return a
+}
+
+// RunSerial measures one thread on the local machine.
+func RunSerial(p Params) wload.Result { return RunLocal(p, 1) }
+
+// RunLocal is the Pthreads baseline: same block ownership, plain memory.
+func RunLocal(p Params, threads int) wload.Result {
+	n, b := p.N, p.Block
+	if n%b != 0 {
+		panic(fmt.Sprintf("lu: N %d not a multiple of block %d", n, b))
+	}
+	nb := n / b
+	m := wload.NewLocalMachine(wload.Net())
+	a := Matrix(n)
+	get := func(dst []float64, bi, bj int) {
+		for r := 0; r < b; r++ {
+			copy(dst[r*b:(r+1)*b], a[(bi*b+r)*n+bj*b:(bi*b+r)*n+bj*b+b])
+		}
+	}
+	put := func(bi, bj int, blk []float64) {
+		for r := 0; r < b; r++ {
+			copy(a[(bi*b+r)*n+bj*b:(bi*b+r)*n+bj*b+b], blk[r*b:(r+1)*b])
+		}
+	}
+	owner := func(bi, bj int) int { return (bi*nb + bj) % threads }
+	blockCost := sim.Time(b) * sim.Time(b) * sim.Time(b) * FlopCost
+
+	t := m.Run(threads, func(lc *wload.LocalCtx) {
+		diag := make([]float64, b*b)
+		blk := make([]float64, b*b)
+		left := make([]float64, b*b)
+		up := make([]float64, b*b)
+		for k := 0; k < nb; k++ {
+			if owner(k, k) == lc.ID {
+				get(diag, k, k)
+				factorDiag(diag, b)
+				put(k, k, diag)
+				lc.Compute(blockCost / 3)
+			}
+			lc.Barrier()
+			get(diag, k, k)
+			for j := k + 1; j < nb; j++ {
+				if owner(k, j) == lc.ID {
+					get(blk, k, j)
+					solveRow(diag, blk, b)
+					put(k, j, blk)
+					lc.Compute(blockCost / 2)
+				}
+			}
+			for i := k + 1; i < nb; i++ {
+				if owner(i, k) == lc.ID {
+					get(blk, i, k)
+					solveCol(diag, blk, b)
+					put(i, k, blk)
+					lc.Compute(blockCost / 2)
+				}
+			}
+			lc.Barrier()
+			for i := k + 1; i < nb; i++ {
+				mine := false
+				for j := k + 1; j < nb; j++ {
+					if owner(i, j) == lc.ID {
+						mine = true
+						break
+					}
+				}
+				if !mine {
+					continue
+				}
+				get(left, i, k)
+				for j := k + 1; j < nb; j++ {
+					if owner(i, j) != lc.ID {
+						continue
+					}
+					get(up, k, j)
+					get(blk, i, j)
+					mulSub(blk, left, up, b)
+					put(i, j, blk)
+					lc.Compute(blockCost)
+				}
+			}
+			lc.Barrier()
+		}
+	})
+	return wload.Result{System: "local", Nodes: 1, Threads: threads, Time: t, Check: wload.Checksum(a)}
+}
+
+// RunArgo factors on the DSM. Block reads/writes stream through the page
+// cache row by row.
+func RunArgo(cfg core.Config, p Params, tpn int) wload.Result {
+	n, b := p.N, p.Block
+	if n%b != 0 {
+		panic(fmt.Sprintf("lu: N %d not a multiple of block %d", n, b))
+	}
+	nb := n / b
+	need := int64(n*n*8) + 1<<20
+	if cfg.MemoryBytes < need {
+		cfg.MemoryBytes = need
+	}
+	c := wload.MustCluster(cfg)
+	ga := c.AllocF64(n * n)
+	c.InitF64(ga, Matrix(n))
+
+	nt := cfg.Nodes * tpn
+	owner := func(bi, bj int) int { return (bi*nb + bj) % nt }
+	blockCost := sim.Time(b) * sim.Time(b) * sim.Time(b) * FlopCost
+
+	time := c.Run(tpn, func(th *core.Thread) {
+		get := func(dst []float64, bi, bj int) {
+			for r := 0; r < b; r++ {
+				off := (bi*b+r)*n + bj*b
+				th.ReadF64s(ga, off, off+b, dst[r*b:(r+1)*b])
+			}
+		}
+		put := func(bi, bj int, blk []float64) {
+			for r := 0; r < b; r++ {
+				off := (bi*b+r)*n + bj*b
+				th.WriteF64s(ga, off, blk[r*b:(r+1)*b])
+			}
+		}
+		diag := make([]float64, b*b)
+		blk := make([]float64, b*b)
+		left := make([]float64, b*b)
+		up := make([]float64, b*b)
+		for k := 0; k < nb; k++ {
+			if owner(k, k) == th.Rank {
+				get(diag, k, k)
+				factorDiag(diag, b)
+				put(k, k, diag)
+				th.Compute(blockCost / 3)
+			}
+			th.Barrier()
+			get(diag, k, k)
+			for j := k + 1; j < nb; j++ {
+				if owner(k, j) == th.Rank {
+					get(blk, k, j)
+					solveRow(diag, blk, b)
+					put(k, j, blk)
+					th.Compute(blockCost / 2)
+				}
+			}
+			for i := k + 1; i < nb; i++ {
+				if owner(i, k) == th.Rank {
+					get(blk, i, k)
+					solveCol(diag, blk, b)
+					put(i, k, blk)
+					th.Compute(blockCost / 2)
+				}
+			}
+			th.Barrier()
+			for i := k + 1; i < nb; i++ {
+				mine := false
+				for j := k + 1; j < nb; j++ {
+					if owner(i, j) == th.Rank {
+						mine = true
+						break
+					}
+				}
+				if !mine {
+					continue
+				}
+				get(left, i, k)
+				for j := k + 1; j < nb; j++ {
+					if owner(i, j) != th.Rank {
+						continue
+					}
+					get(up, k, j)
+					get(blk, i, j)
+					mulSub(blk, left, up, b)
+					put(i, j, blk)
+					th.Compute(blockCost)
+				}
+			}
+			th.Barrier()
+		}
+	})
+	return wload.Result{
+		System: "argo", Nodes: cfg.Nodes, Threads: nt, Time: time,
+		Check: wload.Checksum(c.DumpF64(ga)), Stats: c.Stats(),
+	}
+}

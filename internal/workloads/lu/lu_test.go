@@ -1,0 +1,88 @@
+package lu
+
+import (
+	"math"
+	"testing"
+
+	"argo/internal/workloads/wload"
+)
+
+func testParams() Params { return Params{N: 64, Block: 16} }
+
+// TestFactorizationCorrect reconstructs L·U and compares to the input.
+func TestFactorizationCorrect(t *testing.T) {
+	p := Params{N: 32, Block: 8}
+	n := p.N
+	a := Matrix(n)
+	f := Serial(p)
+	// Rebuild L (unit lower) and U (upper) from the packed factor.
+	prod := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			for k := 0; k <= kmax; k++ {
+				var lik float64
+				switch {
+				case k == i:
+					lik = 1
+				case k < i:
+					lik = f[i*n+k]
+				}
+				if k <= j {
+					s += lik * f[k*n+j]
+				}
+			}
+			prod[i*n+j] = s
+		}
+	}
+	maxRel := 0.0
+	for i := range a {
+		rel := math.Abs(prod[i]-a[i]) / (1 + math.Abs(a[i]))
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	if maxRel > 1e-9 {
+		t.Fatalf("L·U deviates from A by rel %v", maxRel)
+	}
+}
+
+func TestVariantsAgreeExactly(t *testing.T) {
+	p := testParams()
+	want := wload.Checksum(Serial(p))
+	if r := RunLocal(p, 4); r.Check != want {
+		t.Fatalf("local check %v != serial %v", r.Check, want)
+	}
+	if r := RunLocal(p, 7); r.Check != want {
+		t.Fatalf("local-7 check %v != serial %v", r.Check, want)
+	}
+	if r := RunArgo(wload.ArgoConfig(2, 8<<20), p, 2); r.Check != want {
+		t.Fatalf("argo check %v != serial %v", r.Check, want)
+	}
+	if r := RunArgo(wload.ArgoConfig(3, 8<<20), p, 2); r.Check != want {
+		t.Fatalf("argo-3n check %v != serial %v", r.Check, want)
+	}
+}
+
+func TestLocalScales(t *testing.T) {
+	p := Params{N: 96, Block: 16}
+	serial := RunSerial(p)
+	par := RunLocal(p, 8)
+	if par.Time >= serial.Time {
+		t.Fatalf("8 threads (%d) not faster than serial (%d)", par.Time, serial.Time)
+	}
+}
+
+func TestArgoMigratoryTraffic(t *testing.T) {
+	p := testParams()
+	r := RunArgo(wload.ArgoConfig(2, 8<<20), p, 2)
+	// LU's perimeter blocks migrate every step: writebacks and
+	// self-invalidations must both be present in quantity.
+	if r.Stats.Writebacks == 0 || r.Stats.SelfInvalidations == 0 {
+		t.Fatalf("LU produced no migration traffic: %+v", r.Stats)
+	}
+}

@@ -1,0 +1,251 @@
+// Package nbody reproduces the paper's custom n-body benchmark
+// (Figure 13b): a simple iterative all-pairs simulation with barriers
+// separating the steps. Every thread reads all positions and updates only
+// its own block, so position pages are single-writer (S,SW) under Pyxis —
+// the producer keeps its pages across barriers while consumers refetch,
+// Carina's producer-consumer sweet spot.
+package nbody
+
+import (
+	"math"
+
+	"argo/internal/core"
+	"argo/internal/mpi"
+	"argo/internal/sim"
+	"argo/internal/workloads/wload"
+)
+
+// Params sizes the benchmark.
+type Params struct {
+	Bodies int
+	Steps  int
+}
+
+// DefaultParams is the evaluation input.
+func DefaultParams() Params { return Params{Bodies: 2048, Steps: 3} }
+
+// InterCost is the modeled cost of one pairwise interaction.
+const InterCost sim.Time = 25
+
+const (
+	dt  = 0.01
+	eps = 1e-2
+)
+
+// InitBody returns body i's deterministic initial state.
+func InitBody(i int) (px, py, vx, vy, mass float64) {
+	f := func(m float64) float64 { return math.Mod(float64(i)*m+0.5, 1) }
+	px = 10 * (f(0.6180339887) - 0.5)
+	py = 10 * (f(0.7548776662) - 0.5)
+	vx = f(0.2887043847) - 0.5
+	vy = f(0.4503599627) - 0.5
+	mass = 0.5 + f(0.9127652351)
+	return
+}
+
+// forcesFor accumulates the force on bodies [lo,hi) from all bodies.
+func forcesFor(fx, fy []float64, px, py, mass []float64, lo, hi int) {
+	n := len(px)
+	for i := lo; i < hi; i++ {
+		var ax, ay float64
+		for j := 0; j < n; j++ {
+			dx := px[j] - px[i]
+			dy := py[j] - py[i]
+			d2 := dx*dx + dy*dy + eps
+			inv := mass[j] / (d2 * math.Sqrt(d2))
+			ax += dx * inv
+			ay += dy * inv
+		}
+		fx[i-lo] = ax
+		fy[i-lo] = ay
+	}
+}
+
+// Serial runs the reference simulation and returns final px,py.
+func Serial(p Params) ([]float64, []float64) {
+	n := p.Bodies
+	px := make([]float64, n)
+	py := make([]float64, n)
+	vx := make([]float64, n)
+	vy := make([]float64, n)
+	mass := make([]float64, n)
+	for i := 0; i < n; i++ {
+		px[i], py[i], vx[i], vy[i], mass[i] = InitBody(i)
+	}
+	fx := make([]float64, n)
+	fy := make([]float64, n)
+	for s := 0; s < p.Steps; s++ {
+		forcesFor(fx, fy, px, py, mass, 0, n)
+		for i := 0; i < n; i++ {
+			vx[i] += dt * fx[i]
+			vy[i] += dt * fy[i]
+			px[i] += dt * vx[i]
+			py[i] += dt * vy[i]
+		}
+	}
+	return px, py
+}
+
+// CheckOf folds final positions into the verification scalar.
+func CheckOf(px, py []float64) float64 {
+	return wload.Checksum(px) + 3*wload.Checksum(py)
+}
+
+// RunSerial measures one thread on the local machine.
+func RunSerial(p Params) wload.Result { return RunLocal(p, 1) }
+
+// RunLocal is the Pthreads baseline.
+func RunLocal(p Params, threads int) wload.Result {
+	n := p.Bodies
+	m := wload.NewLocalMachine(wload.Net())
+	px := make([]float64, n)
+	py := make([]float64, n)
+	vx := make([]float64, n)
+	vy := make([]float64, n)
+	mass := make([]float64, n)
+	for i := 0; i < n; i++ {
+		px[i], py[i], vx[i], vy[i], mass[i] = InitBody(i)
+	}
+	t := m.Run(threads, func(lc *wload.LocalCtx) {
+		lo, hi := wload.BlockRange(n, threads, lc.ID)
+		fx := make([]float64, hi-lo)
+		fy := make([]float64, hi-lo)
+		for s := 0; s < p.Steps; s++ {
+			forcesFor(fx, fy, px, py, mass, lo, hi)
+			lc.Compute(sim.Time(hi-lo) * sim.Time(n) * InterCost)
+			lc.Barrier()
+			for i := lo; i < hi; i++ {
+				vx[i] += dt * fx[i-lo]
+				vy[i] += dt * fy[i-lo]
+				px[i] += dt * vx[i]
+				py[i] += dt * vy[i]
+			}
+			lc.Barrier()
+		}
+	})
+	return wload.Result{System: "local", Nodes: 1, Threads: threads, Time: t, Check: CheckOf(px, py)}
+}
+
+// RunArgo runs the simulation on the DSM.
+func RunArgo(cfg core.Config, p Params, tpn int) wload.Result {
+	n := p.Bodies
+	c := wload.MustCluster(cfg)
+	gpx := c.AllocF64(n)
+	gpy := c.AllocF64(n)
+	gvx := c.AllocF64(n)
+	gvy := c.AllocF64(n)
+	gm := c.AllocF64(n)
+	{
+		px := make([]float64, n)
+		py := make([]float64, n)
+		vx := make([]float64, n)
+		vy := make([]float64, n)
+		mass := make([]float64, n)
+		for i := 0; i < n; i++ {
+			px[i], py[i], vx[i], vy[i], mass[i] = InitBody(i)
+		}
+		c.InitF64(gpx, px)
+		c.InitF64(gpy, py)
+		c.InitF64(gvx, vx)
+		c.InitF64(gvy, vy)
+		c.InitF64(gm, mass)
+	}
+
+	nt := cfg.Nodes * tpn
+	time := c.Run(tpn, func(th *core.Thread) {
+		lo, hi := wload.BlockRange(n, nt, th.Rank)
+		cnt := hi - lo
+		px := make([]float64, n)
+		py := make([]float64, n)
+		mass := make([]float64, n)
+		vx := make([]float64, cnt)
+		vy := make([]float64, cnt)
+		fx := make([]float64, cnt)
+		fy := make([]float64, cnt)
+		th.ReadF64s(gm, 0, n, mass)
+		for s := 0; s < p.Steps; s++ {
+			// Read the whole (fresh) position arrays through the cache.
+			th.ReadF64s(gpx, 0, n, px)
+			th.ReadF64s(gpy, 0, n, py)
+			forcesFor(fx, fy, px, py, mass, lo, hi)
+			th.Compute(sim.Time(cnt) * sim.Time(n) * InterCost)
+			th.Barrier()
+			// Velocities live in global memory too; their pages stay
+			// private to the owning node (exempt from SI under P/S3).
+			th.ReadF64s(gvx, lo, hi, vx)
+			th.ReadF64s(gvy, lo, hi, vy)
+			for i := 0; i < cnt; i++ {
+				vx[i] += dt * fx[i]
+				vy[i] += dt * fy[i]
+				px[lo+i] += dt * vx[i]
+				py[lo+i] += dt * vy[i]
+			}
+			th.WriteF64s(gvx, lo, vx)
+			th.WriteF64s(gvy, lo, vy)
+			th.WriteF64s(gpx, lo, px[lo:hi])
+			th.WriteF64s(gpy, lo, py[lo:hi])
+			th.Barrier()
+		}
+		th.Barrier()
+	})
+	return wload.Result{
+		System: "argo", Nodes: cfg.Nodes, Threads: nt, Time: time,
+		Check: CheckOf(c.DumpF64(gpx), c.DumpF64(gpy)), Stats: c.Stats(),
+	}
+}
+
+// RunMPI is the message-passing port: a ring allgather of positions every
+// step.
+func RunMPI(nodes, rpn int, p Params) wload.Result {
+	n := p.Bodies
+	w := mpi.NewWorld(wload.NewFabric(nodes), rpn)
+	size := w.Size
+	per := (n + size - 1) / size
+	var check float64
+	t := w.Run(func(r *mpi.Rank) {
+		lo := r.ID * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			lo = hi
+		}
+		cnt := hi - lo
+		// Everyone generates all initial state deterministically (free).
+		px := make([]float64, per*size)
+		py := make([]float64, per*size)
+		mass := make([]float64, per*size)
+		vx := make([]float64, cnt)
+		vy := make([]float64, cnt)
+		for i := 0; i < n; i++ {
+			var vvx, vvy float64
+			px[i], py[i], vvx, vvy, mass[i] = InitBody(i)
+			if i >= lo && i < hi {
+				vx[i-lo] = vvx
+				vy[i-lo] = vvy
+			}
+		}
+		fx := make([]float64, cnt)
+		fy := make([]float64, cnt)
+		for s := 0; s < p.Steps; s++ {
+			forcesFor(fx, fy, px[:n], py[:n], mass[:n], lo, hi)
+			r.Compute(sim.Time(cnt) * sim.Time(n) * InterCost)
+			for i := 0; i < cnt; i++ {
+				vx[i] += dt * fx[i]
+				vy[i] += dt * fy[i]
+				px[lo+i] += dt * vx[i]
+				py[lo+i] += dt * vy[i]
+			}
+			// Exchange updated blocks.
+			myx := append([]float64(nil), px[lo:lo+per]...)
+			myy := append([]float64(nil), py[lo:lo+per]...)
+			copy(px, r.AllgatherRing(myx))
+			copy(py, r.AllgatherRing(myy))
+		}
+		if r.ID == 0 {
+			check = CheckOf(px[:n], py[:n])
+		}
+	})
+	return wload.Result{System: "mpi", Nodes: nodes, Threads: size, Time: t, Check: check}
+}

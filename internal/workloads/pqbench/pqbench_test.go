@@ -1,0 +1,79 @@
+package pqbench
+
+import (
+	"testing"
+
+	"argo/internal/workloads/wload"
+)
+
+func testParams() Params {
+	return Params{OpsPerThread: 60, WorkUnits: 8, Preload: 64}
+}
+
+func TestNativeAllLocksComplete(t *testing.T) {
+	p := testParams()
+	for _, kind := range []NativeLockKind{NativePthread, NativeMCS, NativeCLH, NativeCohort, NativeQD} {
+		r := RunNative(kind, 8, p)
+		if r.Ops != int64(8*p.OpsPerThread) {
+			t.Fatalf("%s: ops = %d, want %d", kind, r.Ops, 8*p.OpsPerThread)
+		}
+		if r.Time <= 0 || r.OpsPerUs <= 0 {
+			t.Fatalf("%s: no time measured", kind)
+		}
+	}
+}
+
+func TestNativeQDDelegates(t *testing.T) {
+	r := RunNative(NativeQD, 8, testParams())
+	if r.Delegated == 0 {
+		t.Fatal("QD benchmark never delegated a section")
+	}
+}
+
+func TestQDFasterThanPthreadsUnderContention(t *testing.T) {
+	p := Params{OpsPerThread: 150, WorkUnits: 4, Preload: 128}
+	qd := RunNative(NativeQD, 16, p)
+	pt := RunNative(NativePthread, 16, p)
+	if qd.OpsPerUs <= pt.OpsPerUs {
+		t.Fatalf("QD (%.3f ops/µs) not faster than pthreads (%.3f ops/µs)",
+			qd.OpsPerUs, pt.OpsPerUs)
+	}
+}
+
+func TestCohortBeatsPthreadsUnderContention(t *testing.T) {
+	p := Params{OpsPerThread: 150, WorkUnits: 4, Preload: 128}
+	co := RunNative(NativeCohort, 16, p)
+	pt := RunNative(NativePthread, 16, p)
+	if co.OpsPerUs <= pt.OpsPerUs {
+		t.Fatalf("cohort (%.3f) not faster than pthreads (%.3f)", co.OpsPerUs, pt.OpsPerUs)
+	}
+}
+
+func TestDSMAllLocksComplete(t *testing.T) {
+	p := testParams()
+	for _, kind := range []DSMLockKind{DSMHQDL, DSMCohort, DSMMutex} {
+		cfg := wload.ArgoConfig(2, 16<<20)
+		r := RunDSM(kind, cfg, 2, p)
+		if r.Ops != int64(2*2*p.OpsPerThread) {
+			t.Fatalf("%s: ops = %d", kind, r.Ops)
+		}
+		if r.Time <= 0 {
+			t.Fatalf("%s: no time measured", kind)
+		}
+	}
+}
+
+func TestHQDLBeatsCohortOnDSM(t *testing.T) {
+	p := Params{OpsPerThread: 80, WorkUnits: 8, Preload: 128}
+	cfgA := wload.ArgoConfig(3, 32<<20)
+	hq := RunDSM(DSMHQDL, cfgA, 4, p)
+	cfgB := wload.ArgoConfig(3, 32<<20)
+	co := RunDSM(DSMCohort, cfgB, 4, p)
+	if hq.OpsPerUs <= co.OpsPerUs {
+		t.Fatalf("HQDL (%.3f ops/µs) not faster than cohort (%.3f ops/µs)",
+			hq.OpsPerUs, co.OpsPerUs)
+	}
+	if hq.SIFences >= co.SIFences {
+		t.Fatalf("HQDL fences (%d) not fewer than cohort fences (%d)", hq.SIFences, co.SIFences)
+	}
+}

@@ -1,0 +1,164 @@
+// Package wload holds the shared plumbing of the benchmark workloads: the
+// single-machine ("Pthreads"/"OpenMP") runner used as the paper's intra-node
+// baseline, the Result type every variant reports, and small verification
+// helpers. Each workload package provides the same computation in up to four
+// paradigms — Argo (DSM), Local (one machine), MPI (message passing) and
+// UPC (PGAS) — all charged with one compute-cost model so the comparisons
+// isolate communication and synchronization behaviour, as in the paper.
+package wload
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"argo/internal/core"
+	"argo/internal/fabric"
+	"argo/internal/sim"
+	"argo/internal/stats"
+	"argo/internal/vela"
+)
+
+// Net returns the evaluation cost model (one source of truth for every
+// variant of every workload).
+func Net() fabric.Params { return fabric.DefaultParams() }
+
+// NewFabric builds a fabric for an MPI/UPC world over the standard node
+// type (4 sockets × 4 cores).
+func NewFabric(nodes int) *fabric.Fabric {
+	topo := sim.Topology{Nodes: nodes, Sockets: 4, CoresPerSocket: 4}
+	return fabric.New(topo, Net())
+}
+
+// ArgoConfig is the workload-default cluster configuration: the evaluation
+// baseline with memBytes of global memory.
+func ArgoConfig(nodes int, memBytes int64) core.Config {
+	cfg := core.DefaultConfig(nodes)
+	cfg.MemoryBytes = memBytes
+	cfg.Net = Net()
+	return cfg
+}
+
+// MustCluster builds a cluster with the Vela hierarchical barrier wired in.
+func MustCluster(cfg core.Config) *core.Cluster {
+	c := core.MustNewCluster(cfg)
+	c.BarrierFactory = func(c *core.Cluster, tpn int) core.BarrierWaiter {
+		return vela.NewHierBarrier(c, tpn)
+	}
+	return c
+}
+
+// Result is the outcome of one workload run.
+type Result struct {
+	System  string   // "argo", "local", "mpi", "upc", "serial"
+	Nodes   int      // machines used
+	Threads int      // total threads/ranks
+	Time    sim.Time // virtual makespan of the measured section
+	Check   float64  // workload-defined checksum for verification
+	Stats   stats.Snapshot
+}
+
+// Speedup returns base.Time / r.Time.
+func (r Result) Speedup(base Result) float64 {
+	if r.Time == 0 {
+		return math.Inf(1)
+	}
+	return float64(base.Time) / float64(r.Time)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-6s nodes=%-3d threads=%-4d time=%.3fms check=%.6g",
+		r.System, r.Nodes, r.Threads, float64(r.Time)/1e6, r.Check)
+}
+
+// LocalMachine is a single shared-memory machine (the paper's node type:
+// four NUMA domains of four cores) used for the Pthreads/OpenMP baselines.
+type LocalMachine struct {
+	Topo sim.Topology
+	Fab  *fabric.Fabric
+}
+
+// NewLocalMachine builds the baseline machine with the given cost model.
+func NewLocalMachine(p fabric.Params) *LocalMachine {
+	topo := sim.Topology{Nodes: 1, Sockets: 4, CoresPerSocket: 4}
+	return &LocalMachine{Topo: topo, Fab: fabric.New(topo, p)}
+}
+
+// LocalCtx is the per-thread context of a local (non-DSM) run.
+type LocalCtx struct {
+	ID      int
+	Threads int
+	P       *sim.Proc
+	bar     *sim.Barrier
+	barCost sim.Time
+}
+
+// Barrier is a pthread_barrier_wait: all threads rendezvous with a
+// log-depth cost on the machine's interconnect.
+func (lc *LocalCtx) Barrier() { lc.bar.Wait(lc.P, lc.barCost) }
+
+// Compute advances the thread's clock.
+func (lc *LocalCtx) Compute(d sim.Time) { lc.P.Advance(d) }
+
+// Run executes body on threads simulated threads of the machine and returns
+// the makespan.
+func (m *LocalMachine) Run(threads int, body func(lc *LocalCtx)) sim.Time {
+	bar := sim.NewBarrier(threads)
+	barCost := sim.Time(100)
+	if threads > 1 {
+		barCost += m.Fab.P.SocketLatency * sim.Time(bits.Len(uint(threads-1)))
+	}
+	procs := make([]*sim.Proc, threads)
+	ctxs := make([]*LocalCtx, threads)
+	for i := 0; i < threads; i++ {
+		procs[i] = m.Topo.NewProc(0, i)
+		ctxs[i] = &LocalCtx{ID: i, Threads: threads, P: procs[i], bar: bar, barCost: barCost}
+	}
+	g := sim.NewGroup(procs)
+	return g.Run(func(i int, p *sim.Proc) { body(ctxs[i]) })
+}
+
+// BlockRange splits n items over parts workers and returns worker id's
+// [lo,hi) contiguous share.
+func BlockRange(n, parts, id int) (lo, hi int) {
+	per := n / parts
+	rem := n % parts
+	lo = id*per + min(id, rem)
+	hi = lo + per
+	if id < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// MaxAbsDiff returns the largest absolute element difference of two equal-
+// length slices.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Checksum folds a float64 slice into a stable scalar for cross-variant
+// comparison.
+func Checksum(xs []float64) float64 {
+	var s float64
+	for i, v := range xs {
+		s += v * float64(i%97+1)
+	}
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

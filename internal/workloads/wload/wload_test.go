@@ -1,0 +1,81 @@
+package wload
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockRangePartitions(t *testing.T) {
+	// Every element assigned exactly once, blocks contiguous and balanced.
+	f := func(nU, partsU uint8) bool {
+		n := int(nU)
+		parts := int(partsU)%16 + 1
+		prevHi := 0
+		for id := 0; id < parts; id++ {
+			lo, hi := BlockRange(n, parts, id)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			if hi-lo > n/parts+1 {
+				return false // imbalance
+			}
+			prevHi = hi
+		}
+		return prevHi == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumSensitive(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{1, 2, 3, 5}
+	c := []float64{2, 1, 3, 4} // permutation must change the checksum
+	if Checksum(a) == Checksum(b) || Checksum(a) == Checksum(c) {
+		t.Fatal("checksum not sensitive to value or order changes")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if d := MaxAbsDiff([]float64{1, 2}, []float64{1, 2.5}); d != 0.5 {
+		t.Fatalf("diff = %v", d)
+	}
+	if d := MaxAbsDiff([]float64{1}, []float64{1, 2}); !math.IsInf(d, 1) {
+		t.Fatal("length mismatch should be infinite")
+	}
+}
+
+func TestResultSpeedupAndString(t *testing.T) {
+	base := Result{System: "serial", Time: 1000}
+	r := Result{System: "argo", Nodes: 4, Threads: 60, Time: 250, Check: 1.5}
+	if sp := r.Speedup(base); sp != 4 {
+		t.Fatalf("speedup = %v", sp)
+	}
+	zero := Result{Time: 0}
+	if !math.IsInf(zero.Speedup(base), 1) {
+		t.Fatal("zero-time speedup should be +Inf")
+	}
+	if s := r.String(); !strings.Contains(s, "argo") || !strings.Contains(s, "nodes=4") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestLocalMachineRun(t *testing.T) {
+	m := NewLocalMachine(Net())
+	var total atomic.Int64
+	ms := m.Run(4, func(lc *LocalCtx) {
+		lc.Compute(int64(lc.ID) * 100)
+		lc.Barrier()
+		total.Add(1)
+	})
+	if total.Load() != 4 {
+		t.Fatalf("ran %d bodies", total.Load())
+	}
+	if ms < 300 {
+		t.Fatalf("makespan %d below slowest thread", ms)
+	}
+}

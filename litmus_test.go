@@ -1,0 +1,185 @@
+package argo_test
+
+// Litmus tests for Argo's memory model: SC for DRF (§3). Each test is a
+// classic communication pattern expressed with one of Vela's
+// synchronization primitives carrying the happens-before edge; the
+// assertion is that the full edge is honoured (writes before the release
+// are visible after the matching acquire) under every classification mode.
+
+import (
+	"fmt"
+	"testing"
+
+	"argo"
+	"argo/internal/coherence"
+)
+
+var litmusModes = []coherence.Mode{coherence.ModeS, coherence.ModePS, coherence.ModePS3}
+
+// Message passing through a barrier: W(x) W(y) → barrier → R(y) R(x).
+func TestLitmusMessagePassingBarrier(t *testing.T) {
+	for _, mode := range litmusModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			c := argo.MustNewCluster(smallConfig(2, mode))
+			xs := c.AllocI64(2)
+			c.Run(1, func(th *argo.Thread) {
+				if th.Node == 0 {
+					th.SetI64(xs, 0, 41) // data
+					th.SetI64(xs, 1, 1)  // ready
+				}
+				th.Barrier()
+				if th.Node == 1 {
+					if th.GetI64(xs, 1) == 1 && th.GetI64(xs, 0) != 41 {
+						panic("MP violation: ready observed without data")
+					}
+				}
+			})
+		})
+	}
+}
+
+// Message passing through a flag (release on Signal, acquire on Wait).
+func TestLitmusMessagePassingFlag(t *testing.T) {
+	for _, mode := range litmusModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			c := argo.MustNewCluster(smallConfig(2, mode))
+			xs := c.AllocI64(64)
+			f := argo.NewFlag(c, 0)
+			c.Run(2, func(th *argo.Thread) {
+				if th.Rank == 0 {
+					for i := 0; i < 64; i++ {
+						th.SetI64(xs, i, int64(i)+100)
+					}
+					f.Signal(th)
+					return
+				}
+				f.Wait(th)
+				for i := 0; i < 64; i++ {
+					if th.GetI64(xs, i) != int64(i)+100 {
+						panic(fmt.Sprintf("flag MP violation at %d", i))
+					}
+				}
+			})
+		})
+	}
+}
+
+// Message passing through a mutex: the release of one critical section
+// happens-before the next acquire, across nodes.
+func TestLitmusMessagePassingMutex(t *testing.T) {
+	for _, mode := range litmusModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			c := argo.MustNewCluster(smallConfig(3, mode))
+			xs := c.AllocI64(2) // [sequence, shadow]
+			mu := argo.NewMutex(c, 0)
+			const per = 30
+			c.Run(2, func(th *argo.Thread) {
+				for k := 0; k < per; k++ {
+					mu.Lock(th)
+					seq := th.GetI64(xs, 0)
+					shadow := th.GetI64(xs, 1)
+					if shadow != seq*3 {
+						panic(fmt.Sprintf("mutex MP violation: seq=%d shadow=%d", seq, shadow))
+					}
+					th.SetI64(xs, 0, seq+1)
+					th.SetI64(xs, 1, (seq+1)*3)
+					mu.Unlock(th)
+				}
+			})
+			if got := c.DumpI64(xs)[0]; got != int64(3*2*per) {
+				t.Fatalf("lost updates: seq=%d", got)
+			}
+		})
+	}
+}
+
+// Transitivity (cumulativity): T0 →(barrier) T1 →(barrier) T2 must give T2
+// T0's writes even though T2 never synchronized with T0 directly — the
+// happens-before edge composes through T1's epoch.
+func TestLitmusTransitivity(t *testing.T) {
+	for _, mode := range litmusModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			c := argo.MustNewCluster(smallConfig(3, mode))
+			xs := c.AllocI64(2)
+			c.Run(1, func(th *argo.Thread) {
+				switch th.Node {
+				case 0:
+					th.SetI64(xs, 0, 7)
+				}
+				th.Barrier()
+				switch th.Node {
+				case 1:
+					if th.GetI64(xs, 0) != 7 {
+						panic("hop 1 lost the write")
+					}
+					th.SetI64(xs, 1, 8)
+				}
+				th.Barrier()
+				switch th.Node {
+				case 2:
+					if th.GetI64(xs, 1) != 8 || th.GetI64(xs, 0) != 7 {
+						panic("transitivity violation: T2 missed T0's write")
+					}
+				}
+				th.Barrier()
+			})
+		})
+	}
+}
+
+// Delegation ordering: sections submitted through HQDL execute atomically
+// and their effects are visible to later sections in execution order, even
+// when the helpers live on different nodes.
+func TestLitmusDelegationOrder(t *testing.T) {
+	c := argo.MustNewCluster(smallConfig(3, coherence.ModePS3))
+	xs := c.AllocI64(1)
+	l := argo.NewHQDL(c)
+	const per = 40
+	c.Run(2, func(th *argo.Thread) {
+		last := int64(-1)
+		for k := 0; k < per; k++ {
+			var seen int64
+			l.DelegateWait(th, func(h *argo.Thread) {
+				seen = h.GetI64(xs, 0)
+				h.SetI64(xs, 0, seen+1)
+			})
+			if seen <= last {
+				panic(fmt.Sprintf("delegation order violation: %d after %d", seen, last))
+			}
+			last = seen
+		}
+		th.Barrier()
+	})
+	if got := c.DumpI64(xs)[0]; got != int64(3*2*per) {
+		t.Fatalf("counter = %d, want %d", got, 3*2*per)
+	}
+}
+
+// Independent reads of independent writes are not racy when each variable
+// has a single owner: after one barrier, all readers agree on both.
+func TestLitmusIRIWUnderDRF(t *testing.T) {
+	c := argo.MustNewCluster(smallConfig(4, coherence.ModePS3))
+	xs := c.AllocI64(1024) // x and y on different pages
+	c.Run(1, func(th *argo.Thread) {
+		switch th.Node {
+		case 0:
+			th.SetI64(xs, 0, 1)
+		case 1:
+			th.SetI64(xs, 512, 2)
+		}
+		th.Barrier()
+		// Nodes 2 and 3 read in opposite orders; both must see both.
+		switch th.Node {
+		case 2:
+			x, y := th.GetI64(xs, 0), th.GetI64(xs, 512)
+			if x != 1 || y != 2 {
+				panic(fmt.Sprintf("IRIW reader 2: x=%d y=%d", x, y))
+			}
+		case 3:
+			y, x := th.GetI64(xs, 512), th.GetI64(xs, 0)
+			if x != 1 || y != 2 {
+				panic(fmt.Sprintf("IRIW reader 3: x=%d y=%d", x, y))
+			}
+		}
+	})
+}
