@@ -8,22 +8,37 @@
 //
 // With no arguments every experiment runs in paper order. Experiment names
 // follow the paper: table1, fig1, fig7, fig8, fig9, fig10, fig11, fig12,
-// fig13a … fig13f. -quick shrinks inputs and sweep points for a fast smoke
-// run (CI); the full run regenerates the shapes reported in EXPERIMENTS.md.
+// fig13a … fig13f. -quick shrinks inputs and fewer sweep points for a fast
+// smoke run (CI); the full run regenerates the shapes reported in
+// EXPERIMENTS.md.
+//
+// Observability (Argoscope): -metrics-out accumulates every simulated
+// cluster's latency histograms, counters and hot-spot profiles across the
+// selected experiments and writes one machine-readable metrics.json;
+// -prom-out writes the same registry as Prometheus exposition text;
+// -trace-out attaches the protocol tracer and writes a Chrome trace-event
+// (Perfetto) JSON timeline.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"argo/internal/core"
 	"argo/internal/harness"
+	"argo/internal/metrics"
+	"argo/internal/trace"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced inputs and fewer sweep points")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	metricsOut := flag.String("metrics-out", "", "write the accumulated metrics dump (metrics.json) to this file")
+	promOut := flag.String("prom-out", "", "write the accumulated metrics as Prometheus exposition text to this file")
+	traceOut := flag.String("trace-out", "", "attach the protocol tracer and write a Perfetto JSON timeline to this file")
 	flag.Parse()
 
 	if *list {
@@ -31,6 +46,19 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	var ms *metrics.Suite
+	if *metricsOut != "" || *promOut != "" {
+		ms = metrics.NewSuite()
+		core.MetricsHook = func(c *core.Cluster) { c.AttachMetrics(ms) }
+		defer func() { core.MetricsHook = nil }()
+	}
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		tr = trace.New(0)
+		core.TraceHook = func(c *core.Cluster) { c.AttachTracer(tr) }
+		defer func() { core.TraceHook = nil }()
 	}
 
 	ids := flag.Args()
@@ -49,5 +77,36 @@ func main() {
 		start := time.Now()
 		e.Run(os.Stdout, *quick)
 		fmt.Printf("[%s done in %v wall time]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if ms != nil {
+		if *metricsOut != "" {
+			writeFile(*metricsOut, ms.WriteJSON)
+			fmt.Printf("\nmetrics dump written to %s\n", *metricsOut)
+		}
+		if *promOut != "" {
+			writeFile(*promOut, ms.Reg.WritePrometheus)
+			fmt.Printf("prometheus exposition written to %s\n", *promOut)
+		}
+	}
+	if tr != nil {
+		if d := tr.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "argo-bench: %d trace events dropped (per-node buffer limit)\n", d)
+		}
+		writeFile(*traceOut, tr.WritePerfetto)
+		fmt.Printf("perfetto timeline written to %s\n", *traceOut)
+	}
+}
+
+func writeFile(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "argo-bench:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "argo-bench:", err)
+		os.Exit(1)
 	}
 }

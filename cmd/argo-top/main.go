@@ -1,0 +1,181 @@
+// Command argo-top runs a benchmark with the Argoscope metrics suite
+// attached and prints the hot-spot report: the top-K pages by protocol
+// traffic, the top-K locks by contention, and the latency distributions of
+// the instrumented layers (fabric operations, fences, lock acquires,
+// barrier phases). This is the "where does the time go" view behind the
+// aggregate counters of argo-bench.
+//
+//	argo-top -bench nbody -nodes 4 -tpn 4
+//	argo-top -bench pq-hqdl -top 20
+//	argo-top -bench cg -json metrics.json -prom metrics.prom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"argo/internal/core"
+	"argo/internal/metrics"
+	"argo/internal/workloads/blackscholes"
+	"argo/internal/workloads/cg"
+	"argo/internal/workloads/ep"
+	"argo/internal/workloads/lu"
+	"argo/internal/workloads/mm"
+	"argo/internal/workloads/nbody"
+	"argo/internal/workloads/pqbench"
+	"argo/internal/workloads/wload"
+)
+
+// Benches return the virtual run time in ns. The pq-* entries exercise the
+// lock layer; the rest are the barrier-synchronized application kernels.
+var benches = map[string]func(cfg core.Config, tpn int) int64{
+	"blackscholes": func(cfg core.Config, tpn int) int64 {
+		return int64(blackscholes.RunArgo(cfg, blackscholes.Params{Options: 16384, Iters: 3}, tpn).Time)
+	},
+	"cg": func(cfg core.Config, tpn int) int64 {
+		return int64(cg.RunArgo(cfg, cg.Params{N: 2048, PerRow: 12, Iters: 4}, tpn).Time)
+	},
+	"ep": func(cfg core.Config, tpn int) int64 {
+		return int64(ep.RunArgo(cfg, ep.Params{Chunks: 512, PairsPerChunk: 128}, tpn).Time)
+	},
+	"lu": func(cfg core.Config, tpn int) int64 {
+		return int64(lu.RunArgo(cfg, lu.Params{N: 96, Block: 16}, tpn).Time)
+	},
+	"mm": func(cfg core.Config, tpn int) int64 {
+		return int64(mm.RunArgo(cfg, mm.Params{N: 64}, tpn).Time)
+	},
+	"nbody": func(cfg core.Config, tpn int) int64 {
+		return int64(nbody.RunArgo(cfg, nbody.Params{Bodies: 384, Steps: 3}, tpn).Time)
+	},
+	"pq-hqdl": func(cfg core.Config, tpn int) int64 {
+		return int64(pqbench.RunDSM(pqbench.DSMHQDL, cfg, tpn, pqbench.DefaultParams()).Time)
+	},
+	"pq-cohort": func(cfg core.Config, tpn int) int64 {
+		return int64(pqbench.RunDSM(pqbench.DSMCohort, cfg, tpn, pqbench.DefaultParams()).Time)
+	},
+	"pq-mutex": func(cfg core.Config, tpn int) int64 {
+		return int64(pqbench.RunDSM(pqbench.DSMMutex, cfg, tpn, pqbench.DefaultParams()).Time)
+	},
+}
+
+func benchNames() string {
+	names := make([]string, 0, len(benches))
+	for n := range benches {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "|")
+}
+
+func main() {
+	bench := flag.String("bench", "nbody", "benchmark: "+benchNames())
+	nodes := flag.Int("nodes", 4, "cluster nodes")
+	tpn := flag.Int("tpn", 4, "threads per node")
+	top := flag.Int("top", 10, "rows per hot-spot table")
+	jsonOut := flag.String("json", "", "write the full metrics dump (metrics.json) to this file")
+	promOut := flag.String("prom", "", "write the Prometheus exposition to this file")
+	flag.Parse()
+
+	run, ok := benches[*bench]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "argo-top: unknown benchmark %q (want %s)\n", *bench, benchNames())
+		os.Exit(2)
+	}
+
+	ms := metrics.NewSuite()
+	cfg := wload.ArgoConfig(*nodes, 64<<20)
+	cfg.Net = wload.Net()
+	// The workload builds the cluster itself; the hook hands every new
+	// cluster the shared suite before any thread runs.
+	core.MetricsHook = func(c *core.Cluster) { c.AttachMetrics(ms) }
+	defer func() { core.MetricsHook = nil }()
+
+	t := run(cfg, *tpn)
+	fmt.Printf("%s on %d×%d: %.3f virtual ms\n", *bench, *nodes, *tpn, float64(t)/1e6)
+
+	if pages := ms.Pages.TopK(*top, metrics.TotalPageActivity); len(pages) > 0 {
+		fmt.Printf("\nhot pages (top %d by protocol events):\n", len(pages))
+		fmt.Printf("  %-8s %8s %8s %8s %8s %8s %8s\n",
+			"page", "rd-miss", "wr-miss", "wrback", "inval", "notify", "evict")
+		for _, p := range pages {
+			fmt.Printf("  %-8d %8d %8d %8d %8d %8d %8d\n",
+				p.Page, p.ReadMisses, p.WriteMisses, p.Writebacks,
+				p.Invalidations, p.Notifies, p.Evictions)
+		}
+	}
+
+	if locksTop := ms.Locks.TopK(*top, metrics.TotalLockActivity); len(locksTop) > 0 {
+		fmt.Printf("\nhot locks (top %d by total wait):\n", len(locksTop))
+		fmt.Printf("  %-14s %9s %12s %12s %10s %8s %8s %9s\n",
+			"lock", "acquires", "wait-ns", "held-ns", "mean-wait", "local", "remote", "delegated")
+		for _, l := range locksTop {
+			fmt.Printf("  %-14s %9d %12d %12d %10.0f %8d %8d %9d\n",
+				l.Name, l.Acquires, l.WaitNs, l.HeldNs, l.MeanWait,
+				l.Local, l.Remote, l.Delegated)
+		}
+	}
+
+	d := ms.Reg.Dump()
+	if len(d.Histograms) > 0 {
+		fmt.Printf("\nlatency distributions (virtual ns):\n")
+		fmt.Printf("  %-52s %9s %9s %9s %9s %9s %9s\n",
+			"series", "count", "p50", "p90", "p99", "p999", "max")
+		for _, h := range d.Histograms {
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %-52s %9d %9d %9d %9d %9d %9d\n",
+				seriesName(h.Name, h.Labels), h.Count, h.P50, h.P90, h.P99, h.P999, h.Max)
+		}
+	}
+	if len(d.Counters) > 0 {
+		fmt.Printf("\ncounters:\n")
+		for _, c := range d.Counters {
+			if c.Value != 0 {
+				fmt.Printf("  %-52s %12d\n", seriesName(c.Name, c.Labels), c.Value)
+			}
+		}
+	}
+
+	if *jsonOut != "" {
+		writeFile(*jsonOut, ms.WriteJSON)
+		fmt.Printf("\nmetrics dump written to %s\n", *jsonOut)
+	}
+	if *promOut != "" {
+		writeFile(*promOut, ms.Reg.WritePrometheus)
+		fmt.Printf("prometheus exposition written to %s\n", *promOut)
+	}
+}
+
+func seriesName(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, labels[k]))
+	}
+	return name + "{" + strings.Join(parts, ",") + "}"
+}
+
+func writeFile(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "argo-top:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "argo-top:", err)
+		os.Exit(1)
+	}
+}

@@ -1,10 +1,14 @@
 // Command argo-trace runs a benchmark with the protocol event tracer
-// attached and prints an event summary — or, with -csv, the full
-// timestamped event stream for offline analysis. This is the per-event
-// view behind the aggregate counters of argo-bench.
+// attached and prints an event summary — or, with -out, the full
+// timestamped event stream for offline analysis. -format selects the
+// stream encoding: csv, or perfetto (Chrome trace-event JSON that
+// ui.perfetto.dev opens directly, nodes as processes and hardware threads
+// as tracks). This is the per-event view behind the aggregate counters of
+// argo-bench.
 //
 //	argo-trace -bench nbody -nodes 4 -tpn 4
-//	argo-trace -bench cg -csv trace.csv
+//	argo-trace -bench cg -format csv -out trace.csv
+//	argo-trace -bench cg -format perfetto -out trace.perfetto.json
 package main
 
 import (
@@ -52,7 +56,9 @@ func main() {
 	bench := flag.String("bench", "nbody", "benchmark: blackscholes|cg|ep|lu|mm|nbody")
 	nodes := flag.Int("nodes", 4, "cluster nodes")
 	tpn := flag.Int("tpn", 4, "threads per node")
-	csv := flag.String("csv", "", "write the full event stream to this file")
+	csv := flag.String("csv", "", "write the full event stream as CSV to this file (same as -format csv -out)")
+	format := flag.String("format", "csv", "event stream encoding for -out: csv|perfetto")
+	out := flag.String("out", "", "write the full event stream to this file")
 	top := flag.Int("top", 10, "show the N hottest pages")
 	flag.Parse()
 
@@ -60,6 +66,20 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "argo-trace: unknown benchmark %q\n", *bench)
 		os.Exit(2)
+	}
+	// Validate the output encoding before spending minutes on the run.
+	path := *out
+	write := map[string]func(*trace.Tracer, *os.File) error{
+		"csv":      func(t *trace.Tracer, f *os.File) error { return t.WriteCSV(f) },
+		"perfetto": func(t *trace.Tracer, f *os.File) error { return t.WritePerfetto(f) },
+	}[*format]
+	if write == nil {
+		fmt.Fprintf(os.Stderr, "argo-trace: unknown format %q (want csv|perfetto)\n", *format)
+		os.Exit(2)
+	}
+	if *csv != "" { // legacy spelling of -format csv -out FILE
+		path = *csv
+		write = func(t *trace.Tracer, f *os.File) error { return t.WriteCSV(f) }
 	}
 
 	tr := trace.New(0)
@@ -71,8 +91,11 @@ func main() {
 	defer func() { core.TraceHook = nil }()
 
 	r := run(cfg, *tpn)
-	fmt.Printf("%s on %d×%d: %.3f virtual ms, %d events (%d dropped)\n",
-		*bench, *nodes, *tpn, float64(r.Time)/1e6, len(tr.Events()), tr.Dropped())
+	fmt.Printf("%s on %d×%d: %.3f virtual ms, %d events\n",
+		*bench, *nodes, *tpn, float64(r.Time)/1e6, tr.Len())
+	if d := tr.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "argo-trace: %d events dropped (per-node buffer limit); raise trace.New's limit for a complete stream\n", d)
+	}
 
 	fmt.Println("\nevent counts:")
 	sum := tr.Summary()
@@ -108,17 +131,17 @@ func main() {
 		}
 	}
 
-	if *csv != "" {
-		f, err := os.Create(*csv)
+	if path != "" {
+		f, err := os.Create(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "argo-trace:", err)
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := tr.WriteCSV(f); err != nil {
+		if err := write(tr, f); err != nil {
 			fmt.Fprintln(os.Stderr, "argo-trace:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("\nfull event stream written to %s\n", *csv)
+		fmt.Printf("\nfull event stream written to %s\n", path)
 	}
 }

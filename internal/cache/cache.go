@@ -60,6 +60,12 @@ type Cache struct {
 	Lines        int
 	PagesPerLine int
 
+	// MX, when non-nil, receives hit/miss/eviction counts and the
+	// write-buffer drain distribution (package metrics). The coherence
+	// layer, which drives all cache transitions, does most of the
+	// recording; hot paths pay a nil check.
+	MX *Probes
+
 	lineLocks []sync.Mutex
 	slots     []Slot // Lines * PagesPerLine
 
@@ -242,9 +248,12 @@ func (c *Cache) WBPush(page int) (victim int, evict bool) {
 // the caller skips pages that are no longer dirty.
 func (c *Cache) WBDrain() []int {
 	c.wbMu.Lock()
-	defer c.wbMu.Unlock()
 	q := c.wbQ
 	c.wbQ = nil
+	c.wbMu.Unlock()
+	if c.MX != nil {
+		c.MX.WBDrainPages.Record(c.Node, int64(len(q)))
+	}
 	return q
 }
 

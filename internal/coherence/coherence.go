@@ -106,6 +106,30 @@ type Node struct {
 	// Trc, when non-nil, receives one event per protocol action
 	// (package trace). The hot paths pay a nil check.
 	Trc *trace.Tracer
+
+	// MX, when non-nil, receives fence latency samples, SI filter
+	// effectiveness and per-page attribution (package metrics). Same
+	// nil-check discipline as the tracer.
+	MX *Probes
+}
+
+// ev records one trace event with the recording thread's track identity
+// (one more nil check than Tracer.Record, saving the Event construction
+// when tracing is off).
+func (n *Node) ev(p *sim.Proc, k trace.Kind, page int, arg int64) {
+	if n.Trc == nil {
+		return
+	}
+	n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Tid: trace.TidOf(p.Socket, p.Core), Kind: k, Page: page, Arg: arg})
+}
+
+// evDur records a trace event spanning dur virtual nanoseconds ending now
+// (fences render as duration slices in the Perfetto timeline).
+func (n *Node) evDur(p *sim.Proc, k trace.Kind, page int, arg int64, dur sim.Time) {
+	if n.Trc == nil {
+		return
+	}
+	n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Tid: trace.TidOf(p.Socket, p.Core), Kind: k, Page: page, Arg: arg, Dur: dur})
 }
 
 // NewNode creates the coherence agent of node id.
@@ -165,11 +189,18 @@ func (n *Node) readSegment(p *sim.Proc, page, off int, dst []byte) {
 	s := n.Cache.SlotFor(page)
 	if s.Page != page || s.St == cache.Invalid {
 		n.St.ReadMisses.Add(1)
-		n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvReadMiss, Page: page})
+		n.ev(p, trace.EvReadMiss, page, 0)
+		if n.MX != nil {
+			n.Cache.MX.Misses.Inc()
+			n.MX.Pages.ReadMiss(page)
+		}
 		n.fetchLineLocked(p, l, page)
 		s = n.Cache.SlotFor(page)
 	} else {
 		p.Hits++
+		if n.MX != nil {
+			n.Cache.MX.Hits.Inc()
+		}
 	}
 	p.AdvanceTo(s.ReadyAt)
 	p.Advance(n.accessCost(len(dst)))
@@ -183,10 +214,17 @@ func (n *Node) writeSegment(p *sim.Proc, page, off int, src []byte) {
 	s := n.Cache.SlotFor(page)
 	if s.Page != page || s.St == cache.Invalid {
 		n.St.ReadMisses.Add(1) // write-allocate: fetch the page first
+		if n.MX != nil {
+			n.Cache.MX.Misses.Inc()
+			n.MX.Pages.ReadMiss(page)
+		}
 		n.fetchLineLocked(p, l, page)
 		s = n.Cache.SlotFor(page)
 	} else {
 		p.Hits++
+		if n.MX != nil {
+			n.Cache.MX.Hits.Inc()
+		}
 	}
 	p.AdvanceTo(s.ReadyAt)
 
@@ -233,7 +271,10 @@ func (n *Node) accessCost(nbytes int) sim.Time {
 func (n *Node) writeMissLocked(p *sim.Proc, s *cache.Slot) (victim int, evict bool) {
 	n.St.WriteMisses.Add(1)
 	page := s.Page
-	n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvWriteMiss, Page: page})
+	n.ev(p, trace.EvWriteMiss, page, 0)
+	if n.MX != nil {
+		n.MX.Pages.WriteMiss(page)
+	}
 
 	// Twin creation: a local page copy (the paper's "checkpointing for
 	// diffs happens only on a write miss").
@@ -250,14 +291,20 @@ func (n *Node) writeMissLocked(p *sim.Proc, s *cache.Slot) (victim int, evict bo
 			old.R.ForEach(func(r int) {
 				if r != n.ID {
 					n.Dir.Notify(p, page, r)
-					n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvNotify, Page: page, Arg: int64(r)})
+					n.ev(p, trace.EvNotify, page, int64(r))
+					if n.MX != nil {
+						n.MX.Pages.Notify(page)
+					}
 				}
 			})
 		case old.W.Count() == 1 && !old.W.Has(n.ID):
 			// SW→MW: only the previous single writer cares; for everyone
 			// else SW (someone else) and MW are equivalent.
 			n.Dir.Notify(p, page, old.W.First())
-			n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvNotify, Page: page, Arg: int64(old.W.First())})
+			n.ev(p, trace.EvNotify, page, int64(old.W.First()))
+			if n.MX != nil {
+				n.MX.Pages.Notify(page)
+			}
 		}
 	}
 
@@ -295,6 +342,10 @@ func (n *Node) fetchLineLocked(p *sim.Proc, l, page int) {
 			// Conflict eviction of a dirty page: downgrade it first.
 			n.writebackSlotLocked(p, s)
 		}
+		if s.Page >= 0 && s.St != cache.Invalid && n.MX != nil {
+			n.Cache.MX.Evictions.Inc()
+			n.MX.Pages.Evict(s.Page)
+		}
 		s.Invalidate()
 		s.Page = want
 		n.Cache.EnsureData(s)
@@ -312,7 +363,10 @@ func (n *Node) fetchLineLocked(p *sim.Proc, l, page int) {
 			// Its own dirty data is already at the home (private pages
 			// self-downgrade in P/S3; in other modes everything does).
 			n.Dir.Notify(p, want, old.R.First())
-			n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvNotify, Page: want, Arg: int64(old.R.First())})
+			n.ev(p, trace.EvNotify, want, int64(old.R.First()))
+			if n.MX != nil {
+				n.MX.Pages.Notify(want)
+			}
 		}
 		pages[home]++
 		fetched = append(fetched, s)
@@ -337,7 +391,7 @@ func (n *Node) fetchLineLocked(p *sim.Proc, l, page int) {
 	if len(fetched) > 1 {
 		n.St.PrefetchedPages.Add(int64(len(fetched) - 1))
 	}
-	n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvLineFetch, Page: base, Arg: int64(len(fetched))})
+	n.ev(p, trace.EvLineFetch, base, int64(len(fetched)))
 	// Only one in-flight fetch per node (the prototype's MPI passive-RMA
 	// limitation): serialize the span of this fetch on the node gate.
 	n.Cache.FetchGate.OccupyAt(p, t0, p.Now()-t0)
@@ -384,7 +438,10 @@ func (n *Node) writebackSlotLocked(p *sim.Proc, s *cache.Slot) {
 	n.Fab.RemoteWritePosted(p, home, tx)
 	n.St.Writebacks.Add(1)
 	n.St.WritebackBytes.Add(int64(tx))
-	n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvWriteback, Page: page, Arg: int64(tx)})
+	n.ev(p, trace.EvWriteback, page, int64(tx))
+	if n.MX != nil {
+		n.MX.Pages.Writeback(page)
+	}
 	s.St = cache.Clean
 	s.DropTwin()
 }
@@ -398,7 +455,7 @@ func (n *Node) writebackSlotLocked(p *sim.Proc, s *cache.Slot) {
 func (n *Node) checkpointSlotLocked(p *sim.Proc, s *cache.Slot) {
 	p.Advance(n.Opt.CheckpointPageCost + n.Fab.P.CopyCost(n.Cache.PageSize))
 	n.St.Checkpoints.Add(1)
-	n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvCheckpoint, Page: s.Page})
+	n.ev(p, trace.EvCheckpoint, s.Page, 0)
 	n.Space.WritePageFull(s.Page, s.Data)
 	s.St = cache.Clean
 	s.DropTwin()
@@ -437,6 +494,7 @@ func ShouldSelfInvalidate(m Mode, e directory.Entry, self int) bool {
 // SI fence affects all of them (the paper's common-page-cache tradeoff).
 func (n *Node) SIFence(p *sim.Proc) {
 	n.St.SIFences.Add(1)
+	t0 := p.Now()
 	var inv, kept int64
 	n.Cache.ForEachUsedLine(func(l int, slots []*cache.Slot) {
 		for _, s := range slots {
@@ -453,14 +511,23 @@ func (n *Node) SIFence(p *sim.Proc) {
 			if s.St == cache.Dirty {
 				n.writebackSlotLocked(p, s)
 			}
-			n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvInvalidate, Page: s.Page})
+			n.ev(p, trace.EvInvalidate, s.Page, 0)
+			if n.MX != nil {
+				n.MX.Pages.Invalidate(s.Page)
+			}
 			s.Invalidate()
 			n.St.SelfInvalidations.Add(1)
 			inv++
 		}
 	})
-	n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvSIFence, Page: -1, Arg: inv})
-	_ = kept
+	n.evDur(p, trace.EvSIFence, -1, inv, p.Now()-t0)
+	if n.MX != nil {
+		n.MX.SIFenceNs.Record(n.ID, p.Now()-t0)
+		n.MX.SIInvPerFence.Record(n.ID, inv)
+		n.MX.SIKeptPerFence.Record(n.ID, kept)
+		n.MX.PagesInvalidated.Add(inv)
+		n.MX.PagesKept.Add(kept)
+	}
 }
 
 // SDFence self-downgrades all dirty pages: the write buffer is flushed, and
@@ -468,6 +535,7 @@ func (n *Node) SIFence(p *sim.Proc) {
 // spot (the cost that motivates P/S3's private self-downgrade).
 func (n *Node) SDFence(p *sim.Proc) {
 	n.St.SDFences.Add(1)
+	t0 := p.Now()
 	wrote := false
 	n.Cache.ForEachUsedLine(func(l int, slots []*cache.Slot) {
 		for _, s := range slots {
@@ -491,7 +559,10 @@ func (n *Node) SDFence(p *sim.Proc) {
 		// completes (the flush that makes the writes globally visible).
 		p.Advance(n.Fab.P.RemoteLatency)
 	}
-	n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Kind: trace.EvSDFence, Page: -1})
+	n.evDur(p, trace.EvSDFence, -1, 0, p.Now()-t0)
+	if n.MX != nil {
+		n.MX.SDFenceNs.Record(n.ID, p.Now()-t0)
+	}
 }
 
 // ResetForPhase drops all cached state (after flushing it home so no data is

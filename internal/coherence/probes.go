@@ -1,0 +1,45 @@
+package coherence
+
+import "argo/internal/metrics"
+
+// Probes are Carina's Argoscope instruments: fence duration histograms, the
+// per-fence distribution of pages invalidated vs. retained (the direct
+// measure of how well the Pyxis classification filters SI), labeled fence
+// outcome counters, and the per-page hot-spot profile. Node.MX is nil
+// unless metrics are attached; hot paths pay one nil check.
+type Probes struct {
+	SIFenceNs *metrics.Histogram // SI fence duration
+	SDFenceNs *metrics.Histogram // SD fence duration
+
+	SIInvPerFence  *metrics.Histogram // pages invalidated per SI fence
+	SIKeptPerFence *metrics.Histogram // pages retained per SI fence
+
+	PagesInvalidated *metrics.Counter
+	PagesKept        *metrics.Counter
+
+	// Pages attributes protocol events (misses, writebacks,
+	// invalidations, notifies, evictions) to pages for argo-top.
+	Pages *metrics.PageProfile
+}
+
+// NewProbes resolves Carina's metric series in r and binds the shared
+// page profile.
+func NewProbes(r *metrics.Registry, pages *metrics.PageProfile) *Probes {
+	const (
+		fenceName = "argo_fence_ns"
+		fenceHelp = "Virtual duration of coherence fences"
+		siName    = "argo_si_fence_pages"
+		siHelp    = "Pages examined per SI fence by outcome"
+		cntName   = "argo_fence_pages_total"
+		cntHelp   = "Pages processed at SI fences by outcome"
+	)
+	return &Probes{
+		SIFenceNs:        r.Histogram(fenceName, fenceHelp, metrics.L("kind", "si")),
+		SDFenceNs:        r.Histogram(fenceName, fenceHelp, metrics.L("kind", "sd")),
+		SIInvPerFence:    r.Histogram(siName, siHelp, metrics.L("outcome", "invalidated")),
+		SIKeptPerFence:   r.Histogram(siName, siHelp, metrics.L("outcome", "kept")),
+		PagesInvalidated: r.Counter(cntName, cntHelp, metrics.L("outcome", "invalidated")),
+		PagesKept:        r.Counter(cntName, cntHelp, metrics.L("outcome", "kept")),
+		Pages:            pages,
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"argo/internal/directory"
 	"argo/internal/fabric"
 	"argo/internal/mem"
+	"argo/internal/metrics"
 	"argo/internal/sim"
 	"argo/internal/stats"
 	"argo/internal/trace"
@@ -131,6 +132,11 @@ type Cluster struct {
 	// root argo package wires it to Vela's hierarchical barrier.
 	BarrierFactory func(c *Cluster, threadsPerNode int) BarrierWaiter
 
+	// MX, when non-nil, is the Argoscope observability suite every layer
+	// of this cluster reports into (see AttachMetrics). Locks and
+	// barriers built over this cluster read it at construction time.
+	MX *metrics.Suite
+
 	runMu  sync.Mutex
 	hits   atomic.Int64
 	epochs atomic.Int64 // default-barrier episodes (drives decay)
@@ -159,6 +165,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if TraceHook != nil {
 		TraceHook(cl)
 	}
+	if MetricsHook != nil {
+		MetricsHook(cl)
+	}
 	return cl, nil
 }
 
@@ -166,6 +175,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // Tooling (cmd/argo-trace) uses it to attach a tracer to clusters that
 // workload runners construct internally. Not for concurrent mutation.
 var TraceHook func(*Cluster)
+
+// MetricsHook, when non-nil, is invoked with every newly built Cluster.
+// Tooling (cmd/argo-bench, cmd/argo-top) uses it to attach one metrics
+// suite to clusters that workload runners construct internally. Not for
+// concurrent mutation.
+var MetricsHook func(*Cluster)
 
 // MustNewCluster is NewCluster that panics on error (tests, examples).
 func MustNewCluster(cfg Config) *Cluster {
@@ -211,6 +226,29 @@ func (c *Cluster) NextEpoch() int64 { return c.epochs.Add(1) }
 func (c *Cluster) AttachTracer(t *trace.Tracer) {
 	for _, n := range c.Nodes {
 		n.Trc = t
+	}
+}
+
+// AttachMetrics connects an Argoscope suite to every layer of the cluster:
+// the fabric, each coherence agent and each page cache get probes resolved
+// in the suite's registry (pass nil to detach). Metric series are keyed by
+// name+labels, so several clusters can share one suite and accumulate.
+// Locks and barriers pick the suite up from Cluster.MX when constructed, so
+// attach before building them. Disabled cost is one nil check per hot path.
+func (c *Cluster) AttachMetrics(ms *metrics.Suite) {
+	c.MX = ms
+	if ms == nil {
+		c.Fab.MX = nil
+		for _, n := range c.Nodes {
+			n.MX = nil
+			n.Cache.MX = nil
+		}
+		return
+	}
+	c.Fab.MX = fabric.NewProbes(ms.Reg)
+	for _, n := range c.Nodes {
+		n.MX = coherence.NewProbes(ms.Reg, ms.Pages)
+		n.Cache.MX = cache.NewProbes(ms.Reg)
 	}
 }
 

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"argo/internal/metrics"
+)
+
+// TestAttachMetricsWiring runs a small cross-node workload with a metrics
+// suite attached and checks each instrumented layer produced data: fabric
+// op histograms/counters, fence histograms, cache hit/miss counters, and
+// page attribution. (Lock and barrier probes are exercised by their own
+// packages' tests; they build on the same suite.)
+func TestAttachMetricsWiring(t *testing.T) {
+	ms := metrics.NewSuite()
+	c := MustNewCluster(testConfig(2))
+	c.AttachMetrics(ms)
+
+	xs := c.AllocF64(4096) // spans pages homed on both nodes
+	c.Run(1, func(th *Thread) {
+		lo := th.Rank * xs.Len / th.NT
+		hi := (th.Rank + 1) * xs.Len / th.NT
+		for i := lo; i < hi; i++ {
+			th.SetF64(xs, i, float64(i))
+		}
+		th.Coh.SIFence(th.P)
+		for i := 0; i < xs.Len; i++ {
+			th.GetF64(xs, i)
+		}
+		th.Coh.SDFence(th.P)
+	})
+
+	d := ms.Reg.Dump()
+	hists := map[string]int64{}
+	for _, h := range d.Histograms {
+		key := h.Name
+		for _, v := range h.Labels {
+			key += "/" + v
+		}
+		hists[key] += h.Count
+	}
+	counters := map[string]int64{}
+	for _, cs := range d.Counters {
+		counters[cs.Name] += cs.Value
+	}
+	for _, want := range []string{"argo_fabric_op_ns/line_fetch", "argo_fence_ns/si", "argo_fence_ns/sd"} {
+		if hists[want] == 0 {
+			t.Errorf("histogram %s recorded nothing (have %v)", want, hists)
+		}
+	}
+	for _, want := range []string{"argo_fabric_ops_total", "argo_cache_events_total", "argo_fence_pages_total"} {
+		if counters[want] == 0 {
+			t.Errorf("counter %s recorded nothing (have %v)", want, counters)
+		}
+	}
+	if ms.Pages.Len() == 0 {
+		t.Error("page profile attributed nothing")
+	}
+
+	var buf bytes.Buffer
+	if err := ms.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("metrics dump not valid JSON: %v", err)
+	}
+
+	buf.Reset()
+	if err := ms.Reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# TYPE argo_fabric_op_ns summary") {
+		t.Error("prometheus exposition missing fabric histogram family")
+	}
+
+	// Detaching must clear every probe pointer again.
+	c.AttachMetrics(nil)
+	if c.MX != nil || c.Fab.MX != nil || c.Nodes[0].MX != nil || c.Nodes[0].Cache.MX != nil {
+		t.Error("AttachMetrics(nil) left probes attached")
+	}
+}
+
+// TestMetricsHookInjection mirrors the argo-top/argo-bench flow: the hook
+// attaches one shared suite to every cluster built while it is set.
+func TestMetricsHookInjection(t *testing.T) {
+	ms := metrics.NewSuite()
+	MetricsHook = func(c *Cluster) { c.AttachMetrics(ms) }
+	defer func() { MetricsHook = nil }()
+
+	for i := 0; i < 2; i++ {
+		c := MustNewCluster(testConfig(2))
+		if c.MX != ms {
+			t.Fatal("hook did not attach the suite")
+		}
+		xs := c.AllocF64(1024)
+		c.Run(1, func(th *Thread) {
+			for i := 0; i < xs.Len; i++ {
+				th.SetF64(xs, i, 1)
+			}
+			th.Coh.SDFence(th.P)
+		})
+	}
+	if n := ms.Reg.Dump(); len(n.Counters) == 0 {
+		t.Fatal("shared suite accumulated nothing across clusters")
+	}
+}

@@ -101,6 +101,10 @@ type Fabric struct {
 	P    Params
 	Topo sim.Topology
 
+	// MX, when non-nil, receives a latency sample and an op count for
+	// every remote operation (package metrics). Hot paths pay a nil check.
+	MX *Probes
+
 	nics  []sim.Resource // per-node NIC DMA engines
 	nodes []*stats.Node
 }
@@ -161,12 +165,17 @@ func (f *Fabric) RemoteRead(p *sim.Proc, home, n int) {
 		p.Advance(f.P.DRAMLatency + f.P.CopyCost(n))
 		return
 	}
+	t0 := p.Now()
 	p.Advance(f.P.RemoteLatency) // request reaches the home NIC
 	f.occupyNIC(p, home, f.P.TransferCost(n))
 	p.Advance(f.P.RemoteLatency) // data returns
 	f.account(p.Node, home, n)
 	f.nodes[home].BytesSent.Add(int64(n))
 	f.nodes[p.Node].BytesReceived.Add(int64(n))
+	if f.MX != nil {
+		f.MX.ReadNs.Record(p.Node, p.Now()-t0)
+		f.MX.ReadOps.Inc()
+	}
 }
 
 // RemoteWrite charges for an RDMA write of n bytes to node home, issued by
@@ -177,11 +186,16 @@ func (f *Fabric) RemoteWrite(p *sim.Proc, home, n int) {
 		p.Advance(f.P.DRAMLatency + f.P.CopyCost(n))
 		return
 	}
+	t0 := p.Now()
 	p.Advance(f.P.RemoteLatency)
 	f.occupyNIC(p, home, f.P.TransferCost(n))
 	f.account(p.Node, home, n)
 	f.nodes[p.Node].BytesSent.Add(int64(n))
 	f.nodes[home].BytesReceived.Add(int64(n))
+	if f.MX != nil {
+		f.MX.WriteNs.Record(p.Node, p.Now()-t0)
+		f.MX.WriteOps.Inc()
+	}
 }
 
 // LineFetch charges for one cache-line fetch (Argo's prefetching): the
@@ -215,6 +229,7 @@ func (f *Fabric) LineFetch(p *sim.Proc, regs, pages map[int]int, bytesEach int) 
 	if !anyRemote {
 		return
 	}
+	tRemote := p.Now()
 	p.Advance(f.P.RemoteLatency)
 	arrival := p.Now()
 	wire := f.P.TransferCost(bytesEach)
@@ -249,6 +264,10 @@ func (f *Fabric) LineFetch(p *sim.Proc, regs, pages map[int]int, bytesEach int) 
 		f.nodes[p.Node].BytesReceived.Add(int64(c * bytesEach))
 	}
 	p.Advance(f.P.RemoteLatency)
+	if f.MX != nil {
+		f.MX.FetchNs.Record(p.Node, p.Now()-tRemote)
+		f.MX.FetchOps.Inc()
+	}
 }
 
 // RemoteWritePosted charges for a posted one-sided write of n bytes to
@@ -261,11 +280,16 @@ func (f *Fabric) RemoteWritePosted(p *sim.Proc, home, n int) {
 		p.Advance(f.P.DRAMLatency + f.P.CopyCost(n))
 		return
 	}
+	t0 := p.Now()
 	p.Advance(f.P.PostOverhead)
 	f.occupyNIC(p, home, f.P.TransferCost(n))
 	f.account(p.Node, home, n)
 	f.nodes[p.Node].BytesSent.Add(int64(n))
 	f.nodes[home].BytesReceived.Add(int64(n))
+	if f.MX != nil {
+		f.MX.PostNs.Record(p.Node, p.Now()-t0)
+		f.MX.PostOps.Inc()
+	}
 }
 
 // RemoteAtomic charges for a remote atomic (fetch-and-or / fetch-and-add /
@@ -276,11 +300,16 @@ func (f *Fabric) RemoteAtomic(p *sim.Proc, home int) {
 		p.Advance(f.P.DRAMLatency)
 		return
 	}
+	t0 := p.Now()
 	p.Advance(f.P.RemoteLatency)
 	f.occupyNIC(p, home, f.P.DirService)
 	p.Advance(f.P.RemoteLatency)
 	f.account(p.Node, home, 16)
 	f.nodes[p.Node].DirOps.Add(1)
+	if f.MX != nil {
+		f.MX.AtomicNs.Record(p.Node, p.Now()-t0)
+		f.MX.AtomicOps.Inc()
+	}
 }
 
 // account records one network transaction of n payload bytes between nodes.

@@ -1,0 +1,49 @@
+package fabric
+
+import "argo/internal/metrics"
+
+// Probes are the fabric's Argoscope instruments: one latency histogram and
+// one labeled op counter per remote operation kind. The histograms measure
+// virtual wall time from issue to completion as seen by the issuing Proc —
+// wire latency plus NIC occupancy (queueing), which is the quantity the
+// paper's Figure 7 reasons about. Loopback (same-node) operations are not
+// recorded: they never touch the wire.
+//
+// Fabric.MX is nil unless metrics are attached; every hot path pays one nil
+// check, exactly like the tracer.
+type Probes struct {
+	ReadNs   *metrics.Histogram
+	WriteNs  *metrics.Histogram
+	PostNs   *metrics.Histogram
+	FetchNs  *metrics.Histogram
+	AtomicNs *metrics.Histogram
+
+	ReadOps   *metrics.Counter
+	WriteOps  *metrics.Counter
+	PostOps   *metrics.Counter
+	FetchOps  *metrics.Counter
+	AtomicOps *metrics.Counter
+}
+
+// NewProbes resolves the fabric's metric series in r. Series are shared by
+// name+label, so probes of several clusters accumulate into one registry.
+func NewProbes(r *metrics.Registry) *Probes {
+	const (
+		histName = "argo_fabric_op_ns"
+		histHelp = "Virtual latency of remote fabric operations (issue to completion, incl. NIC queueing)"
+		cntName  = "argo_fabric_ops_total"
+		cntHelp  = "Remote fabric operations issued"
+	)
+	h := func(op string) *metrics.Histogram {
+		return r.Histogram(histName, histHelp, metrics.L("op", op))
+	}
+	c := func(op string) *metrics.Counter {
+		return r.Counter(cntName, cntHelp, metrics.L("op", op))
+	}
+	return &Probes{
+		ReadNs: h("remote_read"), WriteNs: h("remote_write"), PostNs: h("posted_write"),
+		FetchNs: h("line_fetch"), AtomicNs: h("remote_atomic"),
+		ReadOps: c("remote_read"), WriteOps: c("remote_write"), PostOps: c("posted_write"),
+		FetchOps: c("line_fetch"), AtomicOps: c("remote_atomic"),
+	}
+}

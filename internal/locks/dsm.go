@@ -5,8 +5,47 @@ import (
 	"sync"
 
 	"argo/internal/core"
+	"argo/internal/metrics"
 	"argo/internal/sim"
 )
+
+// dsmLockMX bundles the Argoscope instruments of one DSM lock instance:
+// the acquire-latency histogram (ticket + handover + SI fence — the full
+// cost a critical section pays before it can start), an acquire counter
+// labeled by algorithm, and the per-instance contention profile entry for
+// argo-top. Locks built on a cluster without metrics hold nil and pay one
+// nil check per operation.
+type dsmLockMX struct {
+	acquireNs *metrics.Histogram
+	acquires  *metrics.Counter
+	stat      *metrics.LockStat
+}
+
+func newDSMLockMX(c *core.Cluster, kind string) *dsmLockMX {
+	if c.MX == nil {
+		return nil
+	}
+	return &dsmLockMX{
+		acquireNs: c.MX.Reg.Histogram("argo_lock_acquire_ns",
+			"Virtual latency from lock call to critical-section entry (incl. acquire fence)",
+			metrics.L("lock", kind)),
+		acquires: c.MX.Reg.Counter("argo_lock_acquires_total",
+			"Lock acquisitions", metrics.L("lock", kind)),
+		stat: c.MX.Locks.Register(kind),
+	}
+}
+
+// acquired records one acquisition that started at t0; called while the
+// lock is held.
+func (m *dsmLockMX) acquired(t *core.Thread, t0 sim.Time) {
+	if m == nil {
+		return
+	}
+	w := t.P.Now() - t0
+	m.acquireNs.Record(t.Node, w)
+	m.acquires.Inc()
+	m.stat.Acquired(w)
+}
 
 // DSMLock is a mutual-exclusion lock for threads anywhere in the cluster.
 // Implementations apply Carina's fence discipline themselves: SI on acquire,
@@ -92,25 +131,35 @@ func (l *GlobalTicketLock) Unlock(t *core.Thread) {
 // lock with an SI fence on every acquire and an SD fence on every release.
 // Every critical section pays both fences plus the misses the SI causes.
 type DSMMutex struct {
-	g *GlobalTicketLock
+	g      *GlobalTicketLock
+	mx     *dsmLockMX
+	heldAt sim.Time // written and read only while holding the lock
 }
 
 // NewDSMMutex creates a fenced global mutex homed at node home.
 func NewDSMMutex(c *core.Cluster, home int) *DSMMutex {
-	return &DSMMutex{g: NewGlobalTicketLock(c, home)}
+	return &DSMMutex{g: NewGlobalTicketLock(c, home), mx: newDSMLockMX(c, "dsm-mutex")}
 }
 
 var _ DSMLock = (*DSMMutex)(nil)
 
 // Lock acquires the mutex and self-invalidates the caller's node.
 func (l *DSMMutex) Lock(t *core.Thread) {
+	t0 := t.P.Now()
 	l.g.Lock(t)
 	t.Coh.SIFence(t.P)
+	if l.mx != nil {
+		l.mx.acquired(t, t0)
+		l.heldAt = t.P.Now()
+	}
 }
 
 // Unlock self-downgrades the caller's node and releases.
 func (l *DSMMutex) Unlock(t *core.Thread) {
 	t.Coh.SDFence(t.P)
+	if l.mx != nil {
+		l.mx.stat.Released(t.P.Now() - l.heldAt)
+	}
 	l.g.Unlock(t)
 }
 
@@ -124,6 +173,8 @@ type DSMCohortLock struct {
 	c      *core.Cluster
 	global *GlobalTicketLock
 	nodes  []*cohortSocket
+	mx     *dsmLockMX
+	heldAt sim.Time // written and read only while holding the lock
 
 	// BatchLimit bounds consecutive local handovers.
 	BatchLimit int
@@ -134,6 +185,7 @@ func NewDSMCohortLock(c *core.Cluster) *DSMCohortLock {
 	l := &DSMCohortLock{
 		c:          c,
 		global:     NewGlobalTicketLock(c, 0),
+		mx:         newDSMLockMX(c, "cohort"),
 		BatchLimit: 64,
 	}
 	for i := 0; i < c.Cfg.Nodes; i++ {
@@ -148,6 +200,7 @@ var _ DSMLock = (*DSMCohortLock)(nil)
 
 // Lock acquires the cohort lock and self-invalidates the caller's node.
 func (l *DSMCohortLock) Lock(t *core.Thread) {
+	t0 := t.P.Now()
 	s := l.nodes[t.Node]
 	s.local.lock(t.P)
 	if !s.ownsGlobal {
@@ -156,19 +209,32 @@ func (l *DSMCohortLock) Lock(t *core.Thread) {
 		s.batch = 0
 	}
 	t.Coh.SIFence(t.P)
+	if l.mx != nil {
+		l.mx.acquired(t, t0)
+		l.heldAt = t.P.Now()
+	}
 }
 
 // Unlock self-downgrades and hands over, preferring a waiter on this node.
 func (l *DSMCohortLock) Unlock(t *core.Thread) {
 	t.Coh.SDFence(t.P)
+	if l.mx != nil {
+		l.mx.stat.Released(t.P.Now() - l.heldAt)
+	}
 	s := l.nodes[t.Node]
 	s.batch++
 	if s.local.hasWaiters() && s.batch < l.BatchLimit {
 		l.c.Fab.NodeStats(t.Node).LockHandoversLocal.Add(1)
+		if l.mx != nil {
+			l.mx.stat.Local.Add(1)
+		}
 		s.local.unlock(t.P)
 		return
 	}
 	l.c.Fab.NodeStats(t.Node).LockHandoversRemote.Add(1)
+	if l.mx != nil {
+		l.mx.stat.Remote.Add(1)
+	}
 	s.ownsGlobal = false
 	l.global.Unlock(t)
 	s.local.unlock(t.P)

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"argo/internal/core"
+	"argo/internal/metrics"
 	"argo/internal/sim"
 )
 
@@ -26,6 +27,11 @@ type HQDLock struct {
 	c      *core.Cluster
 	global *GlobalTicketLock
 	nodes  []*nodeQueue
+	mx     *dsmLockMX
+	// batchSections samples how many critical sections each helper batch
+	// executed under one global acquisition (own + delegated) — the lever
+	// that amortizes the two fences. Nil when metrics are off.
+	batchSections *metrics.Histogram
 
 	// BatchLimit caps how many sections one queue opening accepts.
 	BatchLimit int
@@ -61,9 +67,14 @@ func NewHQDLock(c *core.Cluster) *HQDLock {
 	l := &HQDLock{
 		c:           c,
 		global:      NewGlobalTicketLock(c, 0),
+		mx:          newDSMLockMX(c, "hqdl"),
 		BatchLimit:  128,
 		EnqueueCost: c.Fab.P.LocalLatency,
 		DequeueCost: c.Fab.P.LocalLatency,
+	}
+	if c.MX != nil {
+		l.batchSections = c.MX.Reg.Histogram("argo_hqdl_batch_sections",
+			"Critical sections executed per helper batch (one global acquire + fence pair)")
 	}
 	for i := 0; i < c.Cfg.Nodes; i++ {
 		l.nodes = append(l.nodes, &nodeQueue{})
@@ -129,10 +140,14 @@ func (l *HQDLock) delegate(t *core.Thread, section func(h *core.Thread), wait bo
 func (l *HQDLock) runHelper(t *core.Thread, nq *nodeQueue, own func(h *core.Thread)) {
 	// The node becomes the active node: acquire the global lock and
 	// self-invalidate once for the whole batch.
+	t0 := t.P.Now()
 	l.global.Lock(t)
 	t.Coh.SIFence(t.P)
+	l.mx.acquired(t, t0)
+	heldAt := t.P.Now()
 
 	own(t)
+	sections := 1
 	count := 0
 	for {
 		// Yield before each queue inspection so same-node delegators can
@@ -147,18 +162,24 @@ func (l *HQDLock) runHelper(t *core.Thread, nq *nodeQueue, own func(h *core.Thre
 			for _, e := range rest {
 				l.execute(t, e)
 			}
+			sections += len(rest)
 			break
 		}
 		e := nq.queue[0]
 		nq.queue = nq.queue[1:]
 		nq.mu.Unlock()
 		l.execute(t, e)
+		sections++
 		count++
 	}
 
 	// One self-downgrade publishes the whole batch, then the global lock
 	// moves on.
 	t.Coh.SDFence(t.P)
+	if l.mx != nil {
+		l.mx.stat.Released(t.P.Now() - heldAt)
+		l.batchSections.Record(t.Node, int64(sections))
+	}
 	l.global.Unlock(t)
 
 	nq.mu.Lock()
@@ -172,6 +193,9 @@ func (l *HQDLock) execute(t *core.Thread, e hqEntry) {
 	t.P.AdvanceTo(e.enqAt)
 	e.section(t)
 	l.c.Fab.NodeStats(t.Node).DelegatedSections.Add(1)
+	if l.mx != nil {
+		l.mx.stat.Delegated.Add(1)
+	}
 	if e.done != nil {
 		e.done <- t.P.Now()
 	}

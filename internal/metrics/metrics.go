@@ -1,0 +1,212 @@
+// Package metrics is Argoscope's measurement substrate: a registry of
+// labeled counters, gauges and mergeable latency histograms, exportable as
+// Prometheus exposition text and as JSON, plus hot-spot profiles (top-K
+// pages and locks) for the protocol layers.
+//
+// Everything is designed around the same discipline as package trace: the
+// instrumented hot paths hold probe pointers that are nil when observability
+// is off, so the disabled cost is one nil check. When enabled, recording is
+// atomic adds on sharded state — no locks on any path a simulated thread
+// takes.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value metric dimension.
+type Label struct {
+	Key string
+	Val string
+}
+
+// L is shorthand for constructing a Label.
+func L(k, v string) Label { return Label{Key: k, Val: v} }
+
+// Counter is a monotonically increasing labeled counter. Nil-safe.
+type Counter struct {
+	name   string
+	labels []Label
+	v      atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds d (d must be non-negative for Prometheus semantics).
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a labeled value that can go up and down. Nil-safe.
+type Gauge struct {
+	name   string
+	labels []Label
+	v      atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type family struct {
+	name string
+	help string
+	kind metricKind
+}
+
+type seriesKey struct {
+	name   string
+	labels string // canonical encoding
+}
+
+// Registry holds all metric families and their labeled series. Looking up a
+// collector is idempotent: the same (name, labels) always returns the same
+// instance, so probes of many clusters can share series.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	counters map[seriesKey]*Counter
+	gauges   map[seriesKey]*Gauge
+	hists    map[seriesKey]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: map[string]*family{},
+		counters: map[seriesKey]*Counter{},
+		gauges:   map[seriesKey]*Gauge{},
+		hists:    map[seriesKey]*Histogram{},
+	}
+}
+
+func canonLabels(labels []Label) ([]Label, string) {
+	if len(labels) == 0 {
+		return nil, ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Val)
+	}
+	return ls, b.String()
+}
+
+func (r *Registry) family(name, help string, k metricKind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k}
+		r.families[name] = f
+	} else if f.kind != k {
+		panic(fmt.Sprintf("metrics: %s registered as two different kinds", name))
+	}
+	return f
+}
+
+// Counter returns (creating on first use) the counter series name{labels}.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	ls, enc := canonLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.family(name, help, kindCounter)
+	k := seriesKey{name, enc}
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{name: name, labels: ls}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge series name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	ls, enc := canonLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.family(name, help, kindGauge)
+	k := seriesKey{name, enc}
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{name: name, labels: ls}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the histogram series
+// name{labels}.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	ls, enc := canonLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.family(name, help, kindHistogram)
+	k := seriesKey{name, enc}
+	h, ok := r.hists[k]
+	if !ok {
+		h = newHistogram(name, ls)
+		r.hists[k] = h
+	}
+	return h
+}
+
+// Suite bundles the registry with the hot-spot profiles; it is what gets
+// attached to a cluster (core.Cluster.AttachMetrics).
+type Suite struct {
+	Reg   *Registry
+	Pages *PageProfile
+	Locks *LockProfile
+}
+
+// NewSuite creates an empty observability suite.
+func NewSuite() *Suite {
+	return &Suite{Reg: NewRegistry(), Pages: NewPageProfile(), Locks: NewLockProfile()}
+}

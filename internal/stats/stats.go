@@ -48,78 +48,60 @@ type Snapshot struct {
 	DelegatedSections                                     int64
 }
 
+// fields is the single source of truth pairing each Node counter with its
+// Snapshot field and report name. Snapshot, Add, Sub and String walk this
+// table; a reflection test asserts it covers every field of both structs,
+// so adding a counter means adding exactly one row here.
+var fields = []struct {
+	name string
+	node func(*Node) *atomic.Int64
+	snap func(*Snapshot) *int64
+}{
+	{"read-misses", func(n *Node) *atomic.Int64 { return &n.ReadMisses }, func(s *Snapshot) *int64 { return &s.ReadMisses }},
+	{"write-misses", func(n *Node) *atomic.Int64 { return &n.WriteMisses }, func(s *Snapshot) *int64 { return &s.WriteMisses }},
+	{"cold-fetches", func(n *Node) *atomic.Int64 { return &n.ColdFetches }, func(s *Snapshot) *int64 { return &s.ColdFetches }},
+	{"prefetched-pages", func(n *Node) *atomic.Int64 { return &n.PrefetchedPages }, func(s *Snapshot) *int64 { return &s.PrefetchedPages }},
+	{"writebacks", func(n *Node) *atomic.Int64 { return &n.Writebacks }, func(s *Snapshot) *int64 { return &s.Writebacks }},
+	{"writeback-bytes", func(n *Node) *atomic.Int64 { return &n.WritebackBytes }, func(s *Snapshot) *int64 { return &s.WritebackBytes }},
+	{"self-invalidations", func(n *Node) *atomic.Int64 { return &n.SelfInvalidations }, func(s *Snapshot) *int64 { return &s.SelfInvalidations }},
+	{"si-fences", func(n *Node) *atomic.Int64 { return &n.SIFences }, func(s *Snapshot) *int64 { return &s.SIFences }},
+	{"sd-fences", func(n *Node) *atomic.Int64 { return &n.SDFences }, func(s *Snapshot) *int64 { return &s.SDFences }},
+	{"si-filtered", func(n *Node) *atomic.Int64 { return &n.SIFiltered }, func(s *Snapshot) *int64 { return &s.SIFiltered }},
+	{"dir-ops", func(n *Node) *atomic.Int64 { return &n.DirOps }, func(s *Snapshot) *int64 { return &s.DirOps }},
+	{"dir-notifies", func(n *Node) *atomic.Int64 { return &n.DirNotifies }, func(s *Snapshot) *int64 { return &s.DirNotifies }},
+	{"checkpoints", func(n *Node) *atomic.Int64 { return &n.Checkpoints }, func(s *Snapshot) *int64 { return &s.Checkpoints }},
+	{"bytes-sent", func(n *Node) *atomic.Int64 { return &n.BytesSent }, func(s *Snapshot) *int64 { return &s.BytesSent }},
+	{"bytes-received", func(n *Node) *atomic.Int64 { return &n.BytesReceived }, func(s *Snapshot) *int64 { return &s.BytesReceived }},
+	{"messages", func(n *Node) *atomic.Int64 { return &n.Messages }, func(s *Snapshot) *int64 { return &s.Messages }},
+	{"lock-handovers-local", func(n *Node) *atomic.Int64 { return &n.LockHandoversLocal }, func(s *Snapshot) *int64 { return &s.LockHandoversLocal }},
+	{"lock-handovers-remote", func(n *Node) *atomic.Int64 { return &n.LockHandoversRemote }, func(s *Snapshot) *int64 { return &s.LockHandoversRemote }},
+	{"delegated-sections", func(n *Node) *atomic.Int64 { return &n.DelegatedSections }, func(s *Snapshot) *int64 { return &s.DelegatedSections }},
+}
+
 // Snapshot returns a consistent-enough copy of the counters. Individual
 // loads are atomic; the set is not a transaction, which is fine for
 // end-of-run reporting.
 func (n *Node) Snapshot() Snapshot {
-	return Snapshot{
-		ReadMisses:          n.ReadMisses.Load(),
-		WriteMisses:         n.WriteMisses.Load(),
-		ColdFetches:         n.ColdFetches.Load(),
-		PrefetchedPages:     n.PrefetchedPages.Load(),
-		Writebacks:          n.Writebacks.Load(),
-		WritebackBytes:      n.WritebackBytes.Load(),
-		SelfInvalidations:   n.SelfInvalidations.Load(),
-		SIFences:            n.SIFences.Load(),
-		SDFences:            n.SDFences.Load(),
-		SIFiltered:          n.SIFiltered.Load(),
-		DirOps:              n.DirOps.Load(),
-		DirNotifies:         n.DirNotifies.Load(),
-		Checkpoints:         n.Checkpoints.Load(),
-		BytesSent:           n.BytesSent.Load(),
-		BytesReceived:       n.BytesReceived.Load(),
-		Messages:            n.Messages.Load(),
-		LockHandoversLocal:  n.LockHandoversLocal.Load(),
-		LockHandoversRemote: n.LockHandoversRemote.Load(),
-		DelegatedSections:   n.DelegatedSections.Load(),
+	var s Snapshot
+	for _, f := range fields {
+		*f.snap(&s) = f.node(n).Load()
 	}
+	return s
 }
 
 // Add accumulates another snapshot into s.
 func (s *Snapshot) Add(o Snapshot) {
-	s.ReadMisses += o.ReadMisses
-	s.WriteMisses += o.WriteMisses
-	s.ColdFetches += o.ColdFetches
-	s.PrefetchedPages += o.PrefetchedPages
-	s.Writebacks += o.Writebacks
-	s.WritebackBytes += o.WritebackBytes
-	s.SelfInvalidations += o.SelfInvalidations
-	s.SIFences += o.SIFences
-	s.SDFences += o.SDFences
-	s.SIFiltered += o.SIFiltered
-	s.DirOps += o.DirOps
-	s.DirNotifies += o.DirNotifies
-	s.Checkpoints += o.Checkpoints
-	s.BytesSent += o.BytesSent
-	s.BytesReceived += o.BytesReceived
-	s.Messages += o.Messages
-	s.LockHandoversLocal += o.LockHandoversLocal
-	s.LockHandoversRemote += o.LockHandoversRemote
-	s.DelegatedSections += o.DelegatedSections
+	for _, f := range fields {
+		*f.snap(s) += *f.snap(&o)
+	}
 }
 
 // Sub returns s - o, field by field.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
 	r := s
-	r.ReadMisses -= o.ReadMisses
-	r.WriteMisses -= o.WriteMisses
-	r.ColdFetches -= o.ColdFetches
-	r.PrefetchedPages -= o.PrefetchedPages
-	r.Writebacks -= o.Writebacks
-	r.WritebackBytes -= o.WritebackBytes
-	r.SelfInvalidations -= o.SelfInvalidations
-	r.SIFences -= o.SIFences
-	r.SDFences -= o.SDFences
-	r.SIFiltered -= o.SIFiltered
-	r.DirOps -= o.DirOps
-	r.DirNotifies -= o.DirNotifies
-	r.Checkpoints -= o.Checkpoints
-	r.BytesSent -= o.BytesSent
-	r.BytesReceived -= o.BytesReceived
-	r.Messages -= o.Messages
-	r.LockHandoversLocal -= o.LockHandoversLocal
-	r.LockHandoversRemote -= o.LockHandoversRemote
-	r.DelegatedSections -= o.DelegatedSections
+	for _, f := range fields {
+		*f.snap(&r) -= *f.snap(&o)
+	}
 	return r
 }
 
@@ -129,26 +111,9 @@ func (s Snapshot) String() string {
 		k string
 		v int64
 	}
-	rows := []kv{
-		{"read-misses", s.ReadMisses},
-		{"write-misses", s.WriteMisses},
-		{"cold-fetches", s.ColdFetches},
-		{"prefetched-pages", s.PrefetchedPages},
-		{"writebacks", s.Writebacks},
-		{"writeback-bytes", s.WritebackBytes},
-		{"self-invalidations", s.SelfInvalidations},
-		{"si-fences", s.SIFences},
-		{"sd-fences", s.SDFences},
-		{"si-filtered", s.SIFiltered},
-		{"dir-ops", s.DirOps},
-		{"dir-notifies", s.DirNotifies},
-		{"checkpoints", s.Checkpoints},
-		{"bytes-sent", s.BytesSent},
-		{"bytes-received", s.BytesReceived},
-		{"messages", s.Messages},
-		{"lock-handovers-local", s.LockHandoversLocal},
-		{"lock-handovers-remote", s.LockHandoversRemote},
-		{"delegated-sections", s.DelegatedSections},
+	rows := make([]kv, 0, len(fields))
+	for _, f := range fields {
+		rows = append(rows, kv{f.name, *f.snap(&s)})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].k < rows[j].k })
 	var b strings.Builder

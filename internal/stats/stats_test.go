@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFieldTableCoversEveryField pins the field table to the Node and
+// Snapshot structs by reflection: every field of both structs must be
+// reachable through exactly one table row, so a counter added to Node
+// without a table row (or vice versa) fails here instead of silently
+// dropping out of Snapshot/Add/Sub/String.
+func TestFieldTableCoversEveryField(t *testing.T) {
+	nt := reflect.TypeOf(Node{})
+	st := reflect.TypeOf(Snapshot{})
+	if len(fields) != nt.NumField() {
+		t.Fatalf("field table has %d rows, Node has %d fields", len(fields), nt.NumField())
+	}
+	if st.NumField() != nt.NumField() {
+		t.Fatalf("Snapshot has %d fields, Node has %d", st.NumField(), nt.NumField())
+	}
+
+	// Store a distinct value into every Node field by reflection, then
+	// check each table row reads a distinct, planted value — proving the
+	// rows hit all fields, not one field many times.
+	var n Node
+	nv := reflect.ValueOf(&n).Elem()
+	planted := map[int64]string{}
+	for i := 0; i < nt.NumField(); i++ {
+		f := nt.Field(i)
+		if f.Type != reflect.TypeOf(atomic.Int64{}) {
+			t.Fatalf("Node.%s is %v, want atomic.Int64", f.Name, f.Type)
+		}
+		v := int64(1000 + i)
+		nv.Field(i).Addr().Interface().(*atomic.Int64).Store(v)
+		planted[v] = f.Name
+	}
+	seenName := map[string]bool{}
+	seenVal := map[int64]bool{}
+	var s Snapshot
+	for _, f := range fields {
+		if f.name == "" || seenName[f.name] {
+			t.Errorf("duplicate or empty row name %q", f.name)
+		}
+		seenName[f.name] = true
+		v := f.node(&n).Load()
+		if _, ok := planted[v]; !ok || seenVal[v] {
+			t.Errorf("row %q reads %d: not a unique planted value", f.name, v)
+		}
+		seenVal[v] = true
+		*f.snap(&s) = v
+	}
+
+	// Every Snapshot field must have received its Node counterpart's value.
+	sv := reflect.ValueOf(&s).Elem()
+	for i := 0; i < st.NumField(); i++ {
+		f, ok := nt.FieldByName(st.Field(i).Name)
+		if !ok {
+			t.Fatalf("Snapshot.%s has no Node counterpart", st.Field(i).Name)
+		}
+		want := int64(1000 + f.Index[0])
+		if got := sv.Field(i).Int(); got != want {
+			t.Errorf("Snapshot.%s = %d, want %d (table row missing or crossed)", st.Field(i).Name, got, want)
+		}
+	}
+}
+
+func TestSnapshotAddSubRoundTrip(t *testing.T) {
+	var n Node
+	for i, f := range fields {
+		f.node(&n).Store(int64(10 * (i + 1)))
+	}
+	base := n.Snapshot()
+	sum := base
+	sum.Add(base)
+	for _, f := range fields {
+		if got, want := *f.snap(&sum), 2**f.snap(&base); got != want {
+			t.Errorf("Add: %s = %d, want %d", f.name, got, want)
+		}
+	}
+	diff := sum.Sub(base)
+	if diff != base {
+		t.Errorf("Sub: got %+v, want %+v", diff, base)
+	}
+}
+
+func TestSnapshotStringSortedNonZero(t *testing.T) {
+	var s Snapshot
+	s.ReadMisses = 3
+	s.Writebacks = 7
+	out := s.String()
+	if !strings.Contains(out, "read-misses") || !strings.Contains(out, "writebacks") {
+		t.Fatalf("missing rows in:\n%s", out)
+	}
+	if strings.Contains(out, "sd-fences") {
+		t.Fatalf("zero-valued row rendered:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] > lines[i] {
+			t.Fatalf("rows not sorted: %q before %q", lines[i-1], lines[i])
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Chrome trace-event (Perfetto) export: the merged trace rendered as a JSON
+// timeline that ui.perfetto.dev (or chrome://tracing) opens directly. Nodes
+// map to processes, simulated hardware threads (socket/core tracks) map to
+// threads; fences render as duration slices, everything else as instants.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// perfettoEvent is one entry of the traceEvents array. Timestamps are in
+// microseconds (the format's fixed unit); virtual nanoseconds keep three
+// decimals.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`    // instant scope
+	Args map[string]any `json:"args,omitempty"` // page, arg, thread names
+}
+
+func usOf(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WritePerfetto dumps the merged trace as Chrome trace-event JSON.
+func (t *Tracer) WritePerfetto(w io.Writer) error {
+	events := t.Events()
+
+	// Metadata: name every (node) process and every (node, tid) thread
+	// track that appears in the trace.
+	type track struct{ pid, tid int }
+	nodes := map[int]bool{}
+	tracks := map[track]bool{}
+	for _, e := range events {
+		nodes[e.Node] = true
+		tracks[track{e.Node, e.Tid}] = true
+	}
+	var out []perfettoEvent
+	nodeIDs := make([]int, 0, len(nodes))
+	for n := range nodes {
+		nodeIDs = append(nodeIDs, n)
+	}
+	sort.Ints(nodeIDs)
+	for _, n := range nodeIDs {
+		out = append(out, perfettoEvent{
+			Name: "process_name", Ph: "M", Pid: n, Tid: 0,
+			Args: map[string]any{"name": fmt.Sprintf("node %d", n)},
+		})
+	}
+	trackIDs := make([]track, 0, len(tracks))
+	for tr := range tracks {
+		trackIDs = append(trackIDs, tr)
+	}
+	sort.Slice(trackIDs, func(i, j int) bool {
+		if trackIDs[i].pid != trackIDs[j].pid {
+			return trackIDs[i].pid < trackIDs[j].pid
+		}
+		return trackIDs[i].tid < trackIDs[j].tid
+	})
+	for _, tr := range trackIDs {
+		s, c := DecodeTid(tr.tid)
+		out = append(out, perfettoEvent{
+			Name: "thread_name", Ph: "M", Pid: tr.pid, Tid: tr.tid,
+			Args: map[string]any{"name": fmt.Sprintf("socket %d core %d", s, c)},
+		})
+	}
+
+	for _, e := range events {
+		pe := perfettoEvent{
+			Name: e.Kind.String(),
+			Pid:  e.Node,
+			Tid:  e.Tid,
+			Args: map[string]any{"arg": e.Arg},
+		}
+		if e.Page >= 0 {
+			pe.Args["page"] = e.Page
+		}
+		if e.Dur > 0 {
+			pe.Ph = "X"
+			pe.Ts = usOf(e.T - e.Dur) // Event.T is the end of the span
+			pe.Dur = usOf(e.Dur)
+		} else {
+			pe.Ph = "i"
+			pe.Ts = usOf(e.T)
+			pe.S = "t"
+		}
+		out = append(out, pe)
+	}
+
+	doc := struct {
+		TraceEvents     []perfettoEvent `json:"traceEvents"`
+		DisplayTimeUnit string          `json:"displayTimeUnit"`
+	}{TraceEvents: out, DisplayTimeUnit: "ns"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

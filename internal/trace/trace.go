@@ -55,12 +55,21 @@ func (k Kind) String() string {
 
 // Event is one protocol action.
 type Event struct {
-	T    int64 // virtual time (ns)
+	T    int64 // virtual time (ns); for events with Dur > 0 this is the end
 	Node int
+	Tid  int   // recording thread's track id (TidOf), 0 if unknown
 	Kind Kind
 	Page int   // page involved, or -1
 	Arg  int64 // kind-specific: bytes written back, pages invalidated, target node…
+	Dur  int64 // duration (ns) for span events (fences); 0 for instants
 }
+
+// TidOf packs a (socket, core) coordinate into a stable per-node track id
+// for timeline exporters. DecodeTid reverses it.
+func TidOf(socket, core int) int { return socket<<16 | core&0xffff }
+
+// DecodeTid splits a TidOf-packed track id back into (socket, core).
+func DecodeTid(tid int) (socket, core int) { return tid >> 16, tid & 0xffff }
 
 func (e Event) String() string {
 	if e.Page >= 0 {
@@ -180,13 +189,47 @@ func (t *Tracer) Reset() {
 	t.mu.Unlock()
 }
 
-// Summary aggregates event counts by kind.
+// Summary aggregates event counts by kind. It counts each lane in place
+// under the lane lock — no copy, no merge-sort of the full trace.
 func (t *Tracer) Summary() map[Kind]int {
 	out := map[Kind]int{}
-	for _, e := range t.Events() {
-		out[e.Kind]++
+	if t == nil {
+		return out
+	}
+	t.mu.Lock()
+	lanes := make([]*lane, 0, len(t.lanes))
+	for _, l := range t.lanes {
+		lanes = append(lanes, l)
+	}
+	t.mu.Unlock()
+	for _, l := range lanes {
+		l.mu.Lock()
+		for _, e := range l.events {
+			out[e.Kind]++
+		}
+		l.mu.Unlock()
 	}
 	return out
+}
+
+// Len reports the total number of buffered events (cheaper than Events).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	lanes := make([]*lane, 0, len(t.lanes))
+	for _, l := range t.lanes {
+		lanes = append(lanes, l)
+	}
+	t.mu.Unlock()
+	n := 0
+	for _, l := range lanes {
+		l.mu.Lock()
+		n += len(l.events)
+		l.mu.Unlock()
+	}
+	return n
 }
 
 // WriteText dumps the merged trace, one event per line.

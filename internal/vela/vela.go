@@ -15,8 +15,40 @@ import (
 	"sync/atomic"
 
 	"argo/internal/core"
+	"argo/internal/metrics"
 	"argo/internal/sim"
 )
+
+// barrierMX holds the Argoscope instruments of a hierarchical barrier:
+// phase-latency histograms (the local rendezvous every thread pays, the
+// representative's SD + global + SI leg, and the whole episode end to end)
+// plus episode/reset counters. Nil when the cluster has no metrics suite.
+type barrierMX struct {
+	localNs   *metrics.Histogram
+	repNs     *metrics.Histogram
+	episodeNs *metrics.Histogram
+	episodes  *metrics.Counter
+	resets    *metrics.Counter
+}
+
+func newBarrierMX(c *core.Cluster) *barrierMX {
+	if c.MX == nil {
+		return nil
+	}
+	r := c.MX.Reg
+	const phaseHelp = "Virtual time a thread spends in one hierarchical-barrier phase"
+	return &barrierMX{
+		localNs:   r.Histogram("argo_barrier_phase_ns", phaseHelp, metrics.L("phase", "local")),
+		repNs:     r.Histogram("argo_barrier_phase_ns", phaseHelp, metrics.L("phase", "representative")),
+		episodeNs: r.Histogram("argo_barrier_phase_ns", phaseHelp, metrics.L("phase", "episode")),
+		episodes: r.Counter("argo_barrier_events_total",
+			"Barrier episodes completed and classification resets performed",
+			metrics.L("event", "episode")),
+		resets: r.Counter("argo_barrier_events_total",
+			"Barrier episodes completed and classification resets performed",
+			metrics.L("event", "reset")),
+	}
+}
 
 // HierBarrier is the hierarchical DSM barrier. It also doubles as the
 // cluster's phase-reset collective (classification reset after program
@@ -32,6 +64,8 @@ type HierBarrier struct {
 	localCost  sim.Time
 	globalCost sim.Time
 
+	mx *barrierMX
+
 	episodes atomic.Int64
 	resets   atomic.Int64
 }
@@ -43,6 +77,7 @@ func NewHierBarrier(c *core.Cluster, threadsPerNode int) *HierBarrier {
 		c:      c,
 		tpn:    threadsPerNode,
 		global: sim.NewBarrier(c.Cfg.Nodes),
+		mx:     newBarrierMX(c),
 	}
 	for n := 0; n < c.Cfg.Nodes; n++ {
 		b.local = append(b.local, sim.NewBarrier(threadsPerNode))
@@ -71,15 +106,23 @@ func (b *HierBarrier) WaitAndReset(t *core.Thread) { b.wait(t, true) }
 
 func (b *HierBarrier) wait(t *core.Thread, forceReset bool) {
 	n := t.Node
+	t0 := t.P.Now()
 	b.local[n].Wait(t.P, b.localCost)
+	if b.mx != nil {
+		b.mx.localNs.Record(n, t.P.Now()-t0)
+	}
 	if t.Local == 0 {
 		// Node representative: downgrade, rendezvous, (maybe reset),
 		// invalidate. The reset decision travels with the rendezvous so
 		// all representatives of one episode agree on it.
+		r0 := t.P.Now()
 		t.Coh.SDFence(t.P)
 		want := forceReset
 		if t.Node == 0 {
 			ep := b.episodes.Add(1)
+			if b.mx != nil {
+				b.mx.episodes.Inc()
+			}
 			if d := b.c.Cfg.DecayEpochs; d > 0 && ep%int64(d) == 0 {
 				want = true
 			}
@@ -94,6 +137,9 @@ func (b *HierBarrier) wait(t *core.Thread, forceReset bool) {
 			if t.Node == 0 {
 				b.c.Dir.Reset()
 				b.resets.Add(1)
+				if b.mx != nil {
+					b.mx.resets.Inc()
+				}
 			}
 			// Second rendezvous: nobody may re-register pages while the
 			// directory wipe is in progress on node 0.
@@ -101,8 +147,14 @@ func (b *HierBarrier) wait(t *core.Thread, forceReset bool) {
 		} else {
 			t.Coh.SIFence(t.P)
 		}
+		if b.mx != nil {
+			b.mx.repNs.Record(n, t.P.Now()-r0)
+		}
 	}
 	b.final[n].Wait(t.P, b.localCost)
+	if b.mx != nil {
+		b.mx.episodeNs.Record(n, t.P.Now()-t0)
+	}
 }
 
 // Episodes returns the number of completed barrier episodes.
