@@ -40,6 +40,10 @@ package argo
 
 import (
 	"argo/internal/core"
+	"argo/internal/fabric"
+	"argo/internal/fault"
+	"argo/internal/metrics"
+	"argo/internal/trace"
 	"argo/internal/vela"
 )
 
@@ -57,28 +61,125 @@ type (
 	F64Slice = core.F64Slice
 	// I64Slice is a typed view of int64s in global memory.
 	I64Slice = core.I64Slice
+	// U64Slice is a typed view of uint64s in global memory.
+	U64Slice = core.U64Slice
+
+	// FabricParams is the interconnect cost model (see WithFabricParams).
+	FabricParams = fabric.Params
+	// Tracer collects protocol events (see WithTracer).
+	Tracer = trace.Tracer
+	// Metrics is the Argoscope observability suite (see WithMetrics).
+	Metrics = metrics.Suite
+	// FaultPlan describes a deterministic fault-injection campaign
+	// (see WithFaultPlan and ParseFaultPlan).
+	FaultPlan = fault.Plan
+	// Barrier is the interface of a launch's default barrier.
+	Barrier = core.BarrierWaiter
+	// BarrierFactory builds the default barrier for each SPMD launch.
+	BarrierFactory = func(c *Cluster, threadsPerNode int) Barrier
 )
 
 // DefaultConfig returns the evaluation-baseline configuration for a cluster
 // of the given number of nodes (see core.DefaultConfig).
 func DefaultConfig(nodes int) Config { return core.DefaultConfig(nodes) }
 
+// DefaultFaultPlan returns the default Corvus fault plan for seed: no
+// faults injected, default recovery knobs (timeout, retry budget, backoff).
+// Set rates on the result, or use ParseFaultPlan for the flag syntax.
+func DefaultFaultPlan(seed int64) FaultPlan { return fault.DefaultPlan(seed) }
+
+// ParseFaultPlan parses a fault-plan spec like
+// "drop=0.01,stall=5us,seed=42" (see fault.ParsePlan for the full syntax).
+func ParseFaultPlan(spec string) (FaultPlan, error) { return fault.ParsePlan(spec) }
+
+// NewMetrics creates an empty Argoscope suite to pass to WithMetrics.
+func NewMetrics() *Metrics { return metrics.NewSuite() }
+
+// NewTracer creates a protocol-event tracer keeping at most limit events
+// per node (0 means the default cap) to pass to WithTracer.
+func NewTracer(limit int) *Tracer { return trace.New(limit) }
+
+// Option configures a Cluster at construction time (see NewCluster).
+type Option func(*clusterOptions)
+
+type clusterOptions struct {
+	net     *FabricParams
+	tracer  *Tracer
+	metrics *Metrics
+	faults  *FaultPlan
+	barrier BarrierFactory
+}
+
+// WithFabricParams overrides the interconnect cost model of the cluster
+// (equivalent to setting Config.Net, but composable with a stock config).
+func WithFabricParams(p FabricParams) Option {
+	return func(o *clusterOptions) { o.net = &p }
+}
+
+// WithTracer attaches a protocol-event tracer to every node of the cluster.
+func WithTracer(t *Tracer) Option {
+	return func(o *clusterOptions) { o.tracer = t }
+}
+
+// WithMetrics attaches an Argoscope suite to every layer of the cluster.
+// Attaching at construction time (rather than via the deprecated
+// AttachMetrics) guarantees locks and barriers built later see the suite.
+func WithMetrics(ms *Metrics) Option {
+	return func(o *clusterOptions) { o.metrics = ms }
+}
+
+// WithFaultPlan arms the Corvus fault injector with plan. The injected
+// schedule is a pure function of the plan's seed and each operation's
+// coordinates, so the same plan replays identically.
+func WithFaultPlan(plan FaultPlan) Option {
+	return func(o *clusterOptions) { o.faults = &plan }
+}
+
+// WithBarrier overrides the default-barrier factory (the hierarchical Vela
+// barrier) for every launch on the cluster.
+func WithBarrier(f BarrierFactory) Option {
+	return func(o *clusterOptions) { o.barrier = f }
+}
+
 // NewCluster builds a cluster with Vela's hierarchical barrier installed as
-// the default barrier.
-func NewCluster(cfg Config) (*Cluster, error) {
+// the default barrier, then applies the options in order. Invalid
+// configurations (non-positive node counts, negative geometry, bad fault
+// plans, inconsistent fabric parameters) surface as errors; MustNewCluster
+// is the only panicking entry point.
+func NewCluster(cfg Config, opts ...Option) (*Cluster, error) {
+	var o clusterOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.net != nil {
+		cfg.Net = *o.net
+	}
+	if o.faults != nil {
+		cfg.Faults = o.faults
+	}
 	c, err := core.NewCluster(cfg)
 	if err != nil {
 		return nil, err
 	}
-	c.BarrierFactory = func(c *core.Cluster, tpn int) core.BarrierWaiter {
-		return vela.NewHierBarrier(c, tpn)
+	if o.barrier != nil {
+		c.BarrierFactory = o.barrier
+	} else {
+		c.BarrierFactory = func(c *core.Cluster, tpn int) core.BarrierWaiter {
+			return vela.NewHierBarrier(c, tpn)
+		}
+	}
+	if o.tracer != nil {
+		c.AttachTracer(o.tracer)
+	}
+	if o.metrics != nil {
+		c.AttachMetrics(o.metrics)
 	}
 	return c, nil
 }
 
 // MustNewCluster is NewCluster that panics on error.
-func MustNewCluster(cfg Config) *Cluster {
-	c, err := NewCluster(cfg)
+func MustNewCluster(cfg Config, opts ...Option) *Cluster {
+	c, err := NewCluster(cfg, opts...)
 	if err != nil {
 		panic(err)
 	}

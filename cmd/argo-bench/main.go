@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"argo/internal/core"
+	"argo/internal/fault"
 	"argo/internal/harness"
 	"argo/internal/metrics"
 	"argo/internal/trace"
@@ -39,6 +40,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the accumulated metrics dump (metrics.json) to this file")
 	promOut := flag.String("prom-out", "", "write the accumulated metrics as Prometheus exposition text to this file")
 	traceOut := flag.String("trace-out", "", "attach the protocol tracer and write a Perfetto JSON timeline to this file")
+	faults := flag.String("faults", "", "Corvus fault plan applied to every cluster, e.g. drop=0.01,stall=5us,seed=42")
 	flag.Parse()
 
 	if *list {
@@ -46,6 +48,17 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	if *faults != "" {
+		plan, err := fault.ParsePlan(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "argo-bench:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("fault injection armed: %s\n", plan.String())
+		core.DefaultFaultPlan = &plan
+		defer func() { core.DefaultFaultPlan = nil }()
 	}
 
 	var ms *metrics.Suite

@@ -6,6 +6,18 @@
 // protocol's structural invariants hold afterwards.
 //
 //	argo-stress -n 200 -seed 42
+//
+// Chaos mode arms the Corvus fault injector and re-runs every program
+// under a sweep of fault rates, asserting that answers stay bit-identical
+// to the fault-free run, and that the deterministic ring workload replays
+// the same injected schedule and makespan on back-to-back runs:
+//
+//	argo-stress -n 50 -seed 42 -faults drop=0.01,stall=5us,seed=42
+//
+// -digests prints one "answers-digest:" line per program (the final home
+// memory's FNV-64a). At a fixed -seed these lines are comparable across
+// invocations — with and without -faults — so a diff proves bit-identical
+// answers end to end.
 package main
 
 import (
@@ -15,40 +27,118 @@ import (
 	"os"
 	"time"
 
+	"argo/internal/fault"
 	"argo/internal/workloads/drf"
 )
+
+// scaled multiplies the plan's fault rates by s (capped at 1), leaving the
+// magnitudes, the recovery knobs and the seed alone.
+func scaled(p fault.Plan, s float64) fault.Plan {
+	cap1 := func(r float64) float64 {
+		r *= s
+		if r > 1 {
+			return 1
+		}
+		return r
+	}
+	p.Drop = cap1(p.Drop)
+	p.Delay = cap1(p.Delay)
+	p.StallP = cap1(p.StallP)
+	p.AtomicFail = cap1(p.AtomicFail)
+	return p
+}
 
 func main() {
 	n := flag.Int("n", 100, "number of random programs")
 	seed := flag.Int64("seed", 0, "base seed (0: derive from time)")
 	verbose := flag.Bool("v", false, "print every program's parameters")
+	faults := flag.String("faults", "", "Corvus fault plan, e.g. drop=0.01,stall=5us,seed=42 (enables chaos mode)")
+	digests := flag.Bool("digests", false, "print one answers-digest line per program")
 	flag.Parse()
 
 	if *seed == 0 {
 		*seed = time.Now().UnixNano()
 	}
+	var plan fault.Plan
+	chaos := *faults != ""
+	if chaos {
+		var err error
+		if plan, err = fault.ParsePlan(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, "argo-stress:", err)
+			os.Exit(2)
+		}
+	}
+
 	rng := rand.New(rand.NewSource(*seed))
-	fmt.Printf("argo-stress: %d random DRF programs (seed %d)\n", *n, *seed)
 	start := time.Now()
+
+	// Sweep points: fractions and multiples of the requested rates.
+	sweep := []float64{0.25, 1, 4}
+	if chaos {
+		fmt.Printf("argo-stress: chaos mode, %d random DRF programs (seed %d, plan %s, rate sweep %v)\n",
+			*n, *seed, plan.String(), sweep)
+		// Determinism first: the ring workload must replay bit-exactly —
+		// same injected schedule, same answers, same makespan — at every
+		// sweep point.
+		for _, s := range sweep {
+			p := scaled(plan, s)
+			rep, err := drf.ReplayCheck(drf.DefaultRing(4), p)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "\nREPLAY FAIL at rate x%g: %v\n", s, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  replay x%-4g ok: makespan=%d faults=%+v\n", s, rep.Makespan, rep.Faults)
+		}
+	} else {
+		fmt.Printf("argo-stress: %d random DRF programs (seed %d)\n", *n, *seed)
+	}
+
 	for i := 0; i < *n; i++ {
 		pr := drf.Random(rng)
+		pr.UseFlags = i%5 == 4
 		if *verbose {
 			fmt.Printf("  #%d: %+v\n", i, pr)
 		}
-		var err error
-		if i%5 == 4 {
-			err = drf.RunFlags(pr)
-		} else {
-			err = drf.Run(pr)
+		run := drf.RunReport
+		if pr.UseFlags {
+			run = drf.RunFlagsReport
 		}
+		pr.Faults = nil
+		rep, err := run(pr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "\nFAIL at program %d: %v\n", i, err)
 			fmt.Fprintf(os.Stderr, "reproduce with: argo-stress -n %d -seed %d\n", i+1, *seed)
 			os.Exit(1)
 		}
-		if !*verbose && i%10 == 9 {
+		if chaos {
+			for _, s := range sweep {
+				p := scaled(plan, s)
+				pr.Faults = &p
+				frep, err := run(pr)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "\nFAIL at program %d under %s: %v\n", i, p.String(), err)
+					fmt.Fprintf(os.Stderr, "reproduce with: argo-stress -n %d -seed %d -faults %s\n", i+1, *seed, *faults)
+					os.Exit(1)
+				}
+				if frep.Digest != rep.Digest {
+					fmt.Fprintf(os.Stderr, "\nFAIL at program %d: answers diverged under %s: digest %016x, fault-free %016x\n",
+						i, p.String(), frep.Digest, rep.Digest)
+					fmt.Fprintf(os.Stderr, "reproduce with: argo-stress -n %d -seed %d -faults %s\n", i+1, *seed, *faults)
+					os.Exit(1)
+				}
+			}
+		}
+		if *digests {
+			fmt.Printf("answers-digest: %4d %016x\n", i, rep.Digest)
+		}
+		if !*verbose && !*digests && i%10 == 9 {
 			fmt.Printf("  %d/%d ok\n", i+1, *n)
 		}
 	}
-	fmt.Printf("all %d programs verified in %v\n", *n, time.Since(start).Round(time.Millisecond))
+	if chaos {
+		fmt.Printf("all %d programs bit-identical to fault-free at %d fault rates in %v\n",
+			*n, len(sweep), time.Since(start).Round(time.Millisecond))
+	} else {
+		fmt.Printf("all %d programs verified in %v\n", *n, time.Since(start).Round(time.Millisecond))
+	}
 }

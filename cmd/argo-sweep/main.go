@@ -143,6 +143,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "argo-sweep: unknown knob %q\n", *knob)
 		os.Exit(2)
 	}
+	if *nodes <= 0 || *tpn <= 0 {
+		fmt.Fprintf(os.Stderr, "argo-sweep: -nodes and -tpn must be positive (got %d, %d)\n", *nodes, *tpn)
+		os.Exit(2)
+	}
 
 	headers := []string{*knob, "time (ms)", "read-misses", "writebacks", "self-inv", "SI-filtered", "bytes-sent"}
 	var rows [][]string

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"argo/internal/core"
+	"argo/internal/fault"
 	"argo/internal/metrics"
 	"argo/internal/workloads/blackscholes"
 	"argo/internal/workloads/cg"
@@ -78,12 +79,27 @@ func main() {
 	top := flag.Int("top", 10, "rows per hot-spot table")
 	jsonOut := flag.String("json", "", "write the full metrics dump (metrics.json) to this file")
 	promOut := flag.String("prom", "", "write the Prometheus exposition to this file")
+	faults := flag.String("faults", "", "Corvus fault plan, e.g. drop=0.01,stall=5us,seed=42")
 	flag.Parse()
 
 	run, ok := benches[*bench]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "argo-top: unknown benchmark %q (want %s)\n", *bench, benchNames())
 		os.Exit(2)
+	}
+	if *nodes <= 0 || *tpn <= 0 {
+		fmt.Fprintf(os.Stderr, "argo-top: -nodes and -tpn must be positive (got %d, %d)\n", *nodes, *tpn)
+		os.Exit(2)
+	}
+
+	if *faults != "" {
+		plan, err := fault.ParsePlan(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "argo-top:", err)
+			os.Exit(2)
+		}
+		core.DefaultFaultPlan = &plan
+		defer func() { core.DefaultFaultPlan = nil }()
 	}
 
 	ms := metrics.NewSuite()

@@ -67,6 +67,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "argo-trace: unknown benchmark %q\n", *bench)
 		os.Exit(2)
 	}
+	if *nodes <= 0 || *tpn <= 0 {
+		fmt.Fprintf(os.Stderr, "argo-trace: -nodes and -tpn must be positive (got %d, %d)\n", *nodes, *tpn)
+		os.Exit(2)
+	}
 	// Validate the output encoding before spending minutes on the run.
 	path := *out
 	write := map[string]func(*trace.Tracer, *os.File) error{

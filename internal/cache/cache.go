@@ -51,6 +51,7 @@ type Slot struct {
 	Data    []byte   // page content (lazily allocated)
 	Twin    []byte   // pristine copy for diffing; non-nil only while Dirty
 	ReadyAt sim.Time // virtual time at which the content became available
+	WBTries int      // writeback attempts lost so far (Corvus fault identity)
 }
 
 // Cache is one node's page cache.
@@ -226,6 +227,7 @@ func (s *Slot) Invalidate() {
 	s.Page = -1
 	s.St = Invalid
 	s.Twin = nil
+	s.WBTries = 0
 }
 
 // WBPush appends page to the write buffer FIFO. If the buffer exceeds its

@@ -37,6 +37,7 @@ import (
 	"argo/internal/cache"
 	"argo/internal/directory"
 	"argo/internal/fabric"
+	"argo/internal/fault"
 	"argo/internal/mem"
 	"argo/internal/sim"
 	"argo/internal/stats"
@@ -339,8 +340,10 @@ func (n *Node) fetchLineLocked(p *sim.Proc, l, page int) {
 			continue // already resident
 		}
 		if s.St == cache.Dirty {
-			// Conflict eviction of a dirty page: downgrade it first.
-			n.writebackSlotLocked(p, s)
+			// Conflict eviction of a dirty page: downgrade it first. The
+			// slot is about to be reused, so loss detection cannot wait
+			// for the next fence — the downgrade is forced through here.
+			n.writebackUntilDelivered(p, s)
 		}
 		if s.Page >= 0 && s.St != cache.Invalid && n.MX != nil {
 			n.Cache.MX.Evictions.Inc()
@@ -381,7 +384,7 @@ func (n *Node) fetchLineLocked(p *sim.Proc, l, page int) {
 		// updated "on its next request").
 		regs[n.Space.HomeOf(fetched[0].Page)]++
 	}
-	n.Fab.LineFetch(p, regs, pages, n.Cache.PageSize)
+	n.Fab.LineFetch(p, regs, pages, n.Cache.PageSize, uint64(base))
 	for _, s := range fetched {
 		n.Space.ReadPage(s.Page, s.Data)
 		s.St = cache.Clean
@@ -402,22 +405,31 @@ func (n *Node) fetchLineLocked(p *sim.Proc, l, page int) {
 // ---------------------------------------------------------------------------
 
 // WritebackIfDirty downgrades page to its home if it is still cached dirty.
+// The caller (write-buffer overflow) promised the downgrade happens now, so
+// a lost post is detected and reissued inline rather than at the next fence.
 func (n *Node) WritebackIfDirty(p *sim.Proc, page int) {
 	l := n.Cache.LineOf(page)
 	n.Cache.LockLine(l)
 	s := n.Cache.SlotFor(page)
 	if s.Page == page && s.St == cache.Dirty {
-		n.writebackSlotLocked(p, s)
+		n.writebackUntilDelivered(p, s)
 	}
 	n.Cache.UnlockLine(l)
 }
 
-// writebackSlotLocked transmits a dirty page to its home and marks it clean.
-// With SWDiffSuppress, a node that is still the page's only writer (checked
-// under the home page lock, which makes the race with a concurrent new
-// writer benign — see package directory) sends the full page and skips diff
-// creation; otherwise the changed bytes are diffed against the twin.
-func (n *Node) writebackSlotLocked(p *sim.Proc, s *cache.Slot) {
+// writebackSlotLocked transmits a dirty page to its home and, if the posted
+// write was delivered, marks it clean and reports true. With SWDiffSuppress,
+// a node that is still the page's only writer (checked under the home page
+// lock, which makes the race with a concurrent new writer benign — see
+// package directory) sends the full page and skips diff creation; otherwise
+// the changed bytes are diffed against the twin.
+//
+// On a lost post (Corvus drop) the slot stays dirty with its twin intact and
+// WBTries bumped — the next attempt forms a fresh fault identity, and the
+// injector's escalation guarantee bounds the reissues. The home-side diff
+// application is idempotent (same diff against the same twin), so reissuing
+// is safe; under DRF nobody else writes the same bytes between attempts.
+func (n *Node) writebackSlotLocked(p *sim.Proc, s *cache.Slot) bool {
 	page := s.Page
 	home := n.Space.HomeOf(page)
 
@@ -435,7 +447,11 @@ func (n *Node) writebackSlotLocked(p *sim.Proc, s *cache.Slot) {
 	}
 	// Downgrades are posted one-sided writes: they pipeline with each
 	// other; fences wait for outstanding completions once, at the end.
-	n.Fab.RemoteWritePosted(p, home, tx)
+	if !n.Fab.PostWrite(p, home, tx, uint64(page), s.WBTries) {
+		s.WBTries++
+		n.ev(p, trace.EvWBRetry, page, int64(s.WBTries))
+		return false
+	}
 	n.St.Writebacks.Add(1)
 	n.St.WritebackBytes.Add(int64(tx))
 	n.ev(p, trace.EvWriteback, page, int64(tx))
@@ -443,7 +459,29 @@ func (n *Node) writebackSlotLocked(p *sim.Proc, s *cache.Slot) {
 		n.MX.Pages.Writeback(page)
 	}
 	s.St = cache.Clean
+	s.WBTries = 0
 	s.DropTwin()
+	return true
+}
+
+// wbRetryPenalty charges the requester side of failed lost downgrades
+// discovered at a flush point: one detection timeout and one backoff step
+// per pass (posted completions are checked together, so the penalty is per
+// flush, not per page), plus the retry accounting.
+func (n *Node) wbRetryPenalty(p *sim.Proc, failed, pass int) {
+	p.Advance(n.Fab.DetectTimeout())
+	n.Fab.Backoff(p, pass)
+	n.St.WritebackRetries.Add(int64(failed))
+	n.Fab.CountRetries(p, fault.ClassPost, failed)
+}
+
+// writebackUntilDelivered forces a downgrade through, paying detection and
+// backoff inline. Used where the slot is immediately reused (conflict
+// eviction) or delivery was promised (write-buffer overflow).
+func (n *Node) writebackUntilDelivered(p *sim.Proc, s *cache.Slot) {
+	for pass := 0; !n.writebackSlotLocked(p, s); pass++ {
+		n.wbRetryPenalty(p, 1, pass)
+	}
 }
 
 // checkpointSlotLocked is the naive-P/S downgrade of a modified private
@@ -492,34 +530,50 @@ func ShouldSelfInvalidate(m Mode, e directory.Entry, self int) bool {
 // classification cannot exempt is dropped. Dirty pages that must be dropped
 // are downgraded first. Threads of one node share the cache, so one thread's
 // SI fence affects all of them (the paper's common-page-cache tradeoff).
+// A page whose pre-invalidation downgrade is lost stays cached dirty; the
+// fence detects the missing completion, backs off, and re-fences just the
+// survivors until every doomed page is safely home (bounded by the
+// injector's escalation guarantee).
 func (n *Node) SIFence(p *sim.Proc) {
 	n.St.SIFences.Add(1)
 	t0 := p.Now()
 	var inv, kept int64
-	n.Cache.ForEachUsedLine(func(l int, slots []*cache.Slot) {
-		for _, s := range slots {
-			if s.Page < 0 || s.St == cache.Invalid {
-				continue
+	for pass := 0; ; pass++ {
+		failed := 0
+		n.Cache.ForEachUsedLine(func(l int, slots []*cache.Slot) {
+			for _, s := range slots {
+				if s.Page < 0 || s.St == cache.Invalid {
+					continue
+				}
+				if pass == 0 {
+					p.Advance(n.Opt.FencePerPage)
+				}
+				e := n.Dir.Cached(n.ID, s.Page)
+				if !ShouldSelfInvalidate(n.Opt.Mode, e, n.ID) {
+					if pass == 0 {
+						n.St.SIFiltered.Add(1)
+						kept++
+					}
+					continue
+				}
+				if s.St == cache.Dirty && !n.writebackSlotLocked(p, s) {
+					failed++
+					continue // still dirty; next pass retries it
+				}
+				n.ev(p, trace.EvInvalidate, s.Page, 0)
+				if n.MX != nil {
+					n.MX.Pages.Invalidate(s.Page)
+				}
+				s.Invalidate()
+				n.St.SelfInvalidations.Add(1)
+				inv++
 			}
-			p.Advance(n.Opt.FencePerPage)
-			e := n.Dir.Cached(n.ID, s.Page)
-			if !ShouldSelfInvalidate(n.Opt.Mode, e, n.ID) {
-				n.St.SIFiltered.Add(1)
-				kept++
-				continue
-			}
-			if s.St == cache.Dirty {
-				n.writebackSlotLocked(p, s)
-			}
-			n.ev(p, trace.EvInvalidate, s.Page, 0)
-			if n.MX != nil {
-				n.MX.Pages.Invalidate(s.Page)
-			}
-			s.Invalidate()
-			n.St.SelfInvalidations.Add(1)
-			inv++
+		})
+		if failed == 0 {
+			break
 		}
-	})
+		n.wbRetryPenalty(p, failed, pass)
+	}
 	n.evDur(p, trace.EvSIFence, -1, inv, p.Now()-t0)
 	if n.MX != nil {
 		n.MX.SIFenceNs.Record(n.ID, p.Now()-t0)
@@ -533,27 +587,40 @@ func (n *Node) SIFence(p *sim.Proc) {
 // SDFence self-downgrades all dirty pages: the write buffer is flushed, and
 // in the naive P/S mode every modified private page is checkpointed on the
 // spot (the cost that motivates P/S3's private self-downgrade).
+// Lost downgrades are detected at the flush (the missing completions), and
+// the fence re-sweeps the surviving dirty pages after a backoff until the
+// write buffer drains clean — the re-fence loop of the Corvus fault model.
 func (n *Node) SDFence(p *sim.Proc) {
 	n.St.SDFences.Add(1)
 	t0 := p.Now()
 	wrote := false
-	n.Cache.ForEachUsedLine(func(l int, slots []*cache.Slot) {
-		for _, s := range slots {
-			if s.Page < 0 || s.St != cache.Dirty {
-				continue
-			}
-			if n.Opt.Mode == ModePS {
-				e := n.Dir.Cached(n.ID, s.Page)
-				if e.R.Count() <= 1 {
-					n.checkpointSlotLocked(p, s)
+	for pass := 0; ; pass++ {
+		failed := 0
+		n.Cache.ForEachUsedLine(func(l int, slots []*cache.Slot) {
+			for _, s := range slots {
+				if s.Page < 0 || s.St != cache.Dirty {
 					continue
 				}
+				if n.Opt.Mode == ModePS {
+					e := n.Dir.Cached(n.ID, s.Page)
+					if e.R.Count() <= 1 {
+						n.checkpointSlotLocked(p, s)
+						continue
+					}
+				}
+				if n.writebackSlotLocked(p, s) {
+					wrote = true
+				} else {
+					failed++
+				}
 			}
-			n.writebackSlotLocked(p, s)
-			wrote = true
+		})
+		n.Cache.WBDrain()
+		if failed == 0 {
+			break
 		}
-	})
-	n.Cache.WBDrain()
+		n.wbRetryPenalty(p, failed, pass)
+	}
 	if wrote {
 		// Wait for the last posted downgrade to land before the fence
 		// completes (the flush that makes the writes globally visible).

@@ -22,7 +22,7 @@ type rig struct {
 func newRig(t *testing.T, opt Options) *rig {
 	t.Helper()
 	topo := sim.Topology{Nodes: 2, Sockets: 1, CoresPerSocket: 2}
-	fab := fabric.New(topo, fabric.DefaultParams())
+	fab := fabric.MustNew(topo, fabric.DefaultParams())
 	space := mem.NewSpace(2, 64*4096, 4096, mem.Interleaved)
 	dir := directory.New(fab, space.NPages, space.HomeOf)
 	if opt.FencePerPage == 0 {
@@ -258,7 +258,7 @@ func TestConflictEvictionWritesBack(t *testing.T) {
 
 func TestWriteBufferOverflowDowngrades(t *testing.T) {
 	topo := sim.Topology{Nodes: 1, Sockets: 1, CoresPerSocket: 1}
-	fab := fabric.New(topo, fabric.DefaultParams())
+	fab := fabric.MustNew(topo, fabric.DefaultParams())
 	space := mem.NewSpace(1, 64*4096, 4096, mem.Interleaved)
 	dir := directory.New(fab, space.NPages, space.HomeOf)
 	opt := DefaultOptions()

@@ -18,6 +18,7 @@ import (
 	"argo/internal/coherence"
 	"argo/internal/directory"
 	"argo/internal/fabric"
+	"argo/internal/fault"
 	"argo/internal/mem"
 	"argo/internal/metrics"
 	"argo/internal/sim"
@@ -55,6 +56,12 @@ type Config struct {
 
 	// Interconnect cost model.
 	Net fabric.Params
+
+	// Faults, when non-nil, is the Corvus fault-injection plan applied to
+	// the cluster's fabric (see package fault). Nil means fault-free; the
+	// DefaultFaultPlan hook can supply a plan for internally built
+	// clusters.
+	Faults *fault.Plan
 }
 
 // DefaultConfig returns the configuration used as the evaluation baseline:
@@ -77,13 +84,33 @@ func DefaultConfig(nodes int) Config {
 	}
 }
 
-// Validate normalizes zero fields to defaults and checks limits.
+// Validate normalizes zero fields to defaults and checks limits. Negative
+// values are never defaults in disguise — they are rejected, so a caller
+// that computes a geometry wrong hears about it instead of simulating a
+// machine that cannot exist.
 func (c *Config) Validate() error {
 	if c.Nodes <= 0 {
 		return fmt.Errorf("core: Nodes must be positive, got %d", c.Nodes)
 	}
 	if c.Nodes > directory.MaxNodes {
 		return fmt.Errorf("core: at most %d nodes, got %d", directory.MaxNodes, c.Nodes)
+	}
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"SocketsPerNode", int64(c.SocketsPerNode)},
+		{"CoresPerSocket", int64(c.CoresPerSocket)},
+		{"MemoryBytes", c.MemoryBytes},
+		{"PageSize", int64(c.PageSize)},
+		{"CacheLines", int64(c.CacheLines)},
+		{"PagesPerLine", int64(c.PagesPerLine)},
+		{"WriteBufferPages", int64(c.WriteBufferPages)},
+		{"DecayEpochs", int64(c.DecayEpochs)},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("core: %s must not be negative, got %d", f.name, f.v)
+		}
 	}
 	if c.SocketsPerNode == 0 {
 		c.SocketsPerNode = 4
@@ -109,6 +136,11 @@ func (c *Config) Validate() error {
 	if c.Net == (fabric.Params{}) {
 		c.Net = fabric.DefaultParams()
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -130,6 +162,8 @@ type Cluster struct {
 
 	// BarrierFactory builds the default barrier for each SPMD launch; the
 	// root argo package wires it to Vela's hierarchical barrier.
+	// Mutate only via argo.WithBarrier (construction-time option); direct
+	// assignment is deprecated outside internal packages.
 	BarrierFactory func(c *Cluster, threadsPerNode int) BarrierWaiter
 
 	// MX, when non-nil, is the Argoscope observability suite every layer
@@ -137,10 +171,25 @@ type Cluster struct {
 	// barriers built over this cluster read it at construction time.
 	MX *metrics.Suite
 
-	runMu  sync.Mutex
-	hits   atomic.Int64
-	epochs atomic.Int64 // default-barrier episodes (drives decay)
+	// FI is the Corvus fault injector built from Cfg.Faults (nil when
+	// fault-free). It is shared with the fabric.
+	FI *fault.Injector
+
+	runMu    sync.Mutex
+	hits     atomic.Int64
+	epochs   atomic.Int64 // default-barrier episodes (drives decay)
+	syncKeys atomic.Uint64
 }
+
+// NextSyncKey hands out a cluster-unique fault-identity key for a
+// synchronization word (lock ticket, flag). The counter is per cluster so
+// the same workload builds the same keys run after run — a process-global
+// counter would shift identities between repeated runs and break
+// deterministic fault replay.
+func (c *Cluster) NextSyncKey() uint64 { return c.syncKeys.Add(1) }
+
+// FaultStats returns the injector's event counters (zero when fault-free).
+func (c *Cluster) FaultStats() fault.Snapshot { return c.FI.Snapshot() }
 
 // NewCluster builds a cluster from cfg.
 func NewCluster(cfg Config) (*Cluster, error) {
@@ -151,10 +200,22 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
-	fab := fabric.New(topo, cfg.Net)
+	fab, err := fabric.New(topo, cfg.Net)
+	if err != nil {
+		return nil, fmt.Errorf("core: building fabric: %w", err)
+	}
+	plan := cfg.Faults
+	if plan == nil {
+		plan = DefaultFaultPlan
+	}
+	var fi *fault.Injector
+	if plan != nil {
+		fi = fault.NewInjector(*plan)
+		fab.SetFaults(fi)
+	}
 	space := mem.NewSpace(cfg.Nodes, cfg.MemoryBytes, cfg.PageSize, cfg.Policy)
 	dir := directory.New(fab, space.NPages, space.HomeOf)
-	cl := &Cluster{Cfg: cfg, Topo: topo, Fab: fab, Space: space, Dir: dir}
+	cl := &Cluster{Cfg: cfg, Topo: topo, Fab: fab, Space: space, Dir: dir, FI: fi}
 	opt := coherence.DefaultOptions()
 	opt.Mode = cfg.Mode
 	opt.SWDiffSuppress = cfg.SWDiffSuppress
@@ -181,6 +242,12 @@ var TraceHook func(*Cluster)
 // suite to clusters that workload runners construct internally. Not for
 // concurrent mutation.
 var MetricsHook func(*Cluster)
+
+// DefaultFaultPlan, when non-nil, is the Corvus plan applied to every
+// cluster whose Config carries no explicit Faults plan. Tooling (-faults
+// flags of argo-bench and argo-top) uses it to inject faults into clusters
+// that workload runners construct internally. Not for concurrent mutation.
+var DefaultFaultPlan *fault.Plan
 
 // MustNewCluster is NewCluster that panics on error (tests, examples).
 func MustNewCluster(cfg Config) *Cluster {
@@ -223,6 +290,10 @@ func (c *Cluster) NextEpoch() int64 { return c.epochs.Add(1) }
 
 // AttachTracer connects a protocol event tracer to every node (pass nil to
 // detach). Tracing adds one nil-check to hot paths when detached.
+//
+// Deprecated: pass argo.WithTracer to NewCluster instead; post-hoc
+// attachment cannot reach objects built before the call. Kept for existing
+// callers and for detaching (nil).
 func (c *Cluster) AttachTracer(t *trace.Tracer) {
 	for _, n := range c.Nodes {
 		n.Trc = t
@@ -235,6 +306,10 @@ func (c *Cluster) AttachTracer(t *trace.Tracer) {
 // name+labels, so several clusters can share one suite and accumulate.
 // Locks and barriers pick the suite up from Cluster.MX when constructed, so
 // attach before building them. Disabled cost is one nil check per hot path.
+//
+// Deprecated: pass argo.WithMetrics to NewCluster instead, which removes
+// the attach-before-building-locks ordering hazard. Kept for existing
+// callers and for detaching (nil).
 func (c *Cluster) AttachMetrics(ms *metrics.Suite) {
 	c.MX = ms
 	if ms == nil {
@@ -394,114 +469,8 @@ func (t *Thread) InitDone() {
 }
 
 // ---------------------------------------------------------------------------
-// Typed array views
-// ---------------------------------------------------------------------------
-
-// F64Slice is a view of n float64 values in global memory.
-type F64Slice struct {
-	Base mem.Addr
-	Len  int
-}
-
-// AllocF64 reserves a global float64 array of n elements on its own pages.
-func (c *Cluster) AllocF64(n int) F64Slice {
-	return F64Slice{Base: c.AllocPages(int64(n) * 8), Len: n}
-}
-
-// At returns the address of element i.
-func (s F64Slice) At(i int) mem.Addr { return s.Base + mem.Addr(i)*8 }
-
-// Get reads element i.
-func (t *Thread) GetF64(s F64Slice, i int) float64 { return t.ReadF64(s.At(i)) }
-
-// SetF64 writes element i.
-func (t *Thread) SetF64(s F64Slice, i int, v float64) { t.WriteF64(s.At(i), v) }
-
-// ReadF64s bulk-reads elements [lo,hi) into dst (len(dst) >= hi-lo).
-func (t *Thread) ReadF64s(s F64Slice, lo, hi int, dst []float64) {
-	n := hi - lo
-	raw := scratch(n * 8)
-	t.Coh.ReadAt(t.P, s.At(lo), raw)
-	for i := 0; i < n; i++ {
-		dst[i] = math.Float64frombits(leU64(raw[i*8:]))
-	}
-	putScratch(raw)
-}
-
-// WriteF64s bulk-writes src to elements [lo, lo+len(src)).
-func (t *Thread) WriteF64s(s F64Slice, lo int, src []float64) {
-	raw := scratch(len(src) * 8)
-	for i, v := range src {
-		putLeU64(raw[i*8:], math.Float64bits(v))
-	}
-	t.Coh.WriteAt(t.P, s.At(lo), raw)
-	putScratch(raw)
-}
-
-// I64Slice is a view of n int64 values in global memory.
-type I64Slice struct {
-	Base mem.Addr
-	Len  int
-}
-
-// AllocI64 reserves a global int64 array of n elements on its own pages.
-func (c *Cluster) AllocI64(n int) I64Slice {
-	return I64Slice{Base: c.AllocPages(int64(n) * 8), Len: n}
-}
-
-// At returns the address of element i.
-func (s I64Slice) At(i int) mem.Addr { return s.Base + mem.Addr(i)*8 }
-
-// GetI64 reads element i.
-func (t *Thread) GetI64(s I64Slice, i int) int64 { return t.ReadI64(s.At(i)) }
-
-// SetI64 writes element i.
-func (t *Thread) SetI64(s I64Slice, i int, v int64) { t.WriteI64(s.At(i), v) }
-
-// ReadI64s bulk-reads elements [lo,hi) into dst.
-func (t *Thread) ReadI64s(s I64Slice, lo, hi int, dst []int64) {
-	n := hi - lo
-	raw := scratch(n * 8)
-	t.Coh.ReadAt(t.P, s.At(lo), raw)
-	for i := 0; i < n; i++ {
-		dst[i] = int64(leU64(raw[i*8:]))
-	}
-	putScratch(raw)
-}
-
-// WriteI64s bulk-writes src to elements [lo, lo+len(src)).
-func (t *Thread) WriteI64s(s I64Slice, lo int, src []int64) {
-	raw := scratch(len(src) * 8)
-	for i, v := range src {
-		putLeU64(raw[i*8:], uint64(v))
-	}
-	t.Coh.WriteAt(t.P, s.At(lo), raw)
-	putScratch(raw)
-}
-
-// ---------------------------------------------------------------------------
 // Zero-cost initialization (outside the measured parallel section)
 // ---------------------------------------------------------------------------
-
-// InitF64 writes vals directly into home memory with no protocol activity
-// and no virtual cost: the paper excludes initialization from measurement
-// and resets classification after it.
-func (c *Cluster) InitF64(s F64Slice, vals []float64) {
-	raw := make([]byte, len(vals)*8)
-	for i, v := range vals {
-		putLeU64(raw[i*8:], math.Float64bits(v))
-	}
-	c.InitBytes(s.Base, raw)
-}
-
-// InitI64 writes vals directly into home memory (see InitF64).
-func (c *Cluster) InitI64(s I64Slice, vals []int64) {
-	raw := make([]byte, len(vals)*8)
-	for i, v := range vals {
-		putLeU64(raw[i*8:], uint64(v))
-	}
-	c.InitBytes(s.Base, raw)
-}
 
 // InitBytes writes src directly into home memory starting at a.
 func (c *Cluster) InitBytes(a mem.Addr, src []byte) {
@@ -518,29 +487,6 @@ func (c *Cluster) InitBytes(a mem.Addr, src []byte) {
 		src = src[seg:]
 		a += mem.Addr(seg)
 	}
-}
-
-// DumpF64 reads the home-memory truth of s after all threads have quiesced
-// (verification helper; zero cost, no protocol activity).
-func (c *Cluster) DumpF64(s F64Slice) []float64 {
-	raw := make([]byte, s.Len*8)
-	c.dumpBytes(s.Base, raw)
-	out := make([]float64, s.Len)
-	for i := range out {
-		out[i] = math.Float64frombits(leU64(raw[i*8:]))
-	}
-	return out
-}
-
-// DumpI64 reads the home-memory truth of s (see DumpF64).
-func (c *Cluster) DumpI64(s I64Slice) []int64 {
-	raw := make([]byte, s.Len*8)
-	c.dumpBytes(s.Base, raw)
-	out := make([]int64, s.Len)
-	for i := range out {
-		out[i] = int64(leU64(raw[i*8:]))
-	}
-	return out
 }
 
 func (c *Cluster) dumpBytes(a mem.Addr, dst []byte) {

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+
+	"argo/internal/mem"
+)
+
+// ---------------------------------------------------------------------------
+// Typed array views
+// ---------------------------------------------------------------------------
+
+// Element is the set of 8-byte scalar types global arrays can be viewed as.
+type Element interface {
+	uint64 | int64 | float64
+}
+
+// Slice is a view of n values of type T in global memory. F64Slice,
+// I64Slice and U64Slice are aliases of its instantiations, so the
+// pre-generics named types and this one are interchangeable.
+type Slice[T Element] struct {
+	Base mem.Addr
+	Len  int
+}
+
+// At returns the address of element i.
+func (s Slice[T]) At(i int) mem.Addr { return s.Base + mem.Addr(i)*8 }
+
+// F64Slice is a view of n float64 values in global memory.
+type F64Slice = Slice[float64]
+
+// I64Slice is a view of n int64 values in global memory.
+type I64Slice = Slice[int64]
+
+// U64Slice is a view of n uint64 values in global memory.
+type U64Slice = Slice[uint64]
+
+// toBits converts an element to its 8-byte memory representation.
+func toBits[T Element](v T) uint64 {
+	switch x := any(v).(type) {
+	case float64:
+		return math.Float64bits(x)
+	case int64:
+		return uint64(x)
+	default:
+		return any(v).(uint64)
+	}
+}
+
+// fromBits is the inverse of toBits.
+func fromBits[T Element](b uint64) T {
+	var zero T
+	switch any(zero).(type) {
+	case float64:
+		return any(math.Float64frombits(b)).(T)
+	case int64:
+		return any(int64(b)).(T)
+	default:
+		return any(b).(T)
+	}
+}
+
+// AllocSlice reserves a global array of n elements on its own pages.
+func AllocSlice[T Element](c *Cluster, n int) Slice[T] {
+	return Slice[T]{Base: c.AllocPages(int64(n) * 8), Len: n}
+}
+
+// Get reads element i of s through the coherence protocol.
+func Get[T Element](t *Thread, s Slice[T], i int) T {
+	return fromBits[T](t.ReadU64(s.At(i)))
+}
+
+// Set writes element i of s through the coherence protocol.
+func Set[T Element](t *Thread, s Slice[T], i int, v T) {
+	t.WriteU64(s.At(i), toBits(v))
+}
+
+// ReadRange bulk-reads elements [lo,hi) into dst (len(dst) >= hi-lo).
+func ReadRange[T Element](t *Thread, s Slice[T], lo, hi int, dst []T) {
+	n := hi - lo
+	raw := scratch(n * 8)
+	t.Coh.ReadAt(t.P, s.At(lo), raw)
+	for i := 0; i < n; i++ {
+		dst[i] = fromBits[T](leU64(raw[i*8:]))
+	}
+	putScratch(raw)
+}
+
+// WriteRange bulk-writes src to elements [lo, lo+len(src)).
+func WriteRange[T Element](t *Thread, s Slice[T], lo int, src []T) {
+	raw := scratch(len(src) * 8)
+	for i, v := range src {
+		putLeU64(raw[i*8:], toBits(v))
+	}
+	t.Coh.WriteAt(t.P, s.At(lo), raw)
+	putScratch(raw)
+}
+
+// InitSlice writes vals directly into home memory with no protocol activity
+// and no virtual cost: the paper excludes initialization from measurement
+// and resets classification after it.
+func InitSlice[T Element](c *Cluster, s Slice[T], vals []T) {
+	raw := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		putLeU64(raw[i*8:], toBits(v))
+	}
+	c.InitBytes(s.Base, raw)
+}
+
+// DumpSlice reads the home-memory truth of s after all threads have
+// quiesced (verification helper; zero cost, no protocol activity).
+func DumpSlice[T Element](c *Cluster, s Slice[T]) []T {
+	raw := make([]byte, s.Len*8)
+	c.dumpBytes(s.Base, raw)
+	out := make([]T, s.Len)
+	for i := range out {
+		out[i] = fromBits[T](leU64(raw[i*8:]))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Pre-generics accessors (thin wrappers; methods cannot be generic)
+// ---------------------------------------------------------------------------
+
+// AllocF64 reserves a global float64 array of n elements on its own pages.
+func (c *Cluster) AllocF64(n int) F64Slice { return AllocSlice[float64](c, n) }
+
+// AllocI64 reserves a global int64 array of n elements on its own pages.
+func (c *Cluster) AllocI64(n int) I64Slice { return AllocSlice[int64](c, n) }
+
+// GetF64 reads element i.
+func (t *Thread) GetF64(s F64Slice, i int) float64 { return Get(t, s, i) }
+
+// SetF64 writes element i.
+func (t *Thread) SetF64(s F64Slice, i int, v float64) { Set(t, s, i, v) }
+
+// ReadF64s bulk-reads elements [lo,hi) into dst (len(dst) >= hi-lo).
+func (t *Thread) ReadF64s(s F64Slice, lo, hi int, dst []float64) { ReadRange(t, s, lo, hi, dst) }
+
+// WriteF64s bulk-writes src to elements [lo, lo+len(src)).
+func (t *Thread) WriteF64s(s F64Slice, lo int, src []float64) { WriteRange(t, s, lo, src) }
+
+// GetI64 reads element i.
+func (t *Thread) GetI64(s I64Slice, i int) int64 { return Get(t, s, i) }
+
+// SetI64 writes element i.
+func (t *Thread) SetI64(s I64Slice, i int, v int64) { Set(t, s, i, v) }
+
+// ReadI64s bulk-reads elements [lo,hi) into dst.
+func (t *Thread) ReadI64s(s I64Slice, lo, hi int, dst []int64) { ReadRange(t, s, lo, hi, dst) }
+
+// WriteI64s bulk-writes src to elements [lo, lo+len(src)).
+func (t *Thread) WriteI64s(s I64Slice, lo int, src []int64) { WriteRange(t, s, lo, src) }
+
+// InitF64 writes vals directly into home memory (see InitSlice).
+func (c *Cluster) InitF64(s F64Slice, vals []float64) { InitSlice(c, s, vals) }
+
+// InitI64 writes vals directly into home memory (see InitSlice).
+func (c *Cluster) InitI64(s I64Slice, vals []int64) { InitSlice(c, s, vals) }
+
+// DumpF64 reads the home-memory truth of s (see DumpSlice).
+func (c *Cluster) DumpF64(s F64Slice) []float64 { return DumpSlice(c, s) }
+
+// DumpI64 reads the home-memory truth of s (see DumpSlice).
+func (c *Cluster) DumpI64(s I64Slice) []int64 { return DumpSlice(c, s) }

@@ -118,7 +118,7 @@ func (d *Directory) lock(page int) *sync.Mutex { return &d.stripes[page%stripeCo
 // fetch-and-or, refreshes node's cached copy, and returns the entry as it
 // was *before* the update — the caller detects transitions from it.
 func (d *Directory) RegisterReader(p *sim.Proc, page, node int) Entry {
-	d.fab.RemoteAtomic(p, d.homeOf(page))
+	d.fab.RemoteAtomic(p, d.homeOf(page), uint64(page))
 	return d.registerReader(page, node)
 }
 
@@ -144,7 +144,7 @@ func (d *Directory) registerReader(page, node int) Entry {
 // since a writer always holds a copy), refreshes node's cached copy, and
 // returns the prior entry.
 func (d *Directory) RegisterWriter(p *sim.Proc, page, node int) Entry {
-	d.fab.RemoteAtomic(p, d.homeOf(page))
+	d.fab.RemoteAtomic(p, d.homeOf(page), uint64(page))
 	mu := d.lock(page)
 	mu.Lock()
 	old := d.entries[page]
@@ -163,7 +163,7 @@ func (d *Directory) Notify(p *sim.Proc, page, target int) {
 		// Own cache was already refreshed by the registration.
 		return
 	}
-	d.fab.RemoteWrite(p, target, 16)
+	d.fab.RemoteWrite(p, target, 16, uint64(page))
 	d.fab.NodeStats(p.Node).DirNotifies.Add(1)
 	mu := d.lock(page)
 	mu.Lock()

@@ -11,7 +11,7 @@ import (
 )
 
 func testFabric(nodes int) *fabric.Fabric {
-	return fabric.New(sim.Topology{Nodes: nodes, Sockets: 1, CoresPerSocket: 1}, fabric.DefaultParams())
+	return fabric.MustNew(sim.Topology{Nodes: nodes, Sockets: 1, CoresPerSocket: 1}, fabric.DefaultParams())
 }
 
 func proc(node int) *sim.Proc { return &sim.Proc{Node: node} }

@@ -10,11 +10,25 @@
 // This split mirrors the paper's central design rule — all protocol actions
 // are one-sided operations paid for by the requester; no message handlers
 // run anywhere.
+//
+// The fabric is also where Corvus (package fault) injects failures: an
+// operation can be dropped in flight, delayed, stalled at the target NIC, or
+// — for remote atomics — fail transiently after the round trip. Because
+// every protocol action is requester-paid and handler-free, recovery is
+// requester-side too: round-trip operations here retry with a detection
+// timeout and capped exponential backoff until the injector's escalation
+// guarantee delivers them; single-attempt variants (TryRemoteAtomic,
+// TryRemoteWrite, PostWrite) let the lock and coherence layers own their own
+// retry policy. Every operation carries a caller-chosen resource key (page
+// number, lock id, flag id) that, together with the issuer, class, target
+// and attempt index, forms the deterministic identity the injector hashes —
+// so the injected schedule is reproducible across runs.
 package fabric
 
 import (
 	"fmt"
 
+	"argo/internal/fault"
 	"argo/internal/sim"
 	"argo/internal/stats"
 )
@@ -105,18 +119,23 @@ type Fabric struct {
 	// every remote operation (package metrics). Hot paths pay a nil check.
 	MX *Probes
 
+	// FI, when non-nil, injects faults into remote operations. A nil
+	// injector is the fault-free fast path (one pointer test per op).
+	FI *fault.Injector
+
 	nics  []sim.Resource // per-node NIC DMA engines
 	nodes []*stats.Node
 }
 
 // New creates a fabric for the given topology and cost model, with one
-// stats.Node per machine.
-func New(topo sim.Topology, p Params) *Fabric {
+// stats.Node per machine. Invalid topologies or parameters surface as
+// errors; MustNew panics instead for static configurations.
+func New(topo sim.Topology, p Params) (*Fabric, error) {
 	if err := topo.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("fabric: %w", err)
 	}
 	if err := p.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	f := &Fabric{
 		P:     p,
@@ -127,8 +146,21 @@ func New(topo sim.Topology, p Params) *Fabric {
 	for i := range f.nodes {
 		f.nodes[i] = &stats.Node{}
 	}
+	return f, nil
+}
+
+// MustNew is New for configurations known statically to be valid; it panics
+// on error.
+func MustNew(topo sim.Topology, p Params) *Fabric {
+	f, err := New(topo, p)
+	if err != nil {
+		panic(err)
+	}
 	return f
 }
+
+// SetFaults attaches a fault injector. A nil injector disables injection.
+func (f *Fabric) SetFaults(in *fault.Injector) { f.FI = in }
 
 // NodeStats returns the counters of node n.
 func (f *Fabric) NodeStats(n int) *stats.Node { return f.nodes[n] }
@@ -149,8 +181,10 @@ func (f *Fabric) ResetNICs() {
 	}
 }
 
-// occupyNIC serializes a transfer of wire nanoseconds at node n's NIC.
+// occupyNIC serializes a transfer of wire nanoseconds at node n's NIC,
+// applying the degraded-node multiplier if n is the plan's slow node.
 func (f *Fabric) occupyNIC(p *sim.Proc, n int, wire sim.Time) {
+	wire = f.FI.Scale(n, wire)
 	if f.P.NICSerialize {
 		f.nics[n].Occupy(p, wire)
 	} else {
@@ -159,16 +193,33 @@ func (f *Fabric) occupyNIC(p *sim.Proc, n int, wire sim.Time) {
 }
 
 // RemoteRead charges for an RDMA read of n bytes homed at node home, issued
-// by p. A loopback read (home == p.Node) costs only local memory time.
-func (f *Fabric) RemoteRead(p *sim.Proc, home, n int) {
+// by p. A loopback read (home == p.Node) costs only local memory time. key
+// names the resource being read for fault identity (page number, word
+// address). A dropped read times out, backs off and reissues until
+// delivered.
+func (f *Fabric) RemoteRead(p *sim.Proc, home, n int, key uint64) {
 	if home == p.Node {
 		p.Advance(f.P.DRAMLatency + f.P.CopyCost(n))
 		return
 	}
 	t0 := p.Now()
-	p.Advance(f.P.RemoteLatency) // request reaches the home NIC
-	f.occupyNIC(p, home, f.P.TransferCost(n))
-	p.Advance(f.P.RemoteLatency) // data returns
+	attempt := 0
+	for {
+		v := f.FI.Draw(p.Node, fault.ClassRead, home, key, attempt)
+		if v.Deliver {
+			f.noteInjected(p, v)
+			p.Advance(f.P.RemoteLatency + v.Delay) // request reaches the home NIC
+			f.occupyNIC(p, home, f.P.TransferCost(n)+v.Stall)
+			p.Advance(f.P.RemoteLatency) // data returns
+			break
+		}
+		f.lost(p, fault.ClassRead)
+		f.Backoff(p, attempt)
+		attempt++
+	}
+	if attempt > 0 {
+		f.recordRecovery(p, fault.ClassRead, p.Now()-t0)
+	}
 	f.account(p.Node, home, n)
 	f.nodes[home].BytesSent.Add(int64(n))
 	f.nodes[p.Node].BytesReceived.Add(int64(n))
@@ -179,16 +230,43 @@ func (f *Fabric) RemoteRead(p *sim.Proc, home, n int) {
 }
 
 // RemoteWrite charges for an RDMA write of n bytes to node home, issued by
-// p. The paper's writebacks are fire-and-forget until a fence; we charge the
-// posting cost (latency + wire) to the issuer, which is conservative.
-func (f *Fabric) RemoteWrite(p *sim.Proc, home, n int) {
+// p, and retries until delivered. The paper's writebacks are fire-and-forget
+// until a fence; we charge the posting cost (latency + wire) to the issuer,
+// which is conservative.
+func (f *Fabric) RemoteWrite(p *sim.Proc, home, n int, key uint64) {
 	if home == p.Node {
 		p.Advance(f.P.DRAMLatency + f.P.CopyCost(n))
 		return
 	}
 	t0 := p.Now()
-	p.Advance(f.P.RemoteLatency)
-	f.occupyNIC(p, home, f.P.TransferCost(n))
+	attempt := 0
+	for !f.TryRemoteWrite(p, home, n, key, attempt) {
+		f.Backoff(p, attempt)
+		attempt++
+	}
+	if attempt > 0 {
+		f.recordRecovery(p, fault.ClassWrite, p.Now()-t0)
+	}
+}
+
+// TryRemoteWrite issues one attempt of a synchronous remote write and
+// reports whether it was delivered. A drop charges the detection timeout
+// and nothing else; the caller owns backoff and reissue. Loopback writes
+// always succeed.
+func (f *Fabric) TryRemoteWrite(p *sim.Proc, home, n int, key uint64, attempt int) bool {
+	if home == p.Node {
+		p.Advance(f.P.DRAMLatency + f.P.CopyCost(n))
+		return true
+	}
+	v := f.FI.Draw(p.Node, fault.ClassWrite, home, key, attempt)
+	if !v.Deliver {
+		f.lost(p, fault.ClassWrite)
+		return false
+	}
+	t0 := p.Now()
+	f.noteInjected(p, v)
+	p.Advance(f.P.RemoteLatency + v.Delay)
+	f.occupyNIC(p, home, f.P.TransferCost(n)+v.Stall)
 	f.account(p.Node, home, n)
 	f.nodes[p.Node].BytesSent.Add(int64(n))
 	f.nodes[home].BytesReceived.Add(int64(n))
@@ -196,6 +274,7 @@ func (f *Fabric) RemoteWrite(p *sim.Proc, home, n int) {
 		f.MX.WriteNs.Record(p.Node, p.Now()-t0)
 		f.MX.WriteOps.Inc()
 	}
+	return true
 }
 
 // LineFetch charges for one cache-line fetch (Argo's prefetching): the
@@ -205,8 +284,10 @@ func (f *Fabric) RemoteWrite(p *sim.Proc, home, n int) {
 // at each involved home the NIC serializes that home's share (its
 // registrations and its page transfers), and distinct homes overlap.
 // regs[h] counts registrations targeting home h; pages[h] counts page
-// transfers from home h.
-func (f *Fabric) LineFetch(p *sim.Proc, regs, pages map[int]int, bytesEach int) {
+// transfers from home h. key is the line's base page; the fault target is
+// the smallest remote home involved (deterministic regardless of map
+// order), and a dropped burst is reissued whole after timeout + backoff.
+func (f *Fabric) LineFetch(p *sim.Proc, regs, pages map[int]int, bytesEach int, key uint64) {
 	// Local work first: loopback registrations and page copies.
 	if c := regs[p.Node]; c > 0 {
 		p.Advance(sim.Time(c) * f.P.DRAMLatency)
@@ -215,25 +296,43 @@ func (f *Fabric) LineFetch(p *sim.Proc, regs, pages map[int]int, bytesEach int) 
 	if c := pages[p.Node]; c > 0 {
 		p.Advance(f.P.DRAMLatency + f.P.CopyCost(c*bytesEach))
 	}
-	anyRemote := false
+	target := -1
 	for h := range regs {
-		if h != p.Node {
-			anyRemote = true
+		if h != p.Node && (target < 0 || h < target) {
+			target = h
 		}
 	}
 	for h := range pages {
-		if h != p.Node {
-			anyRemote = true
+		if h != p.Node && (target < 0 || h < target) {
+			target = h
 		}
 	}
-	if !anyRemote {
+	if target < 0 {
 		return
 	}
 	tRemote := p.Now()
-	p.Advance(f.P.RemoteLatency)
+	attempt := 0
+	var v fault.Verdict
+	for {
+		v = f.FI.Draw(p.Node, fault.ClassFetch, target, key, attempt)
+		if v.Deliver {
+			break
+		}
+		f.lost(p, fault.ClassFetch)
+		f.Backoff(p, attempt)
+		attempt++
+	}
+	f.noteInjected(p, v)
+	p.Advance(f.P.RemoteLatency + v.Delay)
 	arrival := p.Now()
 	wire := f.P.TransferCost(bytesEach)
+	stall := v.Stall // charged once, at the fault-target home
 	occupy := func(h int, service sim.Time) {
+		if h == target {
+			service += stall
+			stall = 0
+		}
+		service = f.FI.Scale(h, service)
 		if f.P.NICSerialize {
 			f.nics[h].OccupyAt(p, arrival, service)
 		} else {
@@ -264,6 +363,9 @@ func (f *Fabric) LineFetch(p *sim.Proc, regs, pages map[int]int, bytesEach int) 
 		f.nodes[p.Node].BytesReceived.Add(int64(c * bytesEach))
 	}
 	p.Advance(f.P.RemoteLatency)
+	if attempt > 0 {
+		f.recordRecovery(p, fault.ClassFetch, p.Now()-tRemote)
+	}
 	if f.MX != nil {
 		f.MX.FetchNs.Record(p.Node, p.Now()-tRemote)
 		f.MX.FetchOps.Inc()
@@ -271,18 +373,49 @@ func (f *Fabric) LineFetch(p *sim.Proc, regs, pages map[int]int, bytesEach int) 
 }
 
 // RemoteWritePosted charges for a posted one-sided write of n bytes to
-// node home: the issuer pays only the injection overhead and the wire
-// occupancy at the target NIC. Writebacks use this path — they pipeline
-// with each other and with computation; the SD fence pays one latency at
-// the end to wait for the last completion.
-func (f *Fabric) RemoteWritePosted(p *sim.Proc, home, n int) {
+// node home and guarantees its delivery: the issuer pays the injection
+// overhead and the wire occupancy at the target NIC, and on a lost post
+// pays the flush-side detection timeout before reissuing. Callers that can
+// defer loss detection to a fence (the coherence writeback path) should use
+// PostWrite directly instead.
+func (f *Fabric) RemoteWritePosted(p *sim.Proc, home, n int, key uint64) {
+	t0 := p.Now()
+	attempt := 0
+	for !f.PostWrite(p, home, n, key, attempt) {
+		p.Advance(f.FI.Plan().Timeout) // the flush notices the missing completion
+		f.retried(p, fault.ClassPost)
+		f.Backoff(p, attempt)
+		attempt++
+	}
+	if attempt > 0 {
+		f.recordRecovery(p, fault.ClassPost, p.Now()-t0)
+	}
+}
+
+// PostWrite posts one attempt of a fire-and-forget one-sided write and
+// reports whether it was delivered. The issuer always pays the posting
+// overhead — a lost post looks exactly like a delivered one until a fence
+// checks completions; the coherence layer owns that detection and reissue
+// (attempt numbers the reissues, so the escalation guarantee bounds them).
+func (f *Fabric) PostWrite(p *sim.Proc, home, n int, key uint64, attempt int) bool {
 	if home == p.Node {
 		p.Advance(f.P.DRAMLatency + f.P.CopyCost(n))
-		return
+		return true
 	}
 	t0 := p.Now()
-	p.Advance(f.P.PostOverhead)
-	f.occupyNIC(p, home, f.P.TransferCost(n))
+	v := f.FI.Draw(p.Node, fault.ClassPost, home, key, attempt)
+	p.Advance(f.P.PostOverhead + v.Delay)
+	if !v.Deliver {
+		// The descriptor was injected but the write vanished: no NIC
+		// occupancy at the target, no bytes delivered.
+		f.nodes[p.Node].FaultsInjected.Add(1)
+		if f.MX != nil {
+			f.MX.InjectedDrops.Inc()
+		}
+		return false
+	}
+	f.noteInjected(p, v)
+	f.occupyNIC(p, home, f.P.TransferCost(n)+v.Stall)
 	f.account(p.Node, home, n)
 	f.nodes[p.Node].BytesSent.Add(int64(n))
 	f.nodes[home].BytesReceived.Add(int64(n))
@@ -290,19 +423,49 @@ func (f *Fabric) RemoteWritePosted(p *sim.Proc, home, n int) {
 		f.MX.PostNs.Record(p.Node, p.Now()-t0)
 		f.MX.PostOps.Inc()
 	}
+	return true
 }
 
 // RemoteAtomic charges for a remote atomic (fetch-and-or / fetch-and-add /
-// CAS) on a word homed at node home, issued by p. The home NIC performs the
-// operation; no remote CPU is involved.
-func (f *Fabric) RemoteAtomic(p *sim.Proc, home int) {
+// CAS) on a word homed at node home, issued by p, retrying until it takes
+// effect. The home NIC performs the operation; no remote CPU is involved.
+// key names the word for fault identity (page number, lock id).
+func (f *Fabric) RemoteAtomic(p *sim.Proc, home int, key uint64) {
 	if home == p.Node {
 		p.Advance(f.P.DRAMLatency)
 		return
 	}
 	t0 := p.Now()
-	p.Advance(f.P.RemoteLatency)
-	f.occupyNIC(p, home, f.P.DirService)
+	attempt := 0
+	for !f.TryRemoteAtomic(p, home, key, attempt) {
+		f.Backoff(p, attempt)
+		attempt++
+	}
+	if attempt > 0 {
+		f.recordRecovery(p, fault.ClassAtomic, p.Now()-t0)
+	}
+}
+
+// TryRemoteAtomic issues one attempt of a remote atomic and reports whether
+// it took effect. A drop charges the detection timeout; a transient atomic
+// failure charges the full round trip (the failure happens before the
+// operation's effect, which is what makes reissuing a non-idempotent atomic
+// safe). The caller owns backoff between attempts — lock acquisition loops
+// use this to back off instead of spinning a dead NIC.
+func (f *Fabric) TryRemoteAtomic(p *sim.Proc, home int, key uint64, attempt int) bool {
+	if home == p.Node {
+		p.Advance(f.P.DRAMLatency)
+		return true
+	}
+	v := f.FI.Draw(p.Node, fault.ClassAtomic, home, key, attempt)
+	if !v.Deliver {
+		f.lost(p, fault.ClassAtomic)
+		return false
+	}
+	t0 := p.Now()
+	f.noteInjected(p, v)
+	p.Advance(f.P.RemoteLatency + v.Delay)
+	f.occupyNIC(p, home, f.P.DirService+v.Stall)
 	p.Advance(f.P.RemoteLatency)
 	f.account(p.Node, home, 16)
 	f.nodes[p.Node].DirOps.Add(1)
@@ -310,6 +473,11 @@ func (f *Fabric) RemoteAtomic(p *sim.Proc, home int) {
 		f.MX.AtomicNs.Record(p.Node, p.Now()-t0)
 		f.MX.AtomicOps.Inc()
 	}
+	if v.AtomicFail {
+		f.retried(p, fault.ClassAtomic)
+		return false
+	}
+	return true
 }
 
 // account records one network transaction of n payload bytes between nodes.

@@ -38,9 +38,9 @@ func TestTransferAndCopyCosts(t *testing.T) {
 }
 
 func TestRemoteReadCharges(t *testing.T) {
-	f := New(testTopo(), DefaultParams())
+	f := MustNew(testTopo(), DefaultParams())
 	p := &sim.Proc{Node: 0}
-	f.RemoteRead(p, 1, 4096)
+	f.RemoteRead(p, 1, 4096, 0)
 	want := 2*f.P.RemoteLatency + f.P.TransferCost(4096)
 	if p.Now() != want {
 		t.Fatalf("remote read cost %d, want %d", p.Now(), want)
@@ -54,18 +54,18 @@ func TestRemoteReadCharges(t *testing.T) {
 }
 
 func TestLoopbackIsCheap(t *testing.T) {
-	f := New(testTopo(), DefaultParams())
+	f := MustNew(testTopo(), DefaultParams())
 	p := &sim.Proc{Node: 2}
-	f.RemoteRead(p, 2, 4096)
+	f.RemoteRead(p, 2, 4096, 0)
 	if p.Now() >= 2*f.P.RemoteLatency {
 		t.Fatalf("loopback read cost %d — paid network latency", p.Now())
 	}
 }
 
 func TestRemoteWriteOneWay(t *testing.T) {
-	f := New(testTopo(), DefaultParams())
+	f := MustNew(testTopo(), DefaultParams())
 	p := &sim.Proc{Node: 0}
-	f.RemoteWrite(p, 1, 1024)
+	f.RemoteWrite(p, 1, 1024, 0)
 	// A posted write pays one latency plus wire, not a round trip.
 	want := f.P.RemoteLatency + f.P.TransferCost(1024)
 	if p.Now() != want {
@@ -74,9 +74,9 @@ func TestRemoteWriteOneWay(t *testing.T) {
 }
 
 func TestRemoteAtomicRoundTrip(t *testing.T) {
-	f := New(testTopo(), DefaultParams())
+	f := MustNew(testTopo(), DefaultParams())
 	p := &sim.Proc{Node: 0}
-	f.RemoteAtomic(p, 3)
+	f.RemoteAtomic(p, 3, 0)
 	want := 2*f.P.RemoteLatency + f.P.DirService
 	if p.Now() != want {
 		t.Fatalf("remote atomic cost %d, want %d", p.Now(), want)
@@ -87,11 +87,11 @@ func TestRemoteAtomicRoundTrip(t *testing.T) {
 }
 
 func TestNICSerialization(t *testing.T) {
-	f := New(testTopo(), DefaultParams())
+	f := MustNew(testTopo(), DefaultParams())
 	a := &sim.Proc{Node: 0}
 	b := &sim.Proc{Node: 2}
-	f.RemoteRead(a, 1, 64<<10)
-	f.RemoteRead(b, 1, 64<<10)
+	f.RemoteRead(a, 1, 64<<10, 0)
+	f.RemoteRead(b, 1, 64<<10, 1)
 	// Both hit node 1's NIC: the second transfer queues behind the first.
 	wire := f.P.TransferCost(64 << 10)
 	if b.Now() < a.Now() {
@@ -105,29 +105,29 @@ func TestNICSerialization(t *testing.T) {
 func TestNICSerializationDisabled(t *testing.T) {
 	prm := DefaultParams()
 	prm.NICSerialize = false
-	f := New(testTopo(), prm)
+	f := MustNew(testTopo(), prm)
 	a := &sim.Proc{Node: 0}
 	b := &sim.Proc{Node: 2}
-	f.RemoteRead(a, 1, 64<<10)
-	f.RemoteRead(b, 1, 64<<10)
+	f.RemoteRead(a, 1, 64<<10, 0)
+	f.RemoteRead(b, 1, 64<<10, 1)
 	if a.Now() != b.Now() {
 		t.Fatalf("without serialization both transfers should cost the same: %d vs %d", a.Now(), b.Now())
 	}
 }
 
 func TestLineFetchSharesLatency(t *testing.T) {
-	f := New(testTopo(), DefaultParams())
+	f := MustNew(testTopo(), DefaultParams())
 	// 4 pages (two from home 1, one each from homes 2 and 3) plus their
 	// registrations, issued as one pipelined burst.
 	p := &sim.Proc{Node: 0}
-	f.LineFetch(p, map[int]int{1: 2, 2: 1, 3: 1}, map[int]int{1: 2, 2: 1, 3: 1}, 4096)
+	f.LineFetch(p, map[int]int{1: 2, 2: 1, 3: 1}, map[int]int{1: 2, 2: 1, 3: 1}, 4096, 0)
 	pipelined := p.Now()
 
 	// The same operations issued one by one.
 	q := &sim.Proc{Node: 0}
 	for _, h := range []int{1, 2, 3, 1} {
-		f.RemoteAtomic(q, h)
-		f.RemoteRead(q, h, 4096)
+		f.RemoteAtomic(q, h, 0)
+		f.RemoteRead(q, h, 4096, 0)
 	}
 	if pipelined >= q.Now() {
 		t.Fatalf("line fetch (%d) not cheaper than serial operations (%d)", pipelined, q.Now())
@@ -144,16 +144,16 @@ func TestLineFetchSharesLatency(t *testing.T) {
 }
 
 func TestLineFetchAllLocal(t *testing.T) {
-	f := New(testTopo(), DefaultParams())
+	f := MustNew(testTopo(), DefaultParams())
 	p := &sim.Proc{Node: 1}
-	f.LineFetch(p, map[int]int{1: 2}, map[int]int{1: 2}, 4096)
+	f.LineFetch(p, map[int]int{1: 2}, map[int]int{1: 2}, 4096, 0)
 	if p.Now() >= f.P.RemoteLatency {
 		t.Fatal("all-local line fetch paid network latency")
 	}
 }
 
 func TestHandoverCostTiers(t *testing.T) {
-	f := New(testTopo(), DefaultParams())
+	f := MustNew(testTopo(), DefaultParams())
 	p := &sim.Proc{Node: 0, Socket: 0, Core: 0}
 	same := f.HandoverCost(p, 0, 0, 0)
 	core := f.HandoverCost(p, 0, 0, 1)
@@ -165,11 +165,11 @@ func TestHandoverCostTiers(t *testing.T) {
 }
 
 func TestTotalStatsAggregates(t *testing.T) {
-	f := New(testTopo(), DefaultParams())
+	f := MustNew(testTopo(), DefaultParams())
 	p0 := &sim.Proc{Node: 0}
 	p2 := &sim.Proc{Node: 2}
-	f.RemoteWrite(p0, 1, 100)
-	f.RemoteWrite(p2, 3, 200)
+	f.RemoteWrite(p0, 1, 100, 0)
+	f.RemoteWrite(p2, 3, 200, 0)
 	tot := f.TotalStats()
 	if tot.BytesSent != 300 {
 		t.Fatalf("total bytes sent = %d, want 300", tot.BytesSent)

@@ -1,6 +1,9 @@
 package fabric
 
-import "argo/internal/metrics"
+import (
+	"argo/internal/fault"
+	"argo/internal/metrics"
+)
 
 // Probes are the fabric's Argoscope instruments: one latency histogram and
 // one labeled op counter per remote operation kind. The histograms measure
@@ -23,6 +26,18 @@ type Probes struct {
 	PostOps   *metrics.Counter
 	FetchOps  *metrics.Counter
 	AtomicOps *metrics.Counter
+
+	// Corvus fault series, indexed by fault.Class: reissues per op kind
+	// and the recovery latency (first issue to successful completion) of
+	// operations that needed at least one reissue.
+	FaultRetries [fault.NumClasses]*metrics.Counter
+	RecoveryNs   [fault.NumClasses]*metrics.Histogram
+
+	// Injected fault events by kind (requester-side view).
+	InjectedDrops       *metrics.Counter
+	InjectedDelays      *metrics.Counter
+	InjectedStalls      *metrics.Counter
+	InjectedAtomicFails *metrics.Counter
 }
 
 // NewProbes resolves the fabric's metric series in r. Series are shared by
@@ -40,10 +55,28 @@ func NewProbes(r *metrics.Registry) *Probes {
 	c := func(op string) *metrics.Counter {
 		return r.Counter(cntName, cntHelp, metrics.L("op", op))
 	}
-	return &Probes{
+	p := &Probes{
 		ReadNs: h("remote_read"), WriteNs: h("remote_write"), PostNs: h("posted_write"),
 		FetchNs: h("line_fetch"), AtomicNs: h("remote_atomic"),
 		ReadOps: c("remote_read"), WriteOps: c("remote_write"), PostOps: c("posted_write"),
 		FetchOps: c("line_fetch"), AtomicOps: c("remote_atomic"),
 	}
+	for cl := fault.Class(0); cl < fault.NumClasses; cl++ {
+		p.FaultRetries[cl] = r.Counter("argo_fault_retries_total",
+			"Operation reissues after an injected fault (Corvus)",
+			metrics.L("op", cl.String()))
+		p.RecoveryNs[cl] = r.Histogram("argo_fault_recovery_ns",
+			"Virtual latency from first issue to successful completion of faulted operations",
+			metrics.L("op", cl.String()))
+	}
+	inj := func(kind string) *metrics.Counter {
+		return r.Counter("argo_fault_injected_total",
+			"Fault events injected by Corvus, by kind",
+			metrics.L("kind", kind))
+	}
+	p.InjectedDrops = inj("drop")
+	p.InjectedDelays = inj("delay")
+	p.InjectedStalls = inj("stall")
+	p.InjectedAtomicFails = inj("atomic_fail")
+	return p
 }

@@ -1,0 +1,109 @@
+package fabric
+
+import (
+	"argo/internal/fault"
+	"argo/internal/sim"
+)
+
+// This file holds the requester-side recovery machinery shared by the
+// fabric's retrying operations and exported to protocol layers that own
+// their own retry loops (locks, fences, flags).
+
+// Backoff charges p capped exponential backoff before a reissue:
+// min(base << attempt, cap) from the fault plan. Exported for protocol
+// layers — e.g. a lock acquisition that backs off instead of hammering a
+// dead NIC — so that their waiting shows up in the same counters.
+func (f *Fabric) Backoff(p *sim.Proc, attempt int) {
+	b := f.backoffDelay(attempt)
+	p.Advance(b)
+	f.nodes[p.Node].FaultBackoffNs.Add(int64(b))
+}
+
+func (f *Fabric) backoffDelay(attempt int) sim.Time {
+	pl := f.FI.Plan()
+	if attempt > 30 {
+		return pl.BackoffCap
+	}
+	b := pl.Backoff << uint(attempt)
+	if b > pl.BackoffCap {
+		b = pl.BackoffCap
+	}
+	return b
+}
+
+// DetectTimeout is the requester-side time to conclude an operation was
+// lost. The coherence fences charge it when they find an undelivered
+// writeback.
+func (f *Fabric) DetectTimeout() sim.Time { return f.FI.Plan().Timeout }
+
+// lost charges the requester's detection timeout for an operation that
+// vanished in flight and counts the injected drop plus the forthcoming
+// reissue (the injector's escalation guarantee means one always follows).
+func (f *Fabric) lost(p *sim.Proc, cl fault.Class) {
+	p.Advance(f.FI.Plan().Timeout)
+	st := f.nodes[p.Node]
+	st.FaultsInjected.Add(1)
+	st.FaultRetries.Add(1)
+	if f.MX != nil {
+		f.MX.FaultRetries[cl].Inc()
+		f.MX.InjectedDrops.Inc()
+	}
+}
+
+// retried counts one reissue that was not caused by a drop (transient
+// atomic failure, writeback reissue from a flush).
+func (f *Fabric) retried(p *sim.Proc, cl fault.Class) {
+	f.nodes[p.Node].FaultRetries.Add(1)
+	if f.MX != nil {
+		f.MX.FaultRetries[cl].Inc()
+	}
+}
+
+// CountRetries exposes retried to protocol layers that reissue through
+// single-attempt primitives (the SD/SI fence writeback loops), counting k
+// reissues at once.
+func (f *Fabric) CountRetries(p *sim.Proc, cl fault.Class, k int) {
+	if k <= 0 {
+		return
+	}
+	f.nodes[p.Node].FaultRetries.Add(int64(k))
+	if f.MX != nil {
+		f.MX.FaultRetries[cl].Add(int64(k))
+	}
+}
+
+// noteInjected records delivered-but-faulty verdicts (delay, stall,
+// transient atomic failure) in the issuer's counters. Drops are counted at
+// the lost/PostWrite sites.
+func (f *Fabric) noteInjected(p *sim.Proc, v fault.Verdict) {
+	if f.FI == nil || (v.Delay == 0 && v.Stall == 0 && !v.AtomicFail) {
+		return
+	}
+	st := f.nodes[p.Node]
+	if v.Delay > 0 {
+		st.FaultsInjected.Add(1)
+		if f.MX != nil {
+			f.MX.InjectedDelays.Inc()
+		}
+	}
+	if v.Stall > 0 {
+		st.FaultsInjected.Add(1)
+		if f.MX != nil {
+			f.MX.InjectedStalls.Inc()
+		}
+	}
+	if v.AtomicFail {
+		st.FaultsInjected.Add(1)
+		if f.MX != nil {
+			f.MX.InjectedAtomicFails.Inc()
+		}
+	}
+}
+
+// recordRecovery feeds the per-class recovery-latency histogram: the time
+// from the first issue of a faulted operation to its successful completion.
+func (f *Fabric) recordRecovery(p *sim.Proc, cl fault.Class, d sim.Time) {
+	if f.MX != nil {
+		f.MX.RecoveryNs[cl].Record(p.Node, d)
+	}
+}

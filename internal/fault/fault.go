@@ -1,0 +1,345 @@
+// Package fault is Corvus, the Argo simulator's fault-injection and
+// resilience subsystem.
+//
+// The paper's central design rule — every Carina/Pyxis/Vela protocol action
+// is a one-sided RDMA operation issued and paid for by the requester, with
+// no message handlers anywhere — has a sharp consequence for fault handling:
+// a lost, delayed or stalled operation has no server-side agent that could
+// notice and recover it. The requester alone must detect the loss (by
+// timeout or missing completion) and reissue the operation. That recovery is
+// sound precisely because the operations are one-sided and handler-free:
+//
+//   - remote page reads and line fetches are idempotent by definition;
+//   - posted writebacks transmit diffs (or full pages) against a stable
+//     twin, so applying the same downgrade twice is a no-op;
+//   - Pyxis directory updates are fetch-and-OR on full-map words —
+//     OR is idempotent, so a reissued registration is harmless;
+//   - ticket/grant words are only moved through failure-before-effect
+//     transients in this model, so a reissued atomic never double-fires.
+//
+// Corvus injects failures at the fabric layer and lets each protocol layer
+// own its recovery policy: the fabric retries round-trip operations with
+// per-op timeouts and capped exponential backoff; the coherence layer
+// re-fences when a posted self-downgrade is lost; the lock layer backs off
+// instead of spinning against a dead NIC.
+//
+// # Determinism
+//
+// Injection decisions are a pure function of (seed, issuing node, op class,
+// target node, resource key, attempt index) — there are no counters and no
+// host-time randomness anywhere. The simulator executes simulated threads
+// with real concurrency, so any schedule-dependent source (per-op sequence
+// numbers, wall clocks) would make two runs of the same program inject
+// different faults. Keying on the operation's identity instead makes the
+// injected schedule, the retry counts and the virtual makespan reproducible
+// across runs: faultiness sticks to (who, what, whom) tuples, like a flaky
+// link or a degraded NIC does in a real machine room, rather than to a
+// dice-roll per packet.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"argo/internal/sim"
+)
+
+// Class identifies the kind of one-sided operation a verdict applies to.
+// It is part of the hash identity, so the same resource can be lossy for
+// fetches yet clean for writebacks.
+type Class int
+
+const (
+	// ClassRead is a remote RDMA read (page pulls, lock polls).
+	ClassRead Class = iota
+	// ClassWrite is a synchronous remote RDMA write (notifications,
+	// grant updates, flag publishes).
+	ClassWrite
+	// ClassPost is a posted (fire-and-forget) one-sided write — the
+	// writeback path. A lost post is only discovered at the next fence.
+	ClassPost
+	// ClassFetch is a batched cache-line fetch burst.
+	ClassFetch
+	// ClassAtomic is a remote atomic (fetch-and-or / fetch-and-add / CAS)
+	// executed by the target NIC.
+	ClassAtomic
+
+	// NumClasses is the number of operation classes.
+	NumClasses = 5
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassRead:
+		return "remote_read"
+	case ClassWrite:
+		return "remote_write"
+	case ClassPost:
+		return "posted_write"
+	case ClassFetch:
+		return "line_fetch"
+	case ClassAtomic:
+		return "remote_atomic"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Plan describes what Corvus injects and how the requester recovers.
+// The zero value injects nothing; ParsePlan and DefaultPlan fill the
+// recovery knobs with usable defaults.
+type Plan struct {
+	// Seed drives every injection decision. Same seed, same program ⇒
+	// same injected schedule.
+	Seed int64
+
+	// Drop is the probability that an operation identity is lost in
+	// flight: the requester times out, backs off and reissues.
+	Drop float64
+	// Delay is the probability that a delivered operation is late;
+	// Jitter is the maximum injected extra latency (uniform in
+	// [0, Jitter], drawn deterministically from the identity).
+	Delay  float64
+	Jitter sim.Time
+	// StallP is the probability that the target NIC stalls for Stall
+	// virtual nanoseconds while serving the operation. The stall occupies
+	// the NIC, so innocent bystanders queue behind it.
+	StallP float64
+	Stall  sim.Time
+	// AtomicFail is the probability that a remote atomic reaches the
+	// target NIC but fails transiently (the requester pays the full round
+	// trip before it can reissue). Failure happens before the operation
+	// takes effect, which is what makes reissue safe for non-idempotent
+	// atomics like fetch-and-increment.
+	AtomicFail float64
+	// SlowFactor > 1 marks SlowNode as degraded: every NIC service on
+	// that node is multiplied by SlowFactor.
+	SlowNode   int
+	SlowFactor float64
+
+	// Timeout is the requester-side detection time for a lost operation.
+	Timeout sim.Time
+	// MaxRetries caps the reissue budget per operation identity. The
+	// attempt after the last retry always succeeds — the model's stand-in
+	// for the NIC driver escalating to a slow reliable path — so protocol
+	// progress is guaranteed and answers stay exact under any plan.
+	MaxRetries int
+	// Backoff is the base of the capped exponential backoff between
+	// reissues; BackoffCap bounds it.
+	Backoff    sim.Time
+	BackoffCap sim.Time
+}
+
+// DefaultPlan returns a plan with no injected faults and calibrated
+// recovery defaults (timeout of a few round trips, 8 retries, 1 µs base
+// backoff capped at 64 µs).
+func DefaultPlan(seed int64) Plan {
+	return Plan{
+		Seed:       seed,
+		SlowNode:   0,
+		SlowFactor: 1,
+		Timeout:    10_000,
+		MaxRetries: 8,
+		Backoff:    1_000,
+		BackoffCap: 64_000,
+	}
+}
+
+// normalize fills zero-valued recovery knobs with the defaults so that a
+// hand-built Plan{Drop: 0.01} behaves sensibly.
+func (p *Plan) normalize() {
+	d := DefaultPlan(p.Seed)
+	if p.Timeout == 0 {
+		p.Timeout = d.Timeout
+	}
+	if p.MaxRetries == 0 {
+		p.MaxRetries = d.MaxRetries
+	}
+	if p.Backoff == 0 {
+		p.Backoff = d.Backoff
+	}
+	if p.BackoffCap == 0 {
+		p.BackoffCap = d.BackoffCap
+	}
+	if p.SlowFactor == 0 {
+		p.SlowFactor = 1
+	}
+}
+
+// Validate reports whether the plan is usable.
+func (p Plan) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"drop", p.Drop}, {"delay", p.Delay}, {"stallp", p.StallP}, {"atomicfail", p.AtomicFail}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s rate %g outside [0,1]", r.name, r.v)
+		}
+	}
+	if p.Jitter < 0 || p.Stall < 0 || p.Timeout < 0 || p.Backoff < 0 || p.BackoffCap < 0 {
+		return fmt.Errorf("fault: negative duration in plan %+v", p)
+	}
+	if p.MaxRetries < 0 || p.MaxRetries > 64 {
+		return fmt.Errorf("fault: retries %d outside [0,64]", p.MaxRetries)
+	}
+	if p.SlowFactor < 0 {
+		return fmt.Errorf("fault: negative slowfactor %g", p.SlowFactor)
+	}
+	if p.SlowNode < 0 {
+		return fmt.Errorf("fault: negative slownode %d", p.SlowNode)
+	}
+	return nil
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p Plan) Enabled() bool {
+	return p.Drop > 0 || p.Delay > 0 || (p.StallP > 0 && p.Stall > 0) ||
+		p.AtomicFail > 0 || p.SlowFactor > 1
+}
+
+// String renders the plan in ParsePlan's spec syntax.
+func (p Plan) String() string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	if p.Drop > 0 {
+		add("drop", strconv.FormatFloat(p.Drop, 'g', -1, 64))
+	}
+	if p.Delay > 0 {
+		add("delay", strconv.FormatFloat(p.Delay, 'g', -1, 64))
+		add("jitter", fmtDur(p.Jitter))
+	}
+	if p.StallP > 0 && p.Stall > 0 {
+		add("stallp", strconv.FormatFloat(p.StallP, 'g', -1, 64))
+		add("stall", fmtDur(p.Stall))
+	}
+	if p.AtomicFail > 0 {
+		add("atomicfail", strconv.FormatFloat(p.AtomicFail, 'g', -1, 64))
+	}
+	if p.SlowFactor > 1 {
+		add("slownode", strconv.Itoa(p.SlowNode))
+		add("slowfactor", strconv.FormatFloat(p.SlowFactor, 'g', -1, 64))
+	}
+	add("seed", strconv.FormatInt(p.Seed, 10))
+	sort.Strings(parts[:len(parts)-1]) // keep seed last for readability
+	return strings.Join(parts, ",")
+}
+
+func fmtDur(t sim.Time) string {
+	switch {
+	case t >= 1_000_000 && t%1_000_000 == 0:
+		return strconv.FormatInt(t/1_000_000, 10) + "ms"
+	case t >= 1_000 && t%1_000 == 0:
+		return strconv.FormatInt(t/1_000, 10) + "us"
+	default:
+		return strconv.FormatInt(t, 10) + "ns"
+	}
+}
+
+// ParsePlan parses a chaos spec like
+//
+//	drop=0.01,stall=5us,stallp=0.02,seed=42
+//
+// Keys: drop, delay, jitter, stall, stallp, atomicfail, slownode,
+// slowfactor, seed, timeout, retries, backoff, backoffcap. Durations take
+// an optional ns/us/ms/s suffix (bare numbers are virtual nanoseconds).
+// Unset recovery knobs get DefaultPlan values; stall without stallp
+// defaults stallp to the drop rate or 0.01, whichever is larger.
+func ParsePlan(spec string) (Plan, error) {
+	p := DefaultPlan(0)
+	stallPSet := false
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: %q is not key=value", kv)
+		}
+		k = strings.ToLower(strings.TrimSpace(k))
+		v = strings.TrimSpace(v)
+		var err error
+		switch k {
+		case "drop":
+			p.Drop, err = parseRate(v)
+		case "delay":
+			p.Delay, err = parseRate(v)
+		case "jitter":
+			p.Jitter, err = parseDur(v)
+		case "stall":
+			p.Stall, err = parseDur(v)
+		case "stallp":
+			p.StallP, err = parseRate(v)
+			stallPSet = true
+		case "atomicfail":
+			p.AtomicFail, err = parseRate(v)
+		case "slownode":
+			p.SlowNode, err = strconv.Atoi(v)
+		case "slowfactor":
+			p.SlowFactor, err = strconv.ParseFloat(v, 64)
+		case "seed":
+			p.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "timeout":
+			p.Timeout, err = parseDur(v)
+		case "retries":
+			p.MaxRetries, err = strconv.Atoi(v)
+		case "backoff":
+			p.Backoff, err = parseDur(v)
+		case "backoffcap":
+			p.BackoffCap, err = parseDur(v)
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown key %q (want drop, delay, jitter, stall, stallp, atomicfail, slownode, slowfactor, seed, timeout, retries, backoff, backoffcap)", k)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("fault: bad value for %s: %v", k, err)
+		}
+	}
+	if p.Stall > 0 && !stallPSet {
+		p.StallP = p.Drop
+		if p.StallP < 0.01 {
+			p.StallP = 0.01
+		}
+	}
+	if p.Delay > 0 && p.Jitter == 0 {
+		p.Jitter = 2_500 // one default remote latency of jitter
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+func parseRate(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("rate %g outside [0,1]", v)
+	}
+	return v, nil
+}
+
+func parseDur(s string) (sim.Time, error) {
+	mult := sim.Time(1)
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		s = strings.TrimSuffix(s, "ns")
+	case strings.HasSuffix(s, "us"), strings.HasSuffix(s, "µs"):
+		s, mult = strings.TrimSuffix(strings.TrimSuffix(s, "us"), "µs"), 1_000
+	case strings.HasSuffix(s, "ms"):
+		s, mult = strings.TrimSuffix(s, "ms"), 1_000_000
+	case strings.HasSuffix(s, "s"):
+		s, mult = strings.TrimSuffix(s, "s"), 1_000_000_000
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative duration %q", s)
+	}
+	return sim.Time(v * float64(mult)), nil
+}

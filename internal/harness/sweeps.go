@@ -44,7 +44,7 @@ func fig7(w io.Writer, quick bool) {
 		// Raw one-sided read (the MPI-RMA passive target curve).
 		fab := wload.NewFabric(2)
 		p := &sim.Proc{Node: 0}
-		fab.RemoteRead(p, 1, size)
+		fab.RemoteRead(p, 1, size, 0)
 		rawBW := mbps(size, p.Now())
 
 		// Argo: one cache-line fetch of the same footprint, including the

@@ -68,6 +68,11 @@ type DSMLock interface {
 type GlobalTicketLock struct {
 	c    *core.Cluster
 	home int
+	key  uint64 // fault identity of the ticket/grant words
+
+	// retries counts acquisition reissues under injected faults; nil
+	// without a metrics suite.
+	retries *metrics.Counter
 
 	mu      sync.Mutex
 	locked  bool
@@ -75,16 +80,40 @@ type GlobalTicketLock struct {
 	freeAt  sim.Time
 }
 
-// NewGlobalTicketLock creates a ticket lock homed at node home.
+// NewGlobalTicketLock creates a ticket lock homed at node home. The lock's
+// fault-identity key comes from the cluster's per-cluster sequence, so a
+// workload that builds its locks in setup order sees the same injected
+// schedule run after run.
 func NewGlobalTicketLock(c *core.Cluster, home int) *GlobalTicketLock {
-	return &GlobalTicketLock{c: c, home: home}
+	l := &GlobalTicketLock{c: c, home: home, key: c.NextSyncKey()}
+	if c.MX != nil {
+		l.retries = c.MX.Reg.Counter("argo_lock_retries_total",
+			"Lock-word operation reissues under injected faults", metrics.L("lock", "ticket"))
+	}
+	return l
+}
+
+// countRetries records n acquisition reissues (no-op without metrics).
+func (l *GlobalTicketLock) countRetries(n int) {
+	if n > 0 && l.retries != nil {
+		l.retries.Add(int64(n))
+	}
 }
 
 // Lock takes a ticket (one remote atomic) and waits for the grant. The
 // handover is observed by polling the remote grant word, which costs a
-// round trip after the previous holder releases.
+// round trip after the previous holder releases. When the ticket atomic is
+// dropped or fails transiently (Corvus), the acquirer backs off with the
+// fabric's capped exponential schedule instead of hammering the dead NIC —
+// a reissued fetch-and-increment is safe because the transient fails before
+// taking effect, so no ticket is ever burned.
 func (l *GlobalTicketLock) Lock(t *core.Thread) {
-	l.c.Fab.RemoteAtomic(t.P, l.home) // fetch-and-increment the ticket word
+	attempt := 0
+	for !l.c.Fab.TryRemoteAtomic(t.P, l.home, l.key, attempt) {
+		l.c.Fab.Backoff(t.P, attempt)
+		attempt++
+	}
+	l.countRetries(attempt)
 	l.mu.Lock()
 	if !l.locked {
 		l.locked = true
@@ -103,13 +132,20 @@ func (l *GlobalTicketLock) Lock(t *core.Thread) {
 	t.P.AdvanceTo(l.freeAt)
 	l.mu.Unlock()
 	// The winning poll that observes the grant.
-	l.c.Fab.RemoteRead(t.P, l.home, 8)
+	l.c.Fab.RemoteRead(t.P, l.home, 8, l.key)
 	runtime.Gosched()
 }
 
-// Unlock bumps the grant counter (one remote write).
+// Unlock bumps the grant counter (one remote write). A lost grant write
+// would wedge every waiter, so the release loops with backoff until the
+// write is delivered.
 func (l *GlobalTicketLock) Unlock(t *core.Thread) {
-	l.c.Fab.RemoteWrite(t.P, l.home, 8)
+	attempt := 0
+	for !l.c.Fab.TryRemoteWrite(t.P, l.home, 8, l.key, attempt) {
+		l.c.Fab.Backoff(t.P, attempt)
+		attempt++
+	}
+	l.countRetries(attempt)
 	l.mu.Lock()
 	l.freeAt = t.P.Now()
 	if len(l.waiters) == 0 {

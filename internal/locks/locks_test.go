@@ -11,7 +11,7 @@ import (
 )
 
 func testFab() *fabric.Fabric {
-	return fabric.New(sim.Topology{Nodes: 1, Sockets: 4, CoresPerSocket: 4}, fabric.DefaultParams())
+	return fabric.MustNew(sim.Topology{Nodes: 1, Sockets: 4, CoresPerSocket: 4}, fabric.DefaultParams())
 }
 
 func procs(topo sim.Topology, n int) []*sim.Proc {

@@ -82,7 +82,7 @@ func (r *Rank) sendCost(dst, bytes int) sim.Time {
 		r.P.Advance(pp.DRAMLatency + pp.CopyCost(bytes))
 		return r.P.Now()
 	}
-	r.W.Fab.RemoteWrite(r.P, dstNode, bytes)
+	r.W.Fab.RemoteWrite(r.P, dstNode, bytes, uint64(dst))
 	return r.P.Now() + pp.RemoteLatency
 }
 

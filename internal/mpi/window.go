@@ -55,7 +55,7 @@ func (win *Window) Put(r *Rank, target, off int, src []byte) {
 	if tn == r.P.Node {
 		r.P.Advance(win.w.Fab.P.DRAMLatency + win.w.Fab.P.CopyCost(len(src)))
 	} else {
-		win.w.Fab.RemoteWritePosted(r.P, tn, len(src))
+		win.w.Fab.RemoteWritePosted(r.P, tn, len(src), winKey(target, off))
 	}
 	win.mus[target].Lock()
 	copy(win.data[target][off:], src)
@@ -69,7 +69,7 @@ func (win *Window) Get(r *Rank, target, off int, dst []byte) {
 	if tn == r.P.Node {
 		r.P.Advance(win.w.Fab.P.DRAMLatency + win.w.Fab.P.CopyCost(len(dst)))
 	} else {
-		win.w.Fab.RemoteRead(r.P, tn, len(dst))
+		win.w.Fab.RemoteRead(r.P, tn, len(dst), winKey(target, off))
 	}
 	win.mus[target].Lock()
 	copy(dst, win.data[target][off:off+len(dst)])
@@ -80,7 +80,7 @@ func (win *Window) Get(r *Rank, target, off int, dst []byte) {
 // returns the previous value (MPI_Fetch_and_op with MPI_SUM).
 func (win *Window) FetchAdd64(r *Rank, target, off int, delta int64) int64 {
 	win.check(target, off, 8)
-	win.w.Fab.RemoteAtomic(r.P, win.w.NodeOf(target))
+	win.w.Fab.RemoteAtomic(r.P, win.w.NodeOf(target), winKey(target, off))
 	win.mus[target].Lock()
 	old := int64(binary.LittleEndian.Uint64(win.data[target][off:]))
 	binary.LittleEndian.PutUint64(win.data[target][off:], uint64(old+delta))
@@ -92,7 +92,7 @@ func (win *Window) FetchAdd64(r *Rank, target, off int, delta int64) int64 {
 // the previous value (MPI_Fetch_and_op with MPI_BOR — Pyxis's primitive).
 func (win *Window) FetchOr64(r *Rank, target, off int, bits uint64) uint64 {
 	win.check(target, off, 8)
-	win.w.Fab.RemoteAtomic(r.P, win.w.NodeOf(target))
+	win.w.Fab.RemoteAtomic(r.P, win.w.NodeOf(target), winKey(target, off))
 	win.mus[target].Lock()
 	old := binary.LittleEndian.Uint64(win.data[target][off:])
 	binary.LittleEndian.PutUint64(win.data[target][off:], old|bits)
@@ -104,7 +104,7 @@ func (win *Window) FetchOr64(r *Rank, target, off int, bits uint64) uint64 {
 // if it equals old, returning the value found (MPI_Compare_and_swap).
 func (win *Window) CompareAndSwap64(r *Rank, target, off int, old, new uint64) uint64 {
 	win.check(target, off, 8)
-	win.w.Fab.RemoteAtomic(r.P, win.w.NodeOf(target))
+	win.w.Fab.RemoteAtomic(r.P, win.w.NodeOf(target), winKey(target, off))
 	win.mus[target].Lock()
 	cur := binary.LittleEndian.Uint64(win.data[target][off:])
 	if cur == old {
@@ -126,6 +126,10 @@ func (win *Window) Flush(r *Rank, target int) {
 func (win *Window) FlushAll(r *Rank) {
 	r.P.Advance(win.w.Fab.P.RemoteLatency)
 }
+
+// winKey forms the fault-identity key of a window access: the target rank
+// and the word offset name the resource deterministically.
+func winKey(target, off int) uint64 { return uint64(target)<<32 | uint64(uint32(off)) }
 
 // Local exposes the caller's own window memory (like querying the base
 // pointer of one's own MPI window). The caller must uphold DRF against

@@ -260,5 +260,5 @@ func TestPGASHeapCrossRank(t *testing.T) {
 }
 
 func wloadFabric(nodes int) *fabric.Fabric {
-	return fabric.New(sim.Topology{Nodes: nodes, Sockets: 4, CoresPerSocket: 4}, fabric.DefaultParams())
+	return fabric.MustNew(sim.Topology{Nodes: nodes, Sockets: 4, CoresPerSocket: 4}, fabric.DefaultParams())
 }

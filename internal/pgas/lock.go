@@ -15,7 +15,8 @@ import (
 // amortize: the data never gets closer.
 type Lock struct {
 	w    *World
-	home int // node holding the lock word
+	home int    // node holding the lock word
+	key  uint64 // fault identity of the lock word
 
 	mu      sync.Mutex
 	locked  bool
@@ -25,13 +26,13 @@ type Lock struct {
 
 // NewLock creates a lock with affinity to rank owner.
 func (w *World) NewLock(owner int) *Lock {
-	return &Lock{w: w, home: w.NodeOf(owner)}
+	return &Lock{w: w, home: w.NodeOf(owner), key: uint64(owner)}
 }
 
 // Lock acquires (upc_lock): one remote atomic to take a ticket, a polling
 // round trip to observe the grant.
 func (l *Lock) Lock(r *Rank) {
-	l.w.Fab.RemoteAtomic(r.P, l.home)
+	l.w.Fab.RemoteAtomic(r.P, l.home, l.key)
 	l.mu.Lock()
 	if !l.locked {
 		l.locked = true
@@ -47,13 +48,13 @@ func (l *Lock) Lock(r *Rank) {
 	l.mu.Lock()
 	r.P.AdvanceTo(l.freeAt)
 	l.mu.Unlock()
-	l.w.Fab.RemoteRead(r.P, l.home, 8)
+	l.w.Fab.RemoteRead(r.P, l.home, 8, l.key)
 	runtime.Gosched()
 }
 
 // Unlock releases (upc_unlock): one remote write of the grant word.
 func (l *Lock) Unlock(r *Rank) {
-	l.w.Fab.RemoteWrite(r.P, l.home, 8)
+	l.w.Fab.RemoteWrite(r.P, l.home, 8, l.key)
 	l.mu.Lock()
 	l.freeAt = r.P.Now()
 	if len(l.waiters) == 0 {

@@ -205,7 +205,7 @@ func (s *Shared[T]) GetBlock(r *Rank, lo, hi int, dst []T) {
 		if o == r.ID {
 			r.P.Advance(r.W.Fab.P.CopyCost(n * 8))
 		} else {
-			r.W.Fab.RemoteRead(r.P, r.W.NodeOf(o), n*8)
+			r.W.Fab.RemoteRead(r.P, r.W.NodeOf(o), n*8, uint64(o))
 		}
 		copy(dst[i-lo:], s.blocks[o][i-blo:end-blo])
 		i = end
@@ -227,7 +227,7 @@ func (s *Shared[T]) PutBlock(r *Rank, lo int, src []T) {
 		if o == r.ID {
 			r.P.Advance(r.W.Fab.P.CopyCost(n * 8))
 		} else {
-			r.W.Fab.RemoteWrite(r.P, r.W.NodeOf(o), n*8)
+			r.W.Fab.RemoteWrite(r.P, r.W.NodeOf(o), n*8, uint64(o))
 		}
 		copy(s.blocks[o][i-blo:end-blo], src[i-lo:i-lo+n])
 		i = end

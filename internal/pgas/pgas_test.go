@@ -8,7 +8,7 @@ import (
 )
 
 func world(nodes, rpn int) *World {
-	fab := fabric.New(sim.Topology{Nodes: nodes, Sockets: 4, CoresPerSocket: 4}, fabric.DefaultParams())
+	fab := fabric.MustNew(sim.Topology{Nodes: nodes, Sockets: 4, CoresPerSocket: 4}, fabric.DefaultParams())
 	return NewWorld(fab, rpn)
 }
 

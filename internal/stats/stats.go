@@ -35,6 +35,10 @@ type Node struct {
 	LockHandoversLocal  atomic.Int64
 	LockHandoversRemote atomic.Int64
 	DelegatedSections   atomic.Int64
+	FaultsInjected      atomic.Int64 // fault events (drops, delays, stalls, atomic failures) seen by this node's requests
+	FaultRetries        atomic.Int64 // operation reissues after an injected fault
+	FaultBackoffNs      atomic.Int64 // virtual time spent in retry backoff
+	WritebackRetries    atomic.Int64 // writeback reissues forced by lost posted writes
 }
 
 // Snapshot is a plain-value copy of a Node's counters.
@@ -46,6 +50,8 @@ type Snapshot struct {
 	BytesSent, BytesReceived, Messages                    int64
 	LockHandoversLocal, LockHandoversRemote               int64
 	DelegatedSections                                     int64
+	FaultsInjected, FaultRetries, FaultBackoffNs          int64
+	WritebackRetries                                      int64
 }
 
 // fields is the single source of truth pairing each Node counter with its
@@ -76,6 +82,10 @@ var fields = []struct {
 	{"lock-handovers-local", func(n *Node) *atomic.Int64 { return &n.LockHandoversLocal }, func(s *Snapshot) *int64 { return &s.LockHandoversLocal }},
 	{"lock-handovers-remote", func(n *Node) *atomic.Int64 { return &n.LockHandoversRemote }, func(s *Snapshot) *int64 { return &s.LockHandoversRemote }},
 	{"delegated-sections", func(n *Node) *atomic.Int64 { return &n.DelegatedSections }, func(s *Snapshot) *int64 { return &s.DelegatedSections }},
+	{"faults-injected", func(n *Node) *atomic.Int64 { return &n.FaultsInjected }, func(s *Snapshot) *int64 { return &s.FaultsInjected }},
+	{"fault-retries", func(n *Node) *atomic.Int64 { return &n.FaultRetries }, func(s *Snapshot) *int64 { return &s.FaultRetries }},
+	{"fault-backoff-ns", func(n *Node) *atomic.Int64 { return &n.FaultBackoffNs }, func(s *Snapshot) *int64 { return &s.FaultBackoffNs }},
+	{"writeback-retries", func(n *Node) *atomic.Int64 { return &n.WritebackRetries }, func(s *Snapshot) *int64 { return &s.WritebackRetries }},
 }
 
 // Snapshot returns a consistent-enough copy of the counters. Individual

@@ -37,6 +37,7 @@ const (
 	EvLockAcquire
 	EvLockRelease
 	EvDelegate
+	EvWBRetry // a posted writeback was lost; Arg is the reissue count so far
 	numKinds
 )
 
@@ -44,6 +45,7 @@ var kindNames = [numKinds]string{
 	"read-miss", "write-miss", "line-fetch", "writeback", "checkpoint",
 	"si-fence", "sd-fence", "invalidate", "keep", "notify",
 	"class-transition", "barrier", "lock-acquire", "lock-release", "delegate",
+	"wb-retry",
 }
 
 func (k Kind) String() string {

@@ -173,6 +173,7 @@ var _ core.PhaseResetter = (*HierBarrier)(nil)
 type Flag struct {
 	c    *core.Cluster
 	home int
+	key  uint64 // fault identity of the flag word
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -182,15 +183,19 @@ type Flag struct {
 
 // NewFlag creates a flag whose word is homed at node home.
 func NewFlag(c *core.Cluster, home int) *Flag {
-	f := &Flag{c: c, home: home}
+	f := &Flag{c: c, home: home, key: c.NextSyncKey()}
 	f.cond = sync.NewCond(&f.mu)
 	return f
 }
 
-// Signal downgrades the caller's node and raises the flag.
+// Signal downgrades the caller's node and raises the flag. A lost flag
+// publish would strand every waiter, so the write loops with the fabric's
+// backoff schedule until it is delivered (Corvus).
 func (f *Flag) Signal(t *core.Thread) {
 	t.Coh.SDFence(t.P)
-	f.c.Fab.RemoteWrite(t.P, f.home, 8)
+	for attempt := 0; !f.c.Fab.TryRemoteWrite(t.P, f.home, 8, f.key, attempt); attempt++ {
+		f.c.Fab.Backoff(t.P, attempt)
+	}
 	f.mu.Lock()
 	f.set = true
 	if t.P.Now() > f.when {
@@ -211,7 +216,7 @@ func (f *Flag) Wait(t *core.Thread) {
 	f.mu.Unlock()
 	t.P.AdvanceTo(when)
 	// One last poll observes the raised flag.
-	f.c.Fab.RemoteRead(t.P, f.home, 8)
+	f.c.Fab.RemoteRead(t.P, f.home, 8, f.key)
 	t.Coh.SIFence(t.P)
 }
 
@@ -222,7 +227,7 @@ func (f *Flag) TryWait(t *core.Thread) bool {
 	set := f.set
 	when := f.when
 	f.mu.Unlock()
-	f.c.Fab.RemoteRead(t.P, f.home, 8)
+	f.c.Fab.RemoteRead(t.P, f.home, 8, f.key)
 	if !set {
 		return false
 	}

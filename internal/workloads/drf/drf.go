@@ -10,15 +10,23 @@
 // The generator also exercises optional flag (signal/wait) chains between
 // epochs, every classification mode, tiny caches and write buffers, both
 // home policies and the single-writer diff-suppression extension.
+//
+// With a Corvus fault plan attached (Params.Faults), the same programs run
+// under injected drops, delays, NIC stalls and transient atomic failures;
+// RunChaos additionally asserts that answers are bit-identical to the
+// fault-free run and that the injected schedule replays deterministically.
 package drf
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 
 	"argo/internal/coherence"
 	"argo/internal/core"
+	"argo/internal/fault"
 	"argo/internal/mem"
+	"argo/internal/sim"
 	"argo/internal/vela"
 	"argo/internal/workloads/wload"
 )
@@ -40,6 +48,33 @@ type Params struct {
 	Policy    mem.Policy
 	Suppress  bool
 	UseFlags  bool // thread 0 signals a flag chain instead of pure barriers
+
+	// Faults, when non-nil, arms the Corvus injector for the run.
+	Faults *fault.Plan
+}
+
+// Report is the observable outcome of one program run: the virtual
+// makespan, a digest of the final home-memory contents, and the injected
+// fault schedule. Two runs of the same program under the same fault plan
+// must produce identical Reports (determinism), and any run's Digest must
+// equal the fault-free Digest (recovery soundness).
+type Report struct {
+	Makespan sim.Time
+	Digest   uint64
+	Faults   fault.Snapshot
+}
+
+func digestI64(xs []int64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range xs {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
 }
 
 // Random draws a parameter set from rng.
@@ -66,6 +101,12 @@ func Random(rng *rand.Rand) Params {
 // Run executes one random program and returns an error describing the
 // first coherence violation, if any.
 func Run(pr Params) error {
+	_, err := RunReport(pr)
+	return err
+}
+
+// RunReport is Run returning the run's Report alongside the verdict.
+func RunReport(pr Params) (Report, error) {
 	cfg := core.DefaultConfig(pr.Nodes)
 	cfg.MemoryBytes = int64(pr.Elements*8) + 1<<20
 	cfg.PageSize = pr.PageSize
@@ -76,6 +117,7 @@ func Run(pr Params) error {
 	cfg.Policy = pr.Policy
 	cfg.SWDiffSuppress = pr.Suppress
 	cfg.Net = wload.Net()
+	cfg.Faults = pr.Faults
 	c := wload.MustCluster(cfg)
 
 	nt := pr.Nodes * pr.TPN
@@ -97,7 +139,7 @@ func Run(pr Params) error {
 		default:
 		}
 	}
-	c.Run(pr.TPN, func(th *core.Thread) {
+	makespan := c.Run(pr.TPN, func(th *core.Thread) {
 		myRng := rand.New(rand.NewSource(pr.Seed ^ int64(th.Rank)*0x9E3779B9))
 		for e := 0; e < pr.Epochs; e++ {
 			for i := 0; i < pr.Elements; i++ {
@@ -117,33 +159,41 @@ func Run(pr Params) error {
 			th.Barrier()
 		}
 	})
+	final := c.DumpI64(xs)
+	rep := Report{Makespan: makespan, Digest: digestI64(final), Faults: c.FaultStats()}
 	select {
 	case err := <-errCh:
-		return err
+		return rep, err
 	default:
 	}
 	// Home truth must hold the final epoch.
-	final := c.DumpI64(xs)
 	for i, v := range final {
 		if want := val(pr.Epochs-1, i); v != want {
-			return fmt.Errorf("home xs[%d]=%d, want %d (params %+v)", i, v, want, pr)
+			return rep, fmt.Errorf("home xs[%d]=%d, want %d (params %+v)", i, v, want, pr)
 		}
 	}
 	if err := c.CheckInvariants(); err != nil {
-		return fmt.Errorf("%v (params %+v)", err, pr)
+		return rep, fmt.Errorf("%v (params %+v)", err, pr)
 	}
-	return nil
+	return rep, nil
 }
 
 // RunFlags executes a producer-consumer chain synchronized with Vela flags
 // instead of barriers: thread 0 writes, signals; each consumer waits and
 // verifies. Exercises the acquire/release fence pairing of signal/wait.
 func RunFlags(pr Params) error {
+	_, err := RunFlagsReport(pr)
+	return err
+}
+
+// RunFlagsReport is RunFlags returning the run's Report.
+func RunFlagsReport(pr Params) (Report, error) {
 	cfg := core.DefaultConfig(pr.Nodes)
 	cfg.MemoryBytes = int64(pr.Elements*8) + 1<<20
 	cfg.PageSize = pr.PageSize
 	cfg.Mode = pr.Mode
 	cfg.Net = wload.Net()
+	cfg.Faults = pr.Faults
 	c := wload.MustCluster(cfg)
 	xs := c.AllocI64(pr.Elements)
 	nt := pr.Nodes * pr.TPN
@@ -152,7 +202,7 @@ func RunFlags(pr Params) error {
 		flags[i] = vela.NewFlag(c, i%pr.Nodes)
 	}
 	errCh := make(chan error, nt)
-	c.Run(pr.TPN, func(th *core.Thread) {
+	makespan := c.Run(pr.TPN, func(th *core.Thread) {
 		if th.Rank == 0 {
 			for i := 0; i < pr.Elements; i++ {
 				th.SetI64(xs, i, int64(i)*7+3)
@@ -173,10 +223,12 @@ func RunFlags(pr Params) error {
 			}
 		}
 	})
+	rep := Report{Makespan: makespan, Digest: digestI64(c.DumpI64(xs)), Faults: c.FaultStats()}
 	select {
 	case err := <-errCh:
-		return err
+		return rep, err
 	default:
-		return nil
+		return rep, nil
 	}
 }
+

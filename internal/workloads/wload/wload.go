@@ -27,7 +27,7 @@ func Net() fabric.Params { return fabric.DefaultParams() }
 // type (4 sockets × 4 cores).
 func NewFabric(nodes int) *fabric.Fabric {
 	topo := sim.Topology{Nodes: nodes, Sockets: 4, CoresPerSocket: 4}
-	return fabric.New(topo, Net())
+	return fabric.MustNew(topo, Net())
 }
 
 // ArgoConfig is the workload-default cluster configuration: the evaluation
@@ -81,7 +81,7 @@ type LocalMachine struct {
 // NewLocalMachine builds the baseline machine with the given cost model.
 func NewLocalMachine(p fabric.Params) *LocalMachine {
 	topo := sim.Topology{Nodes: 1, Sockets: 4, CoresPerSocket: 4}
-	return &LocalMachine{Topo: topo, Fab: fabric.New(topo, p)}
+	return &LocalMachine{Topo: topo, Fab: fabric.MustNew(topo, p)}
 }
 
 // LocalCtx is the per-thread context of a local (non-DSM) run.

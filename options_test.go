@@ -1,0 +1,107 @@
+package argo_test
+
+import (
+	"strings"
+	"testing"
+
+	"argo"
+)
+
+// NewCluster must return errors, never panic, on bad user input.
+func TestNewClusterReturnsErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  argo.Config
+		opts []argo.Option
+	}{
+		{"zero nodes", argo.Config{}, nil},
+		{"negative memory", argo.Config{Nodes: 2, MemoryBytes: -1}, nil},
+		{"bad fault plan", argo.DefaultConfig(2),
+			[]argo.Option{argo.WithFaultPlan(argo.FaultPlan{Drop: 2})}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("NewCluster panicked: %v", r)
+				}
+			}()
+			if _, err := argo.NewCluster(tc.cfg, tc.opts...); err == nil {
+				t.Fatal("bad config accepted")
+			}
+		})
+	}
+}
+
+func TestMustNewClusterPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewCluster did not panic on bad config")
+		}
+	}()
+	argo.MustNewCluster(argo.Config{Nodes: -1})
+}
+
+func TestOptionsCompose(t *testing.T) {
+	ms := argo.NewMetrics()
+	tr := argo.NewTracer(0)
+	net := argo.FabricParams{}
+	cfg := argo.DefaultConfig(2)
+	cfg.MemoryBytes = 4 << 20
+	net = cfg.Net
+	net.RemoteLatency = 12345
+
+	plan := argo.DefaultFaultPlan(42)
+	plan.Drop = 0.01
+
+	barrierBuilt := false
+	c, err := argo.NewCluster(cfg,
+		argo.WithFabricParams(net),
+		argo.WithMetrics(ms),
+		argo.WithTracer(tr),
+		argo.WithFaultPlan(plan),
+		argo.WithBarrier(func(c *argo.Cluster, tpn int) argo.Barrier {
+			barrierBuilt = true
+			return nopBarrier{}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cfg.Net.RemoteLatency != 12345 {
+		t.Fatal("WithFabricParams not applied")
+	}
+	if c.MX != ms {
+		t.Fatal("WithMetrics not applied")
+	}
+	if c.FI == nil {
+		t.Fatal("WithFaultPlan did not build an injector")
+	}
+	c.Run(1, func(th *argo.Thread) { th.Barrier() })
+	if !barrierBuilt {
+		t.Fatal("WithBarrier factory never invoked")
+	}
+}
+
+type nopBarrier struct{}
+
+func (nopBarrier) Wait(t *argo.Thread) {}
+
+func TestParseFaultPlanRoundTrip(t *testing.T) {
+	plan, err := argo.ParseFaultPlan("drop=0.01,stall=5us,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Drop != 0.01 || plan.Seed != 42 {
+		t.Fatalf("parsed plan wrong: %+v", plan)
+	}
+	if _, err := argo.ParseFaultPlan("drop=banana"); err == nil {
+		t.Fatal("garbage rate accepted")
+	}
+	if _, err := argo.ParseFaultPlan("frobnicate=1"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if !strings.Contains(plan.String(), "drop=0.01") {
+		t.Fatalf("String() lost the drop rate: %s", plan.String())
+	}
+}
