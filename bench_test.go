@@ -184,6 +184,45 @@ func BenchmarkDiff(b *testing.B) {
 	}
 }
 
+// BenchmarkDiffApply measures diff application for a sparsely-changed page
+// (32-byte runs every 256 bytes — the word-wise scan's favourable case,
+// where most of the page is skipped 8 bytes at a time).
+func BenchmarkDiffApply(b *testing.B) {
+	base := make([]byte, 4096)
+	data := make([]byte, 4096)
+	for i := 0; i < len(data); i += 256 {
+		for j := i; j < i+32; j++ {
+			data[j] = byte(j + 1)
+		}
+	}
+	s := memSpaceForBench()
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ApplyDiff(0, data, base)
+	}
+}
+
+// BenchmarkSDFence measures a release fence over a spread dirty set: one
+// dirty page per touched line, homes interleaved across 4 nodes — the case
+// the home-grouped burst and the parallel sweep optimize.
+func BenchmarkSDFence(b *testing.B) {
+	c := benchCluster(b, 4)
+	xs := c.AllocF64(1 << 16)
+	b.ResetTimer()
+	c.Run(1, func(t *argo.Thread) {
+		if t.Rank != 0 {
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < xs.Len; j += 512 {
+				t.SetF64(xs, j, float64(i+j))
+			}
+			t.ReleaseFence()
+		}
+	})
+}
+
 func memSpaceForBench() *mem.Space {
 	return mem.NewSpace(1, 4096, 4096, mem.Interleaved)
 }

@@ -41,6 +41,7 @@ func main() {
 	promOut := flag.String("prom-out", "", "write the accumulated metrics as Prometheus exposition text to this file")
 	traceOut := flag.String("trace-out", "", "attach the protocol tracer and write a Perfetto JSON timeline to this file")
 	faults := flag.String("faults", "", "Corvus fault plan applied to every cluster, e.g. drop=0.01,stall=5us,seed=42")
+	eagerDrain := flag.Int("eagerdrain", 0, "start an eager write-buffer drainer per node with this low-water mark in pages (0 = off)")
 	flag.Parse()
 
 	if *list {
@@ -59,6 +60,12 @@ func main() {
 		fmt.Printf("fault injection armed: %s\n", plan.String())
 		core.DefaultFaultPlan = &plan
 		defer func() { core.DefaultFaultPlan = nil }()
+	}
+
+	if *eagerDrain > 0 {
+		low := *eagerDrain
+		core.ConfigHook = func(cfg *core.Config) { cfg.EagerDrainPages = low }
+		defer func() { core.ConfigHook = nil }()
 	}
 
 	var ms *metrics.Suite

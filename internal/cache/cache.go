@@ -131,29 +131,43 @@ func (c *Cache) MarkLineUsed(l int) {
 // of ForEachLine so their cost scales with the resident set, not with the
 // cache geometry.
 func (c *Cache) ForEachUsedLine(fn func(l int, slots []*Slot)) {
-	c.usedMu.Lock()
-	snapshot := append([]int(nil), c.usedList...)
-	c.usedMu.Unlock()
-	for _, l := range snapshot {
+	for _, l := range c.UsedLines() {
 		c.lineLocks[l].Lock()
-		slots := c.SlotsOfLine(l)
-		fn(l, slots)
-		empty := true
-		for _, s := range slots {
-			if s.Page >= 0 && s.St != Invalid {
-				empty = false
-				break
-			}
-		}
-		if empty {
-			c.usedMu.Lock()
-			c.usedSet[l] = false
-			c.usedMu.Unlock()
-		}
+		fn(l, c.SlotsOfLine(l))
+		c.RetireLineIfEmpty(l)
 		c.lineLocks[l].Unlock()
 	}
-	// Compact the list: keep entries whose flag is still set (including
-	// lines refilled concurrently; rare duplicates are harmless).
+	c.CompactUsedList()
+}
+
+// UsedLines returns a snapshot of the occupied line indices in first-use
+// order. Parallel fence sweeps shard it across workers and lock each line
+// themselves.
+func (c *Cache) UsedLines() []int {
+	c.usedMu.Lock()
+	out := append([]int(nil), c.usedList...)
+	c.usedMu.Unlock()
+	return out
+}
+
+// RetireLineIfEmpty clears line l's used flag if no slot holds a valid page.
+// The caller must hold l's line lock (lock order: line lock → usedMu).
+func (c *Cache) RetireLineIfEmpty(l int) {
+	for i := 0; i < c.PagesPerLine; i++ {
+		s := &c.slots[l*c.PagesPerLine+i]
+		if s.Page >= 0 && s.St != Invalid {
+			return
+		}
+	}
+	c.usedMu.Lock()
+	c.usedSet[l] = false
+	c.usedMu.Unlock()
+}
+
+// CompactUsedList drops retired lines from the used list after a sweep:
+// entries whose flag is still set are kept (including lines refilled
+// concurrently; rare duplicates are harmless).
+func (c *Cache) CompactUsedList() {
 	c.usedMu.Lock()
 	kept := c.usedList[:0]
 	for _, l := range c.usedList {
@@ -257,6 +271,40 @@ func (c *Cache) WBDrain() []int {
 		c.MX.WBDrainPages.Record(c.Node, int64(len(q)))
 	}
 	return q
+}
+
+// WBClear empties the write buffer without materializing its contents and
+// returns how many (possibly stale) entries it held. SD fences use it: they
+// sweep the cache directly, so they only need the queue reset and the
+// drain-size metric, not a copy of the page numbers.
+func (c *Cache) WBClear() int {
+	c.wbMu.Lock()
+	n := len(c.wbQ)
+	c.wbQ = c.wbQ[:0]
+	c.wbMu.Unlock()
+	if c.MX != nil {
+		c.MX.WBDrainPages.Record(c.Node, int64(n))
+	}
+	return n
+}
+
+// WBTake removes and returns up to max of the oldest write-buffer entries
+// (FIFO order), or nil when the buffer is empty. The eager background
+// drainer uses it to work in bounded batches without claiming the whole
+// queue, so a concurrent fence still sees whatever the drainer has not
+// reached.
+func (c *Cache) WBTake(max int) []int {
+	c.wbMu.Lock()
+	defer c.wbMu.Unlock()
+	if max <= 0 || len(c.wbQ) == 0 {
+		return nil
+	}
+	if max > len(c.wbQ) {
+		max = len(c.wbQ)
+	}
+	out := append([]int(nil), c.wbQ[:max]...)
+	c.wbQ = c.wbQ[max:]
+	return out
 }
 
 // WBLen returns the current number of (possibly stale) entries.

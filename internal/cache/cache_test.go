@@ -235,3 +235,68 @@ func TestLineSlotsView(t *testing.T) {
 	}
 	c.UnlockLine(2)
 }
+
+func TestWBClearAndTake(t *testing.T) {
+	c := New(0, 4096, 8, 2, 64)
+	for i := 0; i < 5; i++ {
+		c.WBPush(i)
+	}
+	if got := c.WBTake(2); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("WBTake(2) = %v, want [0 1]", got)
+	}
+	if got := c.WBLen(); got != 3 {
+		t.Fatalf("len after take = %d, want 3", got)
+	}
+	if got := c.WBTake(10); len(got) != 3 || got[0] != 2 {
+		t.Fatalf("WBTake(10) = %v, want [2 3 4]", got)
+	}
+	if c.WBTake(1) != nil {
+		t.Fatal("WBTake on empty buffer returned entries")
+	}
+	for i := 10; i < 14; i++ {
+		c.WBPush(i)
+	}
+	if got := c.WBClear(); got != 4 {
+		t.Fatalf("WBClear = %d, want 4", got)
+	}
+	if c.WBLen() != 0 {
+		t.Fatal("buffer not empty after WBClear")
+	}
+	// The cleared buffer keeps working FIFO.
+	c.WBPush(42)
+	if got := c.WBTake(1); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("push after clear: WBTake = %v, want [42]", got)
+	}
+}
+
+func TestUsedLinesSnapshotAndRetire(t *testing.T) {
+	c := New(0, 4096, 8, 2, 64)
+	for _, l := range []int{3, 1} {
+		c.LockLine(l)
+		s := c.SlotsOfLine(l)[0]
+		s.Page = l * c.PagesPerLine
+		s.St = Clean
+		c.MarkLineUsed(l)
+		c.UnlockLine(l)
+	}
+	if got := c.UsedLines(); len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Fatalf("UsedLines = %v, want [3 1] (first-use order)", got)
+	}
+	// Retire line 3 after emptying it; the snapshot compacts.
+	c.LockLine(3)
+	c.SlotsOfLine(3)[0].Invalidate()
+	c.RetireLineIfEmpty(3)
+	c.UnlockLine(3)
+	c.CompactUsedList()
+	if got := c.UsedLines(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("UsedLines after retire = %v, want [1]", got)
+	}
+	// A non-empty line does not retire.
+	c.LockLine(1)
+	c.RetireLineIfEmpty(1)
+	c.UnlockLine(1)
+	c.CompactUsedList()
+	if got := c.UsedLines(); len(got) != 1 {
+		t.Fatalf("occupied line retired: %v", got)
+	}
+}

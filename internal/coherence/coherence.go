@@ -86,11 +86,16 @@ type Options struct {
 	// all synchronously at the fence. This cost is what makes the naive
 	// classification "no better than S" (§5.1).
 	CheckpointPageCost sim.Time
+	// FenceWorkers bounds the worker pool a fence sweep shards the used
+	// lines over (fence.go). It is a fixed configuration value, never
+	// derived from the host's CPU count, so virtual-time results are
+	// machine-independent. Values below 1 mean serial sweeps.
+	FenceWorkers int
 }
 
 // DefaultOptions returns Argo's default protocol configuration.
 func DefaultOptions() Options {
-	return Options{Mode: ModePS3, FencePerPage: 10, CheckpointPageCost: 3000}
+	return Options{Mode: ModePS3, FencePerPage: 10, CheckpointPageCost: 3000, FenceWorkers: 4}
 }
 
 // Node is the per-node coherence agent: it owns the node's page cache and
@@ -112,6 +117,12 @@ type Node struct {
 	// effectiveness and per-page attribution (package metrics). Same
 	// nil-check discipline as the tracer.
 	MX *Probes
+
+	// drain is the optional eager write-buffer drainer (fence.go). Set by
+	// StartDrainer before the workload threads start and cleared by
+	// StopDrainer after they finish, so the threads' reads of it never
+	// race the transitions.
+	drain *drainer
 }
 
 // ev records one trace event with the recording thread's track identity
@@ -317,7 +328,9 @@ func (n *Node) writeMissLocked(p *sim.Proc, s *cache.Slot) (victim int, evict bo
 	if n.Opt.Mode == ModePS && cached.R.Count() <= 1 {
 		return -1, false
 	}
-	return n.Cache.WBPush(page)
+	victim, evict = n.Cache.WBPush(page)
+	n.pokeDrainer()
+	return victim, evict
 }
 
 // fetchLineLocked services a miss on page by fetching its whole aligned
@@ -526,111 +539,9 @@ func ShouldSelfInvalidate(m Mode, e directory.Entry, self int) bool {
 	}
 }
 
-// SIFence self-invalidates the node's page cache: every cached page that the
-// classification cannot exempt is dropped. Dirty pages that must be dropped
-// are downgraded first. Threads of one node share the cache, so one thread's
-// SI fence affects all of them (the paper's common-page-cache tradeoff).
-// A page whose pre-invalidation downgrade is lost stays cached dirty; the
-// fence detects the missing completion, backs off, and re-fences just the
-// survivors until every doomed page is safely home (bounded by the
-// injector's escalation guarantee).
-func (n *Node) SIFence(p *sim.Proc) {
-	n.St.SIFences.Add(1)
-	t0 := p.Now()
-	var inv, kept int64
-	for pass := 0; ; pass++ {
-		failed := 0
-		n.Cache.ForEachUsedLine(func(l int, slots []*cache.Slot) {
-			for _, s := range slots {
-				if s.Page < 0 || s.St == cache.Invalid {
-					continue
-				}
-				if pass == 0 {
-					p.Advance(n.Opt.FencePerPage)
-				}
-				e := n.Dir.Cached(n.ID, s.Page)
-				if !ShouldSelfInvalidate(n.Opt.Mode, e, n.ID) {
-					if pass == 0 {
-						n.St.SIFiltered.Add(1)
-						kept++
-					}
-					continue
-				}
-				if s.St == cache.Dirty && !n.writebackSlotLocked(p, s) {
-					failed++
-					continue // still dirty; next pass retries it
-				}
-				n.ev(p, trace.EvInvalidate, s.Page, 0)
-				if n.MX != nil {
-					n.MX.Pages.Invalidate(s.Page)
-				}
-				s.Invalidate()
-				n.St.SelfInvalidations.Add(1)
-				inv++
-			}
-		})
-		if failed == 0 {
-			break
-		}
-		n.wbRetryPenalty(p, failed, pass)
-	}
-	n.evDur(p, trace.EvSIFence, -1, inv, p.Now()-t0)
-	if n.MX != nil {
-		n.MX.SIFenceNs.Record(n.ID, p.Now()-t0)
-		n.MX.SIInvPerFence.Record(n.ID, inv)
-		n.MX.SIKeptPerFence.Record(n.ID, kept)
-		n.MX.PagesInvalidated.Add(inv)
-		n.MX.PagesKept.Add(kept)
-	}
-}
-
-// SDFence self-downgrades all dirty pages: the write buffer is flushed, and
-// in the naive P/S mode every modified private page is checkpointed on the
-// spot (the cost that motivates P/S3's private self-downgrade).
-// Lost downgrades are detected at the flush (the missing completions), and
-// the fence re-sweeps the surviving dirty pages after a backoff until the
-// write buffer drains clean — the re-fence loop of the Corvus fault model.
-func (n *Node) SDFence(p *sim.Proc) {
-	n.St.SDFences.Add(1)
-	t0 := p.Now()
-	wrote := false
-	for pass := 0; ; pass++ {
-		failed := 0
-		n.Cache.ForEachUsedLine(func(l int, slots []*cache.Slot) {
-			for _, s := range slots {
-				if s.Page < 0 || s.St != cache.Dirty {
-					continue
-				}
-				if n.Opt.Mode == ModePS {
-					e := n.Dir.Cached(n.ID, s.Page)
-					if e.R.Count() <= 1 {
-						n.checkpointSlotLocked(p, s)
-						continue
-					}
-				}
-				if n.writebackSlotLocked(p, s) {
-					wrote = true
-				} else {
-					failed++
-				}
-			}
-		})
-		n.Cache.WBDrain()
-		if failed == 0 {
-			break
-		}
-		n.wbRetryPenalty(p, failed, pass)
-	}
-	if wrote {
-		// Wait for the last posted downgrade to land before the fence
-		// completes (the flush that makes the writes globally visible).
-		p.Advance(n.Fab.P.RemoteLatency)
-	}
-	n.evDur(p, trace.EvSDFence, -1, 0, p.Now()-t0)
-	if n.MX != nil {
-		n.MX.SDFenceNs.Record(n.ID, p.Now()-t0)
-	}
-}
+// The SI and SD fence implementations live in fence.go (the Lyra fence
+// pipeline: parallel host-side sweeps, home-grouped burst downgrades, and
+// the optional eager background drainer).
 
 // ResetForPhase drops all cached state (after flushing it home so no data is
 // lost) without charging virtual time. Used by the collective classification
@@ -649,5 +560,5 @@ func (n *Node) ResetForPhase() {
 			s.ReadyAt = 0
 		}
 	})
-	n.Cache.WBDrain()
+	n.Cache.WBClear()
 }

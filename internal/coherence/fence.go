@@ -1,0 +1,436 @@
+package coherence
+
+// The Lyra fence pipeline. Fences used to walk the resident set serially and
+// post each dirty page as its own one-sided write — every page paid the post
+// overhead, and every home paid a separate NIC occupancy. Here a fence runs
+// in three phases:
+//
+//  1. Sweep (parallel): the used lines are sharded over a small fixed worker
+//     pool. Each worker, under the line locks, classifies resident pages
+//     (batching the directory-cache lookups per worker with CachedMany),
+//     checkpoints naive-P/S private pages, and functionally downgrades dirty
+//     pages exactly as the unbatched path did — the diff (or full page) is
+//     applied to home memory under the home page lock and the slot turns
+//     clean. Workers run on clones of the fencing thread's virtual clock;
+//     their host-side work overlaps in real time and combines as the MAX of
+//     the worker clocks, not the sum.
+//  2. Burst: the collected downgrades are sorted by (home, page) and posted
+//     as one home-grouped burst (fabric.PostWriteBurst): one post overhead
+//     and one NIC occupancy per home instead of per page.
+//  3. Retry: dropped posts are reissued — with the per-page fault identity
+//     (seed, issuer, ClassPost, home, page, attempt) exactly as the serial
+//     flush-detect-reissue loop drew them — after the usual detection
+//     timeout and backoff, until everything is delivered. The functional
+//     writeback already happened in phase 1, and under DRF no other node
+//     reads the home bytes before this fence completes, so the retry loop
+//     is purely a virtual-time matter.
+//
+// Applying home-side data from sweep workers is safe for the same reason it
+// was safe from the fencing thread: the line lock pins the slot, the home
+// page lock orders the apply, and DRF guarantees no remote reader consumes
+// the bytes before the fence (and the release it implements) completes.
+
+import (
+	"sort"
+	"sync"
+
+	"argo/internal/cache"
+	"argo/internal/directory"
+	"argo/internal/fabric"
+	"argo/internal/sim"
+	"argo/internal/trace"
+)
+
+// fenceShardMin is the minimum number of used lines per sweep worker. Below
+// it a fence sweeps inline on the fencing thread: spawning goroutines for a
+// handful of lines costs more host time than the overlap saves.
+const fenceShardMin = 32
+
+// sweepWorkers returns how many workers a sweep over nl used lines employs.
+// The count depends only on nl and the configured pool size — never on the
+// host's CPU count — so virtual-time results are machine-independent.
+func (n *Node) sweepWorkers(nl int) int {
+	w := n.Opt.FenceWorkers
+	if w < 1 {
+		w = 1
+	}
+	if cap := nl / fenceShardMin; w > cap {
+		w = cap
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelSweep runs shard(w, wp, lines) over nw strided shards of lines,
+// each on a clone of p's clock, and max-combines the worker clocks back into
+// p. Shard w gets lines[w], lines[w+nw], … — deterministic regardless of the
+// host. With one worker the shard runs inline on p itself. Workers must do
+// only local work (line-locked cache transitions, home-memory applies, clock
+// advances): anything that orders against other nodes' clocks — NIC
+// occupancy, posted writes — belongs to the burst phase on p, or replay
+// determinism is lost.
+func (n *Node) parallelSweep(p *sim.Proc, lines []int, nw int, shard func(w int, wp *sim.Proc, lines []int)) {
+	if nw == 1 {
+		shard(0, p, lines)
+		return
+	}
+	procs := make([]*sim.Proc, nw)
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		wp := &sim.Proc{Node: p.Node, Socket: p.Socket, Core: p.Core}
+		wp.SetNow(p.Now())
+		procs[w] = wp
+		sub := make([]int, 0, (len(lines)-w+nw-1)/nw)
+		for i := w; i < len(lines); i += nw {
+			sub = append(sub, lines[i])
+		}
+		go func(w int, wp *sim.Proc, sub []int) {
+			defer wg.Done()
+			shard(w, wp, sub)
+		}(w, wp, sub)
+	}
+	wg.Wait()
+	for _, wp := range procs {
+		p.AdvanceTo(wp.Now())
+		p.Hits += wp.Hits
+	}
+}
+
+// burstItem is one functionally-downgraded page awaiting its virtual post.
+type burstItem struct {
+	page    int
+	home    int
+	tx      int // bytes the post carries (diff size, or the full page)
+	attempt int // first fault-identity attempt (the slot's WBTries)
+}
+
+// downgradeSlotLocked functionally downgrades dirty slot s — applying the
+// diff (or, under SWDiffSuppress for a sole writer, the full page) to home
+// memory and marking the slot clean — and returns the burst item that will
+// pay for the wire transfer. The caller holds the line lock. This is
+// writebackSlotLocked with the posted write split off into the fence's burst.
+func (n *Node) downgradeSlotLocked(wp *sim.Proc, s *cache.Slot) burstItem {
+	page := s.Page
+	var preferFull func() bool
+	if n.Opt.SWDiffSuppress && n.Opt.Mode == ModePS3 {
+		preferFull = func() bool {
+			e := n.Dir.Cached(n.ID, page)
+			return e.W.Only(n.ID)
+		}
+	}
+	tx, full := n.Space.Writeback(page, s.Data, s.Twin, preferFull)
+	if !full {
+		// Diff creation scans the page against its twin.
+		wp.Advance(n.Fab.P.CopyCost(n.Cache.PageSize))
+	}
+	n.St.Writebacks.Add(1)
+	n.St.WritebackBytes.Add(int64(tx))
+	n.ev(wp, trace.EvWriteback, page, int64(tx))
+	if n.MX != nil {
+		n.MX.Pages.Writeback(page)
+	}
+	it := burstItem{page: page, home: n.Space.HomeOf(page), tx: tx, attempt: s.WBTries}
+	s.St = cache.Clean
+	s.WBTries = 0
+	s.DropTwin()
+	return it
+}
+
+// postBurst posts the sweep's downgrades home-grouped and loops the failed
+// remainder through detection, backoff and reissue until delivered. Runs on
+// the fencing thread's clock only.
+func (n *Node) postBurst(p *sim.Proc, items []burstItem) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].home != items[j].home {
+			return items[i].home < items[j].home
+		}
+		return items[i].page < items[j].page
+	})
+	post := make([]fabric.PostItem, len(items))
+	homes := 0
+	for i, it := range items {
+		post[i] = fabric.PostItem{Home: it.home, Bytes: it.tx, Key: uint64(it.page), Attempt: it.attempt}
+		if i == 0 || it.home != items[i-1].home {
+			homes++
+		}
+	}
+	n.ev(p, trace.EvWBBurst, -1, int64(len(items))<<8|int64(homes))
+	if n.MX != nil {
+		n.MX.BurstPages.Record(n.ID, int64(len(items)))
+		n.MX.BurstHomes.Record(n.ID, int64(homes))
+	}
+	for pass := 0; ; pass++ {
+		failed := n.Fab.PostWriteBurst(p, post)
+		if len(failed) == 0 {
+			return
+		}
+		retry := make([]fabric.PostItem, 0, len(failed))
+		for _, idx := range failed {
+			it := post[idx]
+			it.Attempt++
+			n.ev(p, trace.EvWBRetry, int(it.Key), int64(it.Attempt))
+			retry = append(retry, it)
+		}
+		n.wbRetryPenalty(p, len(failed), pass)
+		post = retry
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SI fence
+// ---------------------------------------------------------------------------
+
+// siShard accumulates one sweep worker's results.
+type siShard struct {
+	items     []burstItem
+	inv, kept int64
+}
+
+// SIFence self-invalidates the node's page cache: every cached page that the
+// classification cannot exempt is dropped, downgrading dirty ones first.
+// Threads of one node share the cache, so one thread's SI fence affects all
+// of them (the paper's common-page-cache tradeoff). The sweep parallelizes
+// across used lines; the downgrades travel as one home-grouped burst.
+func (n *Node) SIFence(p *sim.Proc) {
+	n.St.SIFences.Add(1)
+	t0 := p.Now()
+	lines := n.Cache.UsedLines()
+	nw := n.sweepWorkers(len(lines))
+	shards := make([]siShard, nw)
+	n.parallelSweep(p, lines, nw, func(w int, wp *sim.Proc, sub []int) {
+		n.siSweepShard(wp, sub, &shards[w])
+	})
+	n.Cache.CompactUsedList()
+	var items []burstItem
+	var inv, kept int64
+	for i := range shards {
+		items = append(items, shards[i].items...)
+		inv += shards[i].inv
+		kept += shards[i].kept
+	}
+	if len(items) > 0 {
+		n.postBurst(p, items)
+	}
+	n.evDur(p, trace.EvSIFence, -1, inv, p.Now()-t0)
+	if n.MX != nil {
+		n.MX.SIFenceNs.Record(n.ID, p.Now()-t0)
+		n.MX.SIInvPerFence.Record(n.ID, inv)
+		n.MX.SIKeptPerFence.Record(n.ID, kept)
+		n.MX.PagesInvalidated.Add(inv)
+		n.MX.PagesKept.Add(kept)
+	}
+}
+
+// siSweepShard sweeps one worker's share of the used lines: snapshot the
+// resident pages, batch the classification lookups with one CachedMany, then
+// invalidate (downgrading first where dirty) the pages the classification
+// cannot exempt.
+func (n *Node) siSweepShard(wp *sim.Proc, lines []int, out *siShard) {
+	type ref struct {
+		s          *cache.Slot
+		line, page int
+	}
+	var refs []ref
+	for _, l := range lines {
+		n.Cache.LockLine(l)
+		for _, s := range n.Cache.SlotsOfLine(l) {
+			if s.Page < 0 || s.St == cache.Invalid {
+				continue
+			}
+			wp.Advance(n.Opt.FencePerPage)
+			refs = append(refs, ref{s, l, s.Page})
+		}
+		n.Cache.UnlockLine(l)
+	}
+	if len(refs) == 0 {
+		return
+	}
+	pages := make([]int, len(refs))
+	for i, r := range refs {
+		pages[i] = r.page
+	}
+	entries := make([]directory.Entry, len(refs))
+	n.Dir.CachedMany(n.ID, pages, entries)
+	for i := 0; i < len(refs); {
+		l := refs[i].line
+		n.Cache.LockLine(l)
+		for ; i < len(refs) && refs[i].line == l; i++ {
+			s := refs[i].s
+			if s.Page != refs[i].page || s.St == cache.Invalid {
+				continue // replaced between snapshot and act: post-fence state
+			}
+			if !ShouldSelfInvalidate(n.Opt.Mode, entries[i], n.ID) {
+				n.St.SIFiltered.Add(1)
+				out.kept++
+				continue
+			}
+			if s.St == cache.Dirty {
+				out.items = append(out.items, n.downgradeSlotLocked(wp, s))
+			}
+			n.ev(wp, trace.EvInvalidate, s.Page, 0)
+			if n.MX != nil {
+				n.MX.Pages.Invalidate(s.Page)
+			}
+			s.Invalidate()
+			n.St.SelfInvalidations.Add(1)
+			out.inv++
+		}
+		n.Cache.RetireLineIfEmpty(l)
+		n.Cache.UnlockLine(l)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SD fence
+// ---------------------------------------------------------------------------
+
+// SDFence self-downgrades all dirty pages: the write buffer is flushed, and
+// in the naive P/S mode every modified private page is checkpointed on the
+// spot (the cost that motivates P/S3's private self-downgrade). The sweep
+// parallelizes across used lines; the downgrades travel as one home-grouped
+// burst, and lost posts are reissued from the burst loop.
+func (n *Node) SDFence(p *sim.Proc) {
+	n.St.SDFences.Add(1)
+	t0 := p.Now()
+	if n.MX != nil {
+		n.MX.DrainResiduePages.Record(n.ID, int64(n.Cache.WBLen()))
+	}
+	lines := n.Cache.UsedLines()
+	nw := n.sweepWorkers(len(lines))
+	shards := make([][]burstItem, nw)
+	n.parallelSweep(p, lines, nw, func(w int, wp *sim.Proc, sub []int) {
+		shards[w] = n.sdSweepShard(wp, sub)
+	})
+	n.Cache.WBClear()
+	var items []burstItem
+	for _, s := range shards {
+		items = append(items, s...)
+	}
+	if len(items) > 0 {
+		n.postBurst(p, items)
+		// Wait for the last posted downgrade to land before the fence
+		// completes (the flush that makes the writes globally visible).
+		p.Advance(n.Fab.P.RemoteLatency)
+	}
+	n.evDur(p, trace.EvSDFence, -1, int64(len(items)), p.Now()-t0)
+	if n.MX != nil {
+		n.MX.SDFenceNs.Record(n.ID, p.Now()-t0)
+	}
+}
+
+// sdSweepShard sweeps one worker's share of the used lines, downgrading
+// every dirty page (checkpointing private ones in the naive P/S mode).
+func (n *Node) sdSweepShard(wp *sim.Proc, lines []int) []burstItem {
+	var items []burstItem
+	for _, l := range lines {
+		n.Cache.LockLine(l)
+		for _, s := range n.Cache.SlotsOfLine(l) {
+			if s.Page < 0 || s.St != cache.Dirty {
+				continue
+			}
+			if n.Opt.Mode == ModePS {
+				e := n.Dir.Cached(n.ID, s.Page)
+				if e.R.Count() <= 1 {
+					n.checkpointSlotLocked(wp, s)
+					continue
+				}
+			}
+			items = append(items, n.downgradeSlotLocked(wp, s))
+		}
+		n.Cache.UnlockLine(l)
+	}
+	return items
+}
+
+// ---------------------------------------------------------------------------
+// Eager background drainer
+// ---------------------------------------------------------------------------
+
+// drainBatch bounds how many write-buffer entries the drainer claims at
+// once, so a concurrent fence still sees whatever it has not reached.
+const drainBatch = 32
+
+// drainer is a node's optional eager write-buffer drainer: a background
+// goroutine that downgrades dirty pages whenever the write buffer grows past
+// its low-water mark, so SD fences arrive with bounded residual work. It
+// runs on its own virtual clock and uses the same line-locked
+// downgrade-until-delivered path as a write-buffer overflow, which composes
+// safely with concurrent fences (whoever locks the line first downgrades;
+// the other sees a clean page and skips). Because the interleaving of
+// drainer and thread posts depends on host scheduling, enabling the drainer
+// trades bit-exact replay determinism for shorter fences.
+type drainer struct {
+	p    *sim.Proc
+	low  int
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartDrainer launches the eager drainer with low-water mark low (pages) on
+// virtual clock wp. Call before the workload threads start; pair with
+// StopDrainer after they finish.
+func (n *Node) StartDrainer(wp *sim.Proc, low int) {
+	if n.drain != nil {
+		return
+	}
+	d := &drainer{
+		p:    wp,
+		low:  low,
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	n.drain = d
+	go n.drainLoop(d)
+}
+
+// StopDrainer stops the drainer and waits for it to finish its current
+// batch. Remaining write-buffer entries are left for the next fence.
+func (n *Node) StopDrainer() {
+	d := n.drain
+	if d == nil {
+		return
+	}
+	close(d.stop)
+	<-d.done
+	n.drain = nil
+}
+
+// pokeDrainer nudges the drainer after a write-buffer push (non-blocking).
+func (n *Node) pokeDrainer() {
+	if d := n.drain; d != nil {
+		select {
+		case d.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (n *Node) drainLoop(d *drainer) {
+	defer close(d.done)
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-d.wake:
+		}
+		for n.Cache.WBLen() > d.low {
+			select {
+			case <-d.stop:
+				return
+			default:
+			}
+			batch := n.Cache.WBTake(drainBatch)
+			if len(batch) == 0 {
+				break
+			}
+			for _, page := range batch {
+				n.WritebackIfDirty(d.p, page)
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package coherence
+
+import (
+	"testing"
+	"time"
+
+	"argo/internal/cache"
+	"argo/internal/directory"
+	"argo/internal/fabric"
+	"argo/internal/fault"
+	"argo/internal/mem"
+	"argo/internal/sim"
+)
+
+// bigRig builds a 4-node rig with enough cache lines that the parallel
+// sweep actually shards (fenceShardMin lines per worker).
+func bigRig(t *testing.T, opt Options, plan *fault.Plan) *rig {
+	t.Helper()
+	const nodes = 4
+	topo := sim.Topology{Nodes: nodes, Sockets: 1, CoresPerSocket: 2}
+	fab := fabric.MustNew(topo, fabric.DefaultParams())
+	if plan != nil {
+		fab.SetFaults(fault.NewInjector(*plan))
+	}
+	space := mem.NewSpace(nodes, 2048*4096, 4096, mem.Interleaved)
+	dir := directory.New(fab, space.NPages, space.HomeOf)
+	if opt.FencePerPage == 0 {
+		o := DefaultOptions()
+		o.Mode = opt.Mode
+		o.SWDiffSuppress = opt.SWDiffSuppress
+		o.FenceWorkers = opt.FenceWorkers
+		opt = o
+	}
+	r := &rig{fab: fab, space: space, dir: dir}
+	for n := 0; n < nodes; n++ {
+		c := cache.New(n, 4096, 1024, 1, 4096)
+		r.nodes = append(r.nodes, NewNode(n, fab, space, dir, c, opt))
+		r.procs = append(r.procs, &sim.Proc{Node: n})
+	}
+	return r
+}
+
+// dirtyMany writes one distinct byte into each of pages[], all from node 0.
+func dirtyMany(r *rig, pages []int) {
+	for _, pg := range pages {
+		r.write64(0, mem.Addr(pg*4096), byte(pg%251)+1)
+	}
+}
+
+func manyPages(n int) []int {
+	pages := make([]int, n)
+	for i := range pages {
+		pages[i] = i * 2 // spread over lines and all four homes
+	}
+	return pages
+}
+
+func TestSDFenceBurstMultiHome(t *testing.T) {
+	r := bigRig(t, Options{Mode: ModePS3}, nil)
+	pages := manyPages(200)
+	dirtyMany(r, pages)
+	r.nodes[0].SDFence(r.procs[0])
+	for _, pg := range pages {
+		if got, want := r.space.HomeBytes(pg)[0], byte(pg%251)+1; got != want {
+			t.Fatalf("page %d home byte = %d, want %d", pg, got, want)
+		}
+	}
+	if got := r.fab.NodeStats(0).Writebacks.Load(); got != 200 {
+		t.Fatalf("writebacks = %d, want 200", got)
+	}
+	// A second fence has nothing to do and must not re-post.
+	before := r.procs[0].Now()
+	r.nodes[0].SDFence(r.procs[0])
+	if r.fab.NodeStats(0).Writebacks.Load() != 200 {
+		t.Fatal("idle SD fence re-posted pages")
+	}
+	if r.procs[0].Now()-before > 10_000 {
+		t.Fatalf("idle SD fence cost %d", r.procs[0].Now()-before)
+	}
+}
+
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	pages := manyPages(300)
+	run := func(workers int) (sim.Time, sim.Time, [][]byte) {
+		r := bigRig(t, Options{Mode: ModePS3, FenceWorkers: workers}, nil)
+		dirtyMany(r, pages)
+		t0 := r.procs[0].Now()
+		r.nodes[0].SDFence(r.procs[0])
+		sd := r.procs[0].Now() - t0
+		// Dirty again, then SI: the fence downgrades and invalidates.
+		dirtyMany(r, pages)
+		t1 := r.procs[0].Now()
+		r.nodes[0].SIFence(r.procs[0])
+		si := r.procs[0].Now() - t1
+		var mem [][]byte
+		for _, pg := range pages {
+			mem = append(mem, append([]byte(nil), r.space.HomeBytes(pg)[:8]...))
+		}
+		return sd, si, mem
+	}
+	sd1, si1, mem1 := run(1)
+	sd4, si4, mem4 := run(4)
+	// The parallel sweep models a multithreaded fence: its virtual cost is
+	// the max over workers, so it must be at most the serial cost — and
+	// bit-identical across repeated runs (host scheduling must not leak in).
+	if sd4 > sd1 || si4 > si1 {
+		t.Fatalf("parallel sweep slower than serial: SD %d vs %d, SI %d vs %d", sd4, sd1, si4, si1)
+	}
+	sd4b, si4b, mem4b := run(4)
+	if sd4 != sd4b || si4 != si4b {
+		t.Fatalf("parallel fence time not deterministic: SD %d vs %d, SI %d vs %d", sd4, sd4b, si4, si4b)
+	}
+	for i := range mem1 {
+		if string(mem1[i]) != string(mem4[i]) || string(mem4[i]) != string(mem4b[i]) {
+			t.Fatalf("page %d home bytes differ between worker counts", pages[i])
+		}
+	}
+}
+
+func TestSDFenceRetriesUnderDrop(t *testing.T) {
+	plan := &fault.Plan{Seed: 3, Drop: 0.4}
+	r := bigRig(t, Options{Mode: ModePS3}, plan)
+	pages := manyPages(120)
+	dirtyMany(r, pages)
+	r.nodes[0].SDFence(r.procs[0])
+	for _, pg := range pages {
+		if got, want := r.space.HomeBytes(pg)[0], byte(pg%251)+1; got != want {
+			t.Fatalf("page %d home byte = %d, want %d (lost under drops)", pg, got, want)
+		}
+	}
+	if r.fab.NodeStats(0).WritebackRetries.Load() == 0 {
+		t.Fatal("test vacuous: no writeback retried under drop=0.4")
+	}
+	// Retries are virtual-only: the functional writeback happened once.
+	if got := r.fab.NodeStats(0).Writebacks.Load(); got != 120 {
+		t.Fatalf("writebacks = %d, want 120", got)
+	}
+	if err := r.nodes[0].CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSIFenceBurstDowngradesDoomedDirty(t *testing.T) {
+	// Node 1 reads, node 0 writes the same pages (shared, MW once node 1
+	// writes too): node 0's SI fence must downgrade-then-invalidate.
+	r := bigRig(t, Options{Mode: ModeS}, nil)
+	pages := manyPages(80)
+	dirtyMany(r, pages)
+	r.nodes[0].SIFence(r.procs[0])
+	for _, pg := range pages {
+		if got, want := r.space.HomeBytes(pg)[0], byte(pg%251)+1; got != want {
+			t.Fatalf("page %d home byte = %d, want %d", pg, got, want)
+		}
+	}
+	if r.fab.NodeStats(0).SelfInvalidations.Load() < int64(len(pages)) {
+		t.Fatal("SI fence kept pages in mode S")
+	}
+	if err := r.nodes[0].CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEagerDrainerDowngradesInBackground(t *testing.T) {
+	r := bigRig(t, Options{Mode: ModePS3}, nil)
+	n := r.nodes[0]
+	n.StartDrainer(&sim.Proc{Node: 0}, 0)
+	defer n.StopDrainer()
+	pages := manyPages(100)
+	dirtyMany(r, pages)
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Cache.WBLen() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("drainer stuck with %d buffered pages", n.Cache.WBLen())
+		}
+		time.Sleep(time.Millisecond)
+		n.pokeDrainer() // belt and braces against a missed wakeup in the test
+	}
+	for _, pg := range pages {
+		if got, want := r.space.HomeBytes(pg)[0], byte(pg%251)+1; got != want {
+			t.Fatalf("page %d home byte = %d, want %d", pg, got, want)
+		}
+	}
+	// The fence after a full drain finds clean pages only.
+	r.nodes[0].SDFence(r.procs[0])
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepWorkersBounds(t *testing.T) {
+	n := &Node{Opt: Options{FenceWorkers: 4}}
+	for _, tc := range []struct{ nl, want int }{
+		{0, 1}, {1, 1}, {31, 1}, {32, 1}, {63, 1}, {64, 2}, {1000, 4},
+	} {
+		if got := n.sweepWorkers(tc.nl); got != tc.want {
+			t.Fatalf("sweepWorkers(%d) = %d, want %d", tc.nl, got, tc.want)
+		}
+	}
+	n.Opt.FenceWorkers = 0
+	if got := n.sweepWorkers(1000); got != 1 {
+		t.Fatalf("FenceWorkers=0 must sweep serially, got %d", got)
+	}
+}

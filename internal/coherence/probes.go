@@ -17,6 +17,14 @@ type Probes struct {
 	PagesInvalidated *metrics.Counter
 	PagesKept        *metrics.Counter
 
+	// Lyra fence-pipeline series: per-burst size in pages and distinct
+	// homes (how much the home-grouped batching amortizes), and the write
+	// buffer's residue when a fence begins (how much work the eager
+	// background drainer left on the critical path).
+	BurstPages        *metrics.Histogram
+	BurstHomes        *metrics.Histogram
+	DrainResiduePages *metrics.Histogram
+
 	// Pages attributes protocol events (misses, writebacks,
 	// invalidations, notifies, evictions) to pages for argo-top.
 	Pages *metrics.PageProfile
@@ -40,6 +48,12 @@ func NewProbes(r *metrics.Registry, pages *metrics.PageProfile) *Probes {
 		SIKeptPerFence:   r.Histogram(siName, siHelp, metrics.L("outcome", "kept")),
 		PagesInvalidated: r.Counter(cntName, cntHelp, metrics.L("outcome", "invalidated")),
 		PagesKept:        r.Counter(cntName, cntHelp, metrics.L("outcome", "kept")),
-		Pages:            pages,
+		BurstPages: r.Histogram("argo_fence_burst_pages",
+			"Pages posted per home-grouped fence downgrade burst"),
+		BurstHomes: r.Histogram("argo_fence_burst_homes",
+			"Distinct home nodes per fence downgrade burst"),
+		DrainResiduePages: r.Histogram("argo_fence_drain_residue_pages",
+			"Write-buffer entries remaining when an SD fence begins"),
+		Pages: pages,
 	}
 }

@@ -49,6 +49,13 @@ type Config struct {
 	Mode           coherence.Mode
 	SWDiffSuppress bool
 	DecayEpochs    int // if >0, reset classification every that many default-barrier episodes
+	// EagerDrainPages, when positive, starts one eager write-buffer drainer
+	// per node (see coherence.StartDrainer): a background agent that
+	// downgrades dirty pages whenever the write buffer grows past this many
+	// entries, so SD fences arrive with bounded residual work. Zero (the
+	// default) keeps all downgrades on the fence path, which preserves
+	// bit-exact replay determinism.
+	EagerDrainPages int
 	// Paranoia makes every barrier episode verify the protocol's
 	// structural invariants on every node (tests and debugging; the sweep
 	// is host-time only).
@@ -107,6 +114,7 @@ func (c *Config) Validate() error {
 		{"PagesPerLine", int64(c.PagesPerLine)},
 		{"WriteBufferPages", int64(c.WriteBufferPages)},
 		{"DecayEpochs", int64(c.DecayEpochs)},
+		{"EagerDrainPages", int64(c.EagerDrainPages)},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("core: %s must not be negative, got %d", f.name, f.v)
@@ -193,6 +201,9 @@ func (c *Cluster) FaultStats() fault.Snapshot { return c.FI.Snapshot() }
 
 // NewCluster builds a cluster from cfg.
 func NewCluster(cfg Config) (*Cluster, error) {
+	if ConfigHook != nil {
+		ConfigHook(&cfg)
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -231,6 +242,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	return cl, nil
 }
+
+// ConfigHook, when non-nil, is invoked with every Config before validation
+// in NewCluster. Tooling (the -eagerdrain flag of argo-bench) uses it to
+// adjust clusters that workload runners construct internally. Not for
+// concurrent mutation.
+var ConfigHook func(*Config)
 
 // TraceHook, when non-nil, is invoked with every newly built Cluster.
 // Tooling (cmd/argo-trace) uses it to attach a tracer to clusters that
@@ -388,10 +405,23 @@ func (c *Cluster) RunSeeded(threadsPerNode int, seed int64, body func(t *Thread)
 			procs[r] = p
 		}
 	}
+	// The eager drainers run on their own virtual clocks (extra "cores"
+	// past the worker threads); their work is off the makespan by design —
+	// it models background NIC usage between synchronization points.
+	if c.Cfg.EagerDrainPages > 0 {
+		for node, n := range c.Nodes {
+			n.StartDrainer(c.Topo.NewProc(node, threadsPerNode), c.Cfg.EagerDrainPages)
+		}
+	}
 	g := sim.NewGroup(procs)
 	makespan := g.Run(func(i int, p *sim.Proc) {
 		body(threads[i])
 	})
+	if c.Cfg.EagerDrainPages > 0 {
+		for _, n := range c.Nodes {
+			n.StopDrainer()
+		}
+	}
 	for _, p := range procs {
 		c.hits.Add(p.Hits)
 	}

@@ -18,6 +18,7 @@ package directory
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"argo/internal/fabric"
@@ -179,6 +180,43 @@ func (d *Directory) Cached(node, page int) Entry {
 	e := d.caches[node][page]
 	mu.Unlock()
 	return e
+}
+
+// CachedMany fills out[i] with node's cached entry of pages[i], taking each
+// involved stripe lock once instead of once per page: the indices are sorted
+// by stripe (stably, so the fill order is deterministic) and each stripe's
+// pages are copied under one lock acquisition. Fence sweeps use it to batch
+// their classification lookups. out must be at least len(pages) long;
+// duplicate pages are allowed.
+func (d *Directory) CachedMany(node int, pages []int, out []Entry) {
+	k := len(pages)
+	if k == 0 {
+		return
+	}
+	if k <= 2 {
+		for i, pg := range pages {
+			out[i] = d.Cached(node, pg)
+		}
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return pages[idx[a]]%stripeCount < pages[idx[b]]%stripeCount
+	})
+	cached := d.caches[node]
+	for i := 0; i < k; {
+		s := pages[idx[i]] % stripeCount
+		mu := &d.stripes[s]
+		mu.Lock()
+		for i < k && pages[idx[i]]%stripeCount == s {
+			out[idx[i]] = cached[pages[idx[i]]]
+			i++
+		}
+		mu.Unlock()
+	}
 }
 
 // Home returns the home truth for page (tests and debug output).

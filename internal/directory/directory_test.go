@@ -293,3 +293,31 @@ func TestConcurrentRegistrationComplete(t *testing.T) {
 		}
 	}
 }
+
+func TestCachedManyMatchesCached(t *testing.T) {
+	d := New(testFabric(4), 4096, func(pg int) int { return pg % 4 })
+	p := proc(0)
+	for pg := 0; pg < 4096; pg += 7 {
+		d.RegisterReader(p, pg, 0)
+		if pg%3 == 0 {
+			d.RegisterWriter(p, pg, 1)
+		}
+	}
+	// Mixed stripes, unsorted, with duplicates and unregistered pages.
+	pages := []int{21, 0, 21, 1024, 7, 2048 + 21, 5, 14, 0}
+	out := make([]Entry, len(pages))
+	d.CachedMany(0, pages, out)
+	for i, pg := range pages {
+		if want := d.Cached(0, pg); out[i] != want {
+			t.Fatalf("CachedMany[%d] (page %d) = %+v, want %+v", i, pg, out[i], want)
+		}
+	}
+	// Small batches take the per-page path; empty is a no-op.
+	d.CachedMany(0, pages[:2], out[:2])
+	for i, pg := range pages[:2] {
+		if want := d.Cached(0, pg); out[i] != want {
+			t.Fatalf("small CachedMany[%d] = %+v, want %+v", i, out[i], want)
+		}
+	}
+	d.CachedMany(0, nil, nil)
+}

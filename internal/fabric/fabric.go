@@ -426,6 +426,112 @@ func (f *Fabric) PostWrite(p *sim.Proc, home, n int, key uint64, attempt int) bo
 	return true
 }
 
+// PostItem is one page of a burst downgrade: a posted one-sided write of
+// Bytes bytes to node Home, carrying the same Corvus fault identity a lone
+// PostWrite of that page would (Key is the page number, Attempt the slot's
+// reissue count) — so chaos verdicts and replay schedules are unchanged by
+// batching.
+type PostItem struct {
+	Home    int
+	Bytes   int
+	Key     uint64
+	Attempt int
+}
+
+// PostWriteBurst posts a fence's collected downgrades as per-home pipelined
+// bursts (the downgrade-side symmetric of LineFetch). Items must be grouped
+// by home (the coherence layer sorts by home, then page, which also keeps
+// the issue order deterministic). The cost model per remote home: the issuer
+// pays one PostOverhead for the home's descriptor chain instead of one per
+// page, every delivered page contributes its wire occupancy to one NIC
+// service interval, and distinct homes overlap — all shares arrive at the
+// post time (shifted by the home's largest injected delay) and serialize
+// only at their target NIC. Loopback items are one DRAM access plus the
+// summed copy cost.
+//
+// Faults are drawn per item with the exact (issuer, ClassPost, home, key,
+// attempt) identity of the unbatched path; a dropped item vanishes without
+// NIC occupancy, exactly like a lost PostWrite. The indices of dropped items
+// are returned; the caller owns detection, backoff and reissue (loopback
+// items always deliver).
+func (f *Fabric) PostWriteBurst(p *sim.Proc, items []PostItem) (failed []int) {
+	if len(items) == 0 {
+		return nil
+	}
+	t0 := p.Now()
+	// Issue phase: one descriptor chain per remote home, one DRAM access
+	// for the loopback batch.
+	localBytes, localAny := 0, false
+	remoteHomes := 0
+	prev := -1
+	for _, it := range items {
+		if it.Home == p.Node {
+			localBytes += it.Bytes
+			localAny = true
+		} else if it.Home != prev {
+			remoteHomes++
+		}
+		prev = it.Home
+	}
+	if localAny {
+		p.Advance(f.P.DRAMLatency + f.P.CopyCost(localBytes))
+	}
+	if remoteHomes == 0 {
+		return nil
+	}
+	p.Advance(sim.Time(remoteHomes) * f.P.PostOverhead)
+	tPost := p.Now()
+
+	delivered := 0
+	for i := 0; i < len(items); {
+		h := items[i].Home
+		if h == p.Node {
+			i++
+			continue
+		}
+		var service, delayMax sim.Time
+		sent := 0
+		for ; i < len(items) && items[i].Home == h; i++ {
+			it := items[i]
+			v := f.FI.Draw(p.Node, fault.ClassPost, h, it.Key, it.Attempt)
+			if !v.Deliver {
+				// The write vanished in flight: no NIC occupancy at the
+				// target, no bytes delivered (same accounting as PostWrite).
+				f.nodes[p.Node].FaultsInjected.Add(1)
+				if f.MX != nil {
+					f.MX.InjectedDrops.Inc()
+				}
+				failed = append(failed, i)
+				continue
+			}
+			f.noteInjected(p, v)
+			if v.Delay > delayMax {
+				delayMax = v.Delay
+			}
+			service += f.P.TransferCost(it.Bytes) + v.Stall
+			f.account(p.Node, h, it.Bytes)
+			f.nodes[p.Node].BytesSent.Add(int64(it.Bytes))
+			f.nodes[h].BytesReceived.Add(int64(it.Bytes))
+			sent++
+		}
+		if sent == 0 {
+			continue
+		}
+		delivered += sent
+		service = f.FI.Scale(h, service)
+		if f.P.NICSerialize {
+			f.nics[h].OccupyAt(p, tPost+delayMax, service)
+		} else {
+			p.AdvanceTo(tPost + delayMax + service)
+		}
+	}
+	if f.MX != nil && delivered > 0 {
+		f.MX.BurstNs.Record(p.Node, p.Now()-t0)
+		f.MX.BurstOps.Inc()
+	}
+	return failed
+}
+
 // RemoteAtomic charges for a remote atomic (fetch-and-or / fetch-and-add /
 // CAS) on a word homed at node home, issued by p, retrying until it takes
 // effect. The home NIC performs the operation; no remote CPU is involved.

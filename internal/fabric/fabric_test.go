@@ -3,6 +3,7 @@ package fabric
 import (
 	"testing"
 
+	"argo/internal/fault"
 	"argo/internal/sim"
 )
 
@@ -176,5 +177,134 @@ func TestTotalStatsAggregates(t *testing.T) {
 	}
 	if tot.Messages != 2 {
 		t.Fatalf("total messages = %d, want 2", tot.Messages)
+	}
+}
+
+func TestPostWriteBurstEmptyAndLoopback(t *testing.T) {
+	f := MustNew(testTopo(), DefaultParams())
+	p := &sim.Proc{Node: 0}
+	if failed := f.PostWriteBurst(p, nil); failed != nil || p.Now() != 0 {
+		t.Fatalf("empty burst: failed=%v now=%d", failed, p.Now())
+	}
+	// All-local items pay DRAM plus one combined copy, never the network.
+	items := []PostItem{{Home: 0, Bytes: 512}, {Home: 0, Bytes: 512}}
+	if failed := f.PostWriteBurst(p, items); failed != nil {
+		t.Fatalf("loopback burst failed %v", failed)
+	}
+	want := f.P.DRAMLatency + f.P.CopyCost(1024)
+	if p.Now() != want {
+		t.Fatalf("loopback burst cost %d, want %d", p.Now(), want)
+	}
+}
+
+func TestPostWriteBurstCheaperThanSerialPosts(t *testing.T) {
+	f := MustNew(testTopo(), DefaultParams())
+	// 12 pages over homes 1..3, grouped by home.
+	var items []PostItem
+	for h := 1; h <= 3; h++ {
+		for k := 0; k < 4; k++ {
+			items = append(items, PostItem{Home: h, Bytes: 4096, Key: uint64(h*100 + k)})
+		}
+	}
+	p := &sim.Proc{Node: 0}
+	if failed := f.PostWriteBurst(p, items); len(failed) != 0 {
+		t.Fatalf("fault-free burst failed %v", failed)
+	}
+	g := MustNew(testTopo(), DefaultParams())
+	q := &sim.Proc{Node: 0}
+	for _, it := range items {
+		if !g.PostWrite(q, it.Home, it.Bytes, it.Key, 0) {
+			t.Fatal("fault-free post failed")
+		}
+	}
+	if p.Now() >= q.Now() {
+		t.Fatalf("burst (%d) not cheaper than serial posts (%d)", p.Now(), q.Now())
+	}
+	// Floor: one posting overhead per home plus one home's wire share.
+	min := 3*f.P.PostOverhead + 4*f.P.TransferCost(4096)
+	if p.Now() < min {
+		t.Fatalf("burst %d below physical floor %d", p.Now(), min)
+	}
+	// Byte accounting matches the serial path.
+	if got, want := f.NodeStats(0).BytesSent.Load(), g.NodeStats(0).BytesSent.Load(); got != want {
+		t.Fatalf("burst bytes sent %d, serial %d", got, want)
+	}
+}
+
+func TestPostWriteBurstHomesOverlap(t *testing.T) {
+	// Two homes, heavy pages: the per-home NIC services overlap, so the
+	// burst beats the sum of the two homes' wire times.
+	f := MustNew(testTopo(), DefaultParams())
+	items := []PostItem{
+		{Home: 1, Bytes: 64 << 10}, {Home: 2, Bytes: 64 << 10},
+	}
+	p := &sim.Proc{Node: 0}
+	f.PostWriteBurst(p, items)
+	wire := f.P.TransferCost(64 << 10)
+	if p.Now() >= 2*f.P.PostOverhead+2*wire {
+		t.Fatalf("burst %d paid both homes' wire serially (wire %d)", p.Now(), wire)
+	}
+}
+
+func TestPostWriteBurstMatchesSerialFaultIdentity(t *testing.T) {
+	// Under a drop plan, the burst must fail exactly the items a serial
+	// PostWrite loop would fail: batching may not change Corvus verdicts.
+	plan := fault.Plan{Seed: 7, Drop: 0.3}
+	fb := MustNew(testTopo(), DefaultParams())
+	fb.SetFaults(fault.NewInjector(plan))
+	fs := MustNew(testTopo(), DefaultParams())
+	fs.SetFaults(fault.NewInjector(plan))
+
+	var items []PostItem
+	for h := 1; h <= 3; h++ {
+		for k := 0; k < 8; k++ {
+			items = append(items, PostItem{Home: h, Bytes: 4096, Key: uint64(h)<<16 | uint64(k)})
+		}
+	}
+	p := &sim.Proc{Node: 0}
+	failed := fb.PostWriteBurst(p, items)
+
+	q := &sim.Proc{Node: 0}
+	var want []int
+	for i, it := range items {
+		if !fs.PostWrite(q, it.Home, it.Bytes, it.Key, it.Attempt) {
+			want = append(want, i)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("test vacuous: no serial post failed under drop=0.3")
+	}
+	if len(failed) != len(want) {
+		t.Fatalf("burst failed %v, serial failed %v", failed, want)
+	}
+	for i := range want {
+		if failed[i] != want[i] {
+			t.Fatalf("burst failed %v, serial failed %v", failed, want)
+		}
+	}
+	// Drop accounting matches too.
+	if got, want := fb.NodeStats(0).FaultsInjected.Load(), fs.NodeStats(0).FaultsInjected.Load(); got != want {
+		t.Fatalf("burst drops %d, serial drops %d", got, want)
+	}
+	// Bumping the attempt re-draws the identity; escalation eventually
+	// delivers every item.
+	post := make([]PostItem, 0, len(failed))
+	for _, i := range failed {
+		it := items[i]
+		it.Attempt++
+		post = append(post, it)
+	}
+	for pass := 0; len(post) > 0; pass++ {
+		if pass > int(64) {
+			t.Fatal("burst retries did not converge")
+		}
+		idx := fb.PostWriteBurst(p, post)
+		next := make([]PostItem, 0, len(idx))
+		for _, i := range idx {
+			it := post[i]
+			it.Attempt++
+			next = append(next, it)
+		}
+		post = next
 	}
 }

@@ -20,12 +20,14 @@ type Probes struct {
 	PostNs   *metrics.Histogram
 	FetchNs  *metrics.Histogram
 	AtomicNs *metrics.Histogram
+	BurstNs  *metrics.Histogram // home-grouped posted-write burst (PostWriteBurst)
 
 	ReadOps   *metrics.Counter
 	WriteOps  *metrics.Counter
 	PostOps   *metrics.Counter
 	FetchOps  *metrics.Counter
 	AtomicOps *metrics.Counter
+	BurstOps  *metrics.Counter
 
 	// Corvus fault series, indexed by fault.Class: reissues per op kind
 	// and the recovery latency (first issue to successful completion) of
@@ -57,9 +59,9 @@ func NewProbes(r *metrics.Registry) *Probes {
 	}
 	p := &Probes{
 		ReadNs: h("remote_read"), WriteNs: h("remote_write"), PostNs: h("posted_write"),
-		FetchNs: h("line_fetch"), AtomicNs: h("remote_atomic"),
+		FetchNs: h("line_fetch"), AtomicNs: h("remote_atomic"), BurstNs: h("posted_burst"),
 		ReadOps: c("remote_read"), WriteOps: c("remote_write"), PostOps: c("posted_write"),
-		FetchOps: c("line_fetch"), AtomicOps: c("remote_atomic"),
+		FetchOps: c("line_fetch"), AtomicOps: c("remote_atomic"), BurstOps: c("posted_burst"),
 	}
 	for cl := fault.Class(0); cl < fault.NumClasses; cl++ {
 		p.FaultRetries[cl] = r.Counter("argo_fault_retries_total",

@@ -14,6 +14,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -190,24 +191,79 @@ func (s *Space) Writeback(p int, data, twin []byte, preferFull func() bool) (tx 
 	return applyDiffLocked(home, data, twin), false
 }
 
-func applyDiffLocked(home, data, twin []byte) int {
-	tx := 0
-	i := 0
+// The diff run-scan compares data against twin eight bytes at a time. Each
+// XOR word is classified with two branch-free tests: all-equal (zero),
+// all-different (no zero byte, detected with the carry trick — the
+// expression is exact for *whether* a zero byte exists), or mixed. Only
+// mixed words walk their bytes, and they do so in the register, so the
+// common patterns — untouched regions, solidly overwritten regions — move
+// at a word per step while arbitrary patterns keep the exact byte-run
+// semantics of the scalar loop. TrailingZeros on a sub-word tail would not
+// see bytes past len, so the tail falls back to byte steps.
+const (
+	diffWordLo = 0x0101010101010101
+	diffWordHi = 0x8080808080808080
+)
+
+// forEachDiffRun iterates the maximal runs [i, j) where data differs from
+// twin, invoking fn (when non-nil) for each, and returns the total wire size
+// of the diff: the changed bytes plus an 8-byte run header per run (the
+// encoding of Keleher et al.). It is the single run-scan shared by the apply
+// and size paths.
+func forEachDiffRun(data, twin []byte, fn func(i, j int)) int {
 	n := len(data)
-	for i < n {
-		if data[i] == twin[i] {
-			i++
-			continue
+	tx := 0
+	run := -1 // start of the open diff run, or -1
+	emit := func(end int) {
+		if fn != nil {
+			fn(run, end)
 		}
-		j := i
-		for j < n && data[j] != twin[j] {
-			j++
+		tx += (end - run) + 8
+		run = -1
+	}
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		x := binary.LittleEndian.Uint64(data[i:]) ^ binary.LittleEndian.Uint64(twin[i:])
+		switch {
+		case x == 0: // word identical
+			if run >= 0 {
+				emit(i)
+			}
+		case (x-diffWordLo)&^x&diffWordHi == 0: // every byte differs
+			if run < 0 {
+				run = i
+			}
+		default: // mixed word: walk its bytes in the register
+			for b := 0; b < 8; b++ {
+				if byte(x>>(8*b)) != 0 {
+					if run < 0 {
+						run = i + b
+					}
+				} else if run >= 0 {
+					emit(i + b)
+				}
+			}
 		}
-		copy(home[i:j], data[i:j])
-		tx += (j - i) + 8
-		i = j
+	}
+	for ; i < n; i++ {
+		if data[i] != twin[i] {
+			if run < 0 {
+				run = i
+			}
+		} else if run >= 0 {
+			emit(i)
+		}
+	}
+	if run >= 0 {
+		emit(n)
 	}
 	return tx
+}
+
+func applyDiffLocked(home, data, twin []byte) int {
+	return forEachDiffRun(data, twin, func(i, j int) {
+		copy(home[i:j], data[i:j])
+	})
 }
 
 // ApplyDiff writes back the bytes of data that differ from twin into page
@@ -225,22 +281,7 @@ func (s *Space) ApplyDiff(p int, data, twin []byte) int {
 // DiffSize returns the wire size of the diff between data and twin without
 // applying it (used to account the cost of a diff before transmission).
 func DiffSize(data, twin []byte) int {
-	tx := 0
-	i := 0
-	n := len(data)
-	for i < n {
-		if data[i] == twin[i] {
-			i++
-			continue
-		}
-		j := i
-		for j < n && data[j] != twin[j] {
-			j++
-		}
-		tx += (j - i) + 8
-		i = j
-	}
-	return tx
+	return forEachDiffRun(data, twin, nil)
 }
 
 // HomeBytes exposes page p's backing slice without locking. It is intended

@@ -236,6 +236,135 @@ func TestDiffSizeMatchesApply(t *testing.T) {
 	}
 }
 
+// refDiffRuns is the scalar byte-at-a-time reference for the word-wise
+// run-scan: it returns the diff's wire size and applies changed runs to home
+// (when home is non-nil) exactly as the pre-vectorization loop did.
+func refDiffRuns(home, data, twin []byte) int {
+	tx := 0
+	i := 0
+	n := len(data)
+	for i < n {
+		if data[i] == twin[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < n && data[j] != twin[j] {
+			j++
+		}
+		if home != nil {
+			copy(home[i:j], data[i:j])
+		}
+		tx += (j - i) + 8
+		i = j
+	}
+	return tx
+}
+
+// Directed cases the word-wise scan must get exactly right: empty diffs,
+// full-page diffs, and runs whose boundaries straddle 8-byte word edges, at
+// lengths that are not multiples of the word size.
+func TestDiffWordWiseDirected(t *testing.T) {
+	type run struct{ lo, hi int }
+	cases := []struct {
+		name string
+		n    int
+		runs []run
+	}{
+		{"empty", 4096, nil},
+		{"full-page", 4096, []run{{0, 4096}}},
+		{"single-byte-at-0", 64, []run{{0, 1}}},
+		{"single-byte-at-end", 64, []run{{63, 64}}},
+		{"run-ends-at-word-edge", 64, []run{{3, 8}}},
+		{"run-starts-at-word-edge", 64, []run{{8, 13}}},
+		{"run-straddles-word-edge", 64, []run{{6, 10}}},
+		{"adjacent-runs-one-gap", 64, []run{{4, 7}, {8, 12}}},
+		{"whole-word-run", 64, []run{{16, 24}}},
+		{"tail-shorter-than-word", 13, []run{{9, 13}}},
+		{"tiny-page", 5, []run{{1, 4}}},
+		{"one-byte-page-diff", 1, []run{{0, 1}}},
+		{"one-byte-page-equal", 1, nil},
+		{"zero-length", 0, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			twin := make([]byte, tc.n)
+			for i := range twin {
+				twin[i] = byte(i * 7)
+			}
+			data := append([]byte(nil), twin...)
+			for _, r := range tc.runs {
+				for i := r.lo; i < r.hi; i++ {
+					data[i] ^= 0xFF
+				}
+			}
+			want := refDiffRuns(nil, data, twin)
+			if got := DiffSize(data, twin); got != want {
+				t.Fatalf("DiffSize = %d, want %d", got, want)
+			}
+			homeA := make([]byte, tc.n)
+			homeB := make([]byte, tc.n)
+			for i := range homeA {
+				homeA[i] = 0xA5
+				homeB[i] = 0xA5
+			}
+			refDiffRuns(homeA, data, twin)
+			if got := applyDiffLocked(homeB, data, twin); got != want {
+				t.Fatalf("applyDiffLocked tx = %d, want %d", got, want)
+			}
+			if !bytes.Equal(homeA, homeB) {
+				t.Fatalf("word-wise apply diverged from byte-wise reference")
+			}
+		})
+	}
+}
+
+// Property: on random page/twin pairs of random (word-unaligned) lengths the
+// word-wise DiffSize and ApplyDiff agree with the byte-wise reference — same
+// wire size, same bytes written, same bytes left untouched.
+func TestDiffWordWiseMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300) // includes 0 and sub-word lengths
+		twin := make([]byte, n)
+		rng.Read(twin)
+		data := append([]byte(nil), twin...)
+		switch rng.Intn(4) {
+		case 0: // leave identical
+		case 1: // change everything
+			for i := range data {
+				data[i] ^= 0xFF
+			}
+		default: // sprinkle random runs
+			for k := 0; k < rng.Intn(10); k++ {
+				lo := rng.Intn(n + 1)
+				hi := lo + rng.Intn(17)
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					data[i] ^= byte(rng.Intn(255) + 1)
+				}
+			}
+		}
+		homeRef := make([]byte, n)
+		homeGot := make([]byte, n)
+		rng.Read(homeRef)
+		copy(homeGot, homeRef)
+		want := refDiffRuns(homeRef, data, twin)
+		if DiffSize(data, twin) != want {
+			return false
+		}
+		if applyDiffLocked(homeGot, data, twin) != want {
+			return false
+		}
+		return bytes.Equal(homeRef, homeGot)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPolicyString(t *testing.T) {
 	if Interleaved.String() != "interleaved" || Blocked.String() != "blocked" {
 		t.Fatal("policy names wrong")

@@ -38,6 +38,7 @@ const (
 	EvLockRelease
 	EvDelegate
 	EvWBRetry // a posted writeback was lost; Arg is the reissue count so far
+	EvWBBurst // a fence posted its downgrades as one burst; Arg packs pages<<8|homes
 	numKinds
 )
 
@@ -45,7 +46,7 @@ var kindNames = [numKinds]string{
 	"read-miss", "write-miss", "line-fetch", "writeback", "checkpoint",
 	"si-fence", "sd-fence", "invalidate", "keep", "notify",
 	"class-transition", "barrier", "lock-acquire", "lock-release", "delegate",
-	"wb-retry",
+	"wb-retry", "wb-burst",
 }
 
 func (k Kind) String() string {
