@@ -42,6 +42,7 @@ import (
 	"argo/internal/core"
 	"argo/internal/fabric"
 	"argo/internal/fault"
+	"argo/internal/health"
 	"argo/internal/metrics"
 	"argo/internal/trace"
 	"argo/internal/vela"
@@ -73,6 +74,13 @@ type (
 	// FaultPlan describes a deterministic fault-injection campaign
 	// (see WithFaultPlan and ParseFaultPlan).
 	FaultPlan = fault.Plan
+	// CrashSignal is the panic value a thread of a crash-stopped node
+	// unwinds with at its barrier safe point (Cygnus). The SPMD runner
+	// absorbs it; user code only sees it from custom recover hooks.
+	CrashSignal = health.CrashSignal
+	// MembershipTransition is one membership event — crash, excise or
+	// rejoin — from Cluster.Health.History().
+	MembershipTransition = health.Transition
 	// Barrier is the interface of a launch's default barrier.
 	Barrier = core.BarrierWaiter
 	// BarrierFactory builds the default barrier for each SPMD launch.
@@ -139,6 +147,24 @@ func WithFaultPlan(plan FaultPlan) Option {
 // barrier) for every launch on the cluster.
 func WithBarrier(f BarrierFactory) Option {
 	return func(o *clusterOptions) { o.barrier = f }
+}
+
+// WithCrashFaults arms Cygnus crash-stop node failures: at every barrier
+// episode each node crashes with probability rate (a pure function of the
+// fault seed, so runs replay bit-exactly). With restart, a crashed node
+// loses its volatile state, sits out one failure-detection timeout and
+// rejoins the membership at the same barrier. Composes with WithFaultPlan:
+// options apply in order, and this one only touches the plan's crash knobs
+// (starting from the default plan when none is set).
+func WithCrashFaults(rate float64, restart bool) Option {
+	return func(o *clusterOptions) {
+		if o.faults == nil {
+			p := fault.DefaultPlan(0)
+			o.faults = &p
+		}
+		o.faults.Crash = rate
+		o.faults.CrashRestart = restart
+	}
 }
 
 // NewCluster builds a cluster with Vela's hierarchical barrier installed as

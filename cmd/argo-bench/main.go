@@ -41,6 +41,8 @@ func main() {
 	promOut := flag.String("prom-out", "", "write the accumulated metrics as Prometheus exposition text to this file")
 	traceOut := flag.String("trace-out", "", "attach the protocol tracer and write a Perfetto JSON timeline to this file")
 	faults := flag.String("faults", "", "Corvus fault plan applied to every cluster, e.g. drop=0.01,stall=5us,seed=42")
+	crash := flag.Float64("crash", 0, "Cygnus per-(node,episode) crash rate merged into the fault plan (most experiments are not crash-tolerant; see the 'crash' experiment)")
+	crashRestart := flag.Bool("crash-restart", false, "crashed nodes rejoin after one detection timeout instead of staying dead (with -crash)")
 	eagerDrain := flag.Int("eagerdrain", 0, "start an eager write-buffer drainer per node with this low-water mark in pages (0 = off)")
 	flag.Parse()
 
@@ -51,9 +53,20 @@ func main() {
 		return
 	}
 
-	if *faults != "" {
-		plan, err := fault.ParsePlan(*faults)
-		if err != nil {
+	if *faults != "" || *crash > 0 {
+		plan := fault.DefaultPlan(0)
+		if *faults != "" {
+			var err error
+			if plan, err = fault.ParsePlan(*faults); err != nil {
+				fmt.Fprintln(os.Stderr, "argo-bench:", err)
+				os.Exit(2)
+			}
+		}
+		if *crash > 0 {
+			plan.Crash = *crash
+			plan.CrashRestart = *crashRestart
+		}
+		if err := plan.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, "argo-bench:", err)
 			os.Exit(2)
 		}

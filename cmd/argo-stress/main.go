@@ -14,6 +14,14 @@
 //
 //	argo-stress -n 50 -seed 42 -faults drop=0.01,stall=5us,seed=42
 //
+// Crash mode (-crash) additionally sweeps Cygnus crash-stop and
+// crash-restart node failures over the crash-tolerant ring workload,
+// asserting that survivors repair the dead nodes' shards to the bit-exact
+// fault-free answer and that crash schedules, membership-epoch histories
+// and makespans replay identically:
+//
+//	argo-stress -seed 42 -crash 0.02
+//
 // -digests prints one "answers-digest:" line per program (the final home
 // memory's FNV-64a). At a fixed -seed these lines are comparable across
 // invocations — with and without -faults — so a diff proves bit-identical
@@ -53,6 +61,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "base seed (0: derive from time)")
 	verbose := flag.Bool("v", false, "print every program's parameters")
 	faults := flag.String("faults", "", "Corvus fault plan, e.g. drop=0.01,stall=5us,seed=42 (enables chaos mode)")
+	crash := flag.Float64("crash", 0, "Cygnus per-(node,episode) crash rate; sweeps crash-stop and crash-restart recovery on the crash-tolerant ring")
 	digests := flag.Bool("digests", false, "print one answers-digest line per program")
 	flag.Parse()
 
@@ -66,6 +75,37 @@ func main() {
 		if plan, err = fault.ParsePlan(*faults); err != nil {
 			fmt.Fprintln(os.Stderr, "argo-stress:", err)
 			os.Exit(2)
+		}
+		// Random DRF programs are not crash-tolerant (a dead writer's epoch
+		// is simply gone); crash faults only run on the repairing ring below.
+		plan.Crash = 0
+	}
+
+	if *crash > 0 {
+		// Crash sweep: the crash-tolerant ring under crash-stop and
+		// crash-restart, at fractions and multiples of the requested rate,
+		// stacked on top of whatever transient plan -faults requested.
+		fmt.Printf("argo-stress: crash mode, ring sweep at base rate %g (seed %d)\n", *crash, *seed)
+		for _, s := range []float64{0.5, 1, 2} {
+			for _, restart := range []bool{false, true} {
+				p := plan
+				if !chaos {
+					p = fault.DefaultPlan(*seed)
+				}
+				p.Crash = *crash * s
+				if p.Crash > 1 {
+					p.Crash = 1
+				}
+				p.CrashRestart = restart
+				rep, err := drf.ReplayCrashCheck(drf.DefaultRing(6), p)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "\nCRASH FAIL at rate x%g restart=%v: %v\n", s, restart, err)
+					fmt.Fprintf(os.Stderr, "reproduce with: argo-stress -seed %d -crash %g\n", *seed, *crash)
+					os.Exit(1)
+				}
+				fmt.Printf("  crash x%-4g restart=%-5v ok: deaths=%d epochs=%d makespan=%d\n",
+					s, restart, rep.Deaths, rep.Epoch, rep.Makespan)
+			}
 		}
 	}
 

@@ -33,6 +33,7 @@ package coherence
 import (
 	"fmt"
 	"runtime"
+	"sort"
 
 	"argo/internal/cache"
 	"argo/internal/directory"
@@ -341,7 +342,7 @@ func (n *Node) fetchLineLocked(p *sim.Proc, l, page int) {
 	slots := n.Cache.SlotsOfLine(l)
 
 	t0 := p.Now()
-	regs := make(map[int]int, 4)
+	var regs []fabric.AtomicItem
 	pages := make(map[int]int, 4)
 	var fetched []*cache.Slot
 	for i, s := range slots {
@@ -369,10 +370,11 @@ func (n *Node) fetchLineLocked(p *sim.Proc, l, page int) {
 		home := n.Space.HomeOf(want)
 		// The line's registrations and page transfers are independent
 		// one-sided operations: perform them functionally here, charge
-		// them as one pipelined burst below.
+		// them as bursts below (one fetch-and-or burst per home stripe,
+		// then the pipelined page transfers).
 		old := n.Dir.RegisterReaderBatched(want, n.ID)
 		if !old.R.Has(n.ID) {
-			regs[home]++
+			regs = append(regs, fabric.AtomicItem{Home: home, Key: uint64(want)})
 		}
 		if old.R.Count() == 1 && !old.R.Has(n.ID) {
 			// P→S: the private owner must learn it now shares the page.
@@ -395,9 +397,11 @@ func (n *Node) fetchLineLocked(p *sim.Proc, l, page int) {
 		// Re-fetching already-registered pages still refreshes the local
 		// directory-cache view with one atomic (§3.3: a node's view is
 		// updated "on its next request").
-		regs[n.Space.HomeOf(fetched[0].Page)]++
+		pg := fetched[0].Page
+		regs = append(regs, fabric.AtomicItem{Home: n.Space.HomeOf(pg), Key: uint64(pg)})
 	}
-	n.Fab.LineFetch(p, regs, pages, n.Cache.PageSize, uint64(base))
+	n.registerBurst(p, regs)
+	n.Fab.LineFetch(p, pages, n.Cache.PageSize, uint64(base))
 	for _, s := range fetched {
 		n.Space.ReadPage(s.Page, s.Data)
 		s.St = cache.Clean
@@ -411,6 +415,51 @@ func (n *Node) fetchLineLocked(p *sim.Proc, l, page int) {
 	// Only one in-flight fetch per node (the prototype's MPI passive-RMA
 	// limitation): serialize the span of this fetch on the node gate.
 	n.Cache.FetchGate.OccupyAt(p, t0, p.Now()-t0)
+}
+
+// registerBurst delivers a line fetch's Pyxis fetch-and-or registrations as
+// home-grouped bursts, reissuing dropped or transiently failed items until
+// everything took effect (fetch-and-OR is idempotent, so reissue is safe).
+// Mirrors the SD fence's postBurst retry loop: each pass pays one detection
+// timeout plus backoff, failed items carry their attempt count forward so
+// per-item Corvus fault identity — and with it the escalation guarantee —
+// is exactly that of the unbatched path.
+func (n *Node) registerBurst(p *sim.Proc, items []fabric.AtomicItem) {
+	if len(items) == 0 {
+		return
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].Home != items[b].Home {
+			return items[a].Home < items[b].Home
+		}
+		return items[a].Key < items[b].Key
+	})
+	for pass := 0; ; pass++ {
+		failed := n.Fab.AtomicBurst(p, items)
+		if len(failed) == 0 {
+			return
+		}
+		retry := make([]fabric.AtomicItem, 0, len(failed))
+		for _, i := range failed {
+			it := items[i]
+			it.Attempt++
+			retry = append(retry, it)
+		}
+		p.Advance(n.Fab.DetectTimeout())
+		n.Fab.Backoff(p, pass)
+		n.Fab.CountRetries(p, fault.ClassAtomic, len(failed))
+		items = retry
+	}
+}
+
+// CrashWipe models a crash-stop failure's volatile-state loss (Cygnus): the
+// page cache is dropped wholesale — dirty pages are NOT flushed, their
+// un-released writes die with the node, which is DRF-sound because no
+// correct program could have observed them — and the write buffer and fetch
+// gate are cleared. Home memory and the Pyxis directory survive; the dead
+// node's directory bits are scrubbed lazily by the survivors.
+func (n *Node) CrashWipe() {
+	n.Cache.Reset()
 }
 
 // ---------------------------------------------------------------------------

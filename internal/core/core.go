@@ -19,6 +19,7 @@ import (
 	"argo/internal/directory"
 	"argo/internal/fabric"
 	"argo/internal/fault"
+	"argo/internal/health"
 	"argo/internal/mem"
 	"argo/internal/metrics"
 	"argo/internal/sim"
@@ -183,6 +184,11 @@ type Cluster struct {
 	// fault-free). It is shared with the fabric.
 	FI *fault.Injector
 
+	// Health is the Cygnus failure detector and membership view. Always
+	// constructed; Health.Armed() is false (one atomic load) unless the
+	// fault plan carries a crash rate or a crash was scripted.
+	Health *health.Detector
+
 	runMu    sync.Mutex
 	hits     atomic.Int64
 	epochs   atomic.Int64 // default-barrier episodes (drives decay)
@@ -226,7 +232,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	space := mem.NewSpace(cfg.Nodes, cfg.MemoryBytes, cfg.PageSize, cfg.Policy)
 	dir := directory.New(fab, space.NPages, space.HomeOf)
-	cl := &Cluster{Cfg: cfg, Topo: topo, Fab: fab, Space: space, Dir: dir, FI: fi}
+	hpl := fault.DefaultPlan(0)
+	if plan != nil {
+		hpl = *plan
+	}
+	det := health.New(cfg.Nodes, hpl, fi)
+	cl := &Cluster{Cfg: cfg, Topo: topo, Fab: fab, Space: space, Dir: dir, FI: fi, Health: det}
 	opt := coherence.DefaultOptions()
 	opt.Mode = cfg.Mode
 	opt.SWDiffSuppress = cfg.SWDiffSuppress
@@ -291,6 +302,8 @@ func (c *Cluster) ResetVirtualState() {
 		n.Cache.Reset()
 	}
 	c.Dir.Reset()
+	c.Dir.ClearDead()
+	c.Health.Reset()
 	c.epochs.Store(0)
 }
 
@@ -338,6 +351,7 @@ func (c *Cluster) AttachMetrics(ms *metrics.Suite) {
 		return
 	}
 	c.Fab.MX = fabric.NewProbes(ms.Reg)
+	c.Health.MX = health.NewProbes(ms.Reg)
 	for _, n := range c.Nodes {
 		n.MX = coherence.NewProbes(ms.Reg, ms.Pages)
 		n.Cache.MX = cache.NewProbes(ms.Reg)
@@ -369,6 +383,12 @@ type Thread struct {
 	Coh *coherence.Node
 	Bar BarrierWaiter
 	Rng *rand.Rand
+
+	// SyncEpoch counts the barrier episodes this thread has entered (the
+	// Vela barrier bumps it at episode entry). Under the SPMD model every
+	// thread executes the same barrier sequence, so the counter names the
+	// episode a Cygnus crash verdict applies to.
+	SyncEpoch int64
 
 	buf [8]byte
 }
@@ -415,6 +435,16 @@ func (c *Cluster) RunSeeded(threadsPerNode int, seed int64, body func(t *Thread)
 	}
 	g := sim.NewGroup(procs)
 	makespan := g.Run(func(i int, p *sim.Proc) {
+		// A crash-stopped thread unwinds with a CrashSignal panic; the
+		// run absorbs it here — the node is dead, the launch is not.
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(health.CrashSignal); ok {
+					return
+				}
+				panic(r)
+			}
+		}()
 		body(threads[i])
 	})
 	if c.Cfg.EagerDrainPages > 0 {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"argo/internal/fabric"
 	"argo/internal/sim"
@@ -93,6 +94,14 @@ type Directory struct {
 	stripes [stripeCount]sync.Mutex
 	entries []Entry   // home truth, indexed by global page
 	caches  [][]Entry // [node][page] cached copies
+
+	// Cygnus dead-node mask: bits of excised members, cleared lazily from
+	// the full-maps at classification lookups instead of by an eager sweep
+	// of every page. hasDead gates the hot paths with one atomic load;
+	// dead itself is only read/written under a stripe lock (SetDead takes
+	// all stripes, so any single stripe suffices for readers).
+	hasDead atomic.Bool
+	dead    Bitmap
 }
 
 // New creates a directory for npages pages whose homes are given by homeOf.
@@ -131,10 +140,23 @@ func (d *Directory) RegisterReaderBatched(page, node int) Entry {
 	return d.registerReader(page, node)
 }
 
+// scrubLocked lazily clears excised nodes' bits from page's home truth.
+// The caller must hold page's stripe lock. Returns the scrubbed entry.
+// This is Cygnus's lazy full-map repair: dead bits rot in place and are
+// erased the next time the page's classification is consulted, so excision
+// costs nothing on pages nobody touches again.
+func (d *Directory) scrubLocked(page int) Entry {
+	if d.hasDead.Load() {
+		d.entries[page].R.AndNot(d.dead)
+		d.entries[page].W.AndNot(d.dead)
+	}
+	return d.entries[page]
+}
+
 func (d *Directory) registerReader(page, node int) Entry {
 	mu := d.lock(page)
 	mu.Lock()
-	old := d.entries[page]
+	old := d.scrubLocked(page)
 	d.entries[page].R.Set(node)
 	d.caches[node][page] = d.entries[page]
 	mu.Unlock()
@@ -148,7 +170,7 @@ func (d *Directory) RegisterWriter(p *sim.Proc, page, node int) Entry {
 	d.fab.RemoteAtomic(p, d.homeOf(page), uint64(page))
 	mu := d.lock(page)
 	mu.Lock()
-	old := d.entries[page]
+	old := d.scrubLocked(page)
 	d.entries[page].R.Set(node)
 	d.entries[page].W.Set(node)
 	d.caches[node][page] = d.entries[page]
@@ -178,6 +200,11 @@ func (d *Directory) Cached(node, page int) Entry {
 	mu := d.lock(page)
 	mu.Lock()
 	e := d.caches[node][page]
+	if d.hasDead.Load() {
+		e.R.AndNot(d.dead)
+		e.W.AndNot(d.dead)
+		d.caches[node][page] = e
+	}
 	mu.Unlock()
 	return e
 }
@@ -207,12 +234,18 @@ func (d *Directory) CachedMany(node int, pages []int, out []Entry) {
 		return pages[idx[a]]%stripeCount < pages[idx[b]]%stripeCount
 	})
 	cached := d.caches[node]
+	scrub := d.hasDead.Load()
 	for i := 0; i < k; {
 		s := pages[idx[i]] % stripeCount
 		mu := &d.stripes[s]
 		mu.Lock()
 		for i < k && pages[idx[i]]%stripeCount == s {
-			out[idx[i]] = cached[pages[idx[i]]]
+			pg := pages[idx[i]]
+			if scrub {
+				cached[pg].R.AndNot(d.dead)
+				cached[pg].W.AndNot(d.dead)
+			}
+			out[idx[i]] = cached[pg]
 			i++
 		}
 		mu.Unlock()
@@ -223,9 +256,66 @@ func (d *Directory) CachedMany(node int, pages []int, out []Entry) {
 func (d *Directory) Home(page int) Entry {
 	mu := d.lock(page)
 	mu.Lock()
-	e := d.entries[page]
+	e := d.scrubLocked(page)
 	mu.Unlock()
 	return e
+}
+
+// SetDead marks node as excised: its bits are scrubbed lazily from the
+// full-maps at subsequent classification lookups. Takes every stripe so
+// concurrent lookups see the mask change atomically.
+func (d *Directory) SetDead(node int) {
+	for i := 0; i < stripeCount; i++ {
+		d.stripes[i].Lock()
+	}
+	d.dead.Set(node)
+	d.hasDead.Store(true)
+	for i := 0; i < stripeCount; i++ {
+		d.stripes[i].Unlock()
+	}
+}
+
+// ClearCache wipes node's passive directory cache — the volatile state a
+// crashing node loses. A restarted node re-learns classifications through
+// fresh registrations.
+func (d *Directory) ClearCache(node int) {
+	for i := 0; i < stripeCount; i++ {
+		d.stripes[i].Lock()
+	}
+	for i := range d.caches[node] {
+		d.caches[node][i] = Entry{}
+	}
+	for i := 0; i < stripeCount; i++ {
+		d.stripes[i].Unlock()
+	}
+}
+
+// ClearDeadBit removes node from the dead-node mask (crash-restart: the
+// node rejoins and its fresh registrations must survive scrubbing). Any
+// stale bits of its pre-crash life that were already scrubbed stay gone;
+// ones not yet scrubbed are DRF-harmless leftovers of the same node.
+func (d *Directory) ClearDeadBit(node int) {
+	for i := 0; i < stripeCount; i++ {
+		d.stripes[i].Lock()
+	}
+	d.dead.Clear(node)
+	d.hasDead.Store(!d.dead.Empty())
+	for i := 0; i < stripeCount; i++ {
+		d.stripes[i].Unlock()
+	}
+}
+
+// ClearDead empties the dead-node mask (between seeded runs of one
+// cluster, alongside health.Detector.Reset).
+func (d *Directory) ClearDead() {
+	for i := 0; i < stripeCount; i++ {
+		d.stripes[i].Lock()
+	}
+	d.dead = Bitmap{}
+	d.hasDead.Store(false)
+	for i := 0; i < stripeCount; i++ {
+		d.stripes[i].Unlock()
+	}
 }
 
 // NPages returns the number of pages tracked.

@@ -278,30 +278,21 @@ func (f *Fabric) TryRemoteWrite(p *sim.Proc, home, n int, key uint64, attempt in
 }
 
 // LineFetch charges for one cache-line fetch (Argo's prefetching): the
-// directory registrations of the line's pages and the page transfers are
-// all independent one-sided operations, so the implementation posts them
-// together. The whole burst shares one request and one response latency;
-// at each involved home the NIC serializes that home's share (its
-// registrations and its page transfers), and distinct homes overlap.
-// regs[h] counts registrations targeting home h; pages[h] counts page
-// transfers from home h. key is the line's base page; the fault target is
-// the smallest remote home involved (deterministic regardless of map
-// order), and a dropped burst is reissued whole after timeout + backoff.
-func (f *Fabric) LineFetch(p *sim.Proc, regs, pages map[int]int, bytesEach int, key uint64) {
-	// Local work first: loopback registrations and page copies.
-	if c := regs[p.Node]; c > 0 {
-		p.Advance(sim.Time(c) * f.P.DRAMLatency)
-		f.nodes[p.Node].DirOps.Add(int64(c))
-	}
+// page transfers of the line's pages are independent one-sided reads, so
+// the implementation posts them together. The line's Pyxis registrations
+// travel separately as an AtomicBurst (the coherence layer issues it just
+// before the fetch); here the whole transfer burst shares one request and
+// one response latency, at each involved home the NIC serializes that
+// home's share, and distinct homes overlap. pages[h] counts page transfers
+// from home h. key is the line's base page; the fault target is the
+// smallest remote home involved (deterministic regardless of map order),
+// and a dropped burst is reissued whole after timeout + backoff.
+func (f *Fabric) LineFetch(p *sim.Proc, pages map[int]int, bytesEach int, key uint64) {
+	// Local work first: loopback page copies.
 	if c := pages[p.Node]; c > 0 {
 		p.Advance(f.P.DRAMLatency + f.P.CopyCost(c*bytesEach))
 	}
 	target := -1
-	for h := range regs {
-		if h != p.Node && (target < 0 || h < target) {
-			target = h
-		}
-	}
 	for h := range pages {
 		if h != p.Node && (target < 0 || h < target) {
 			target = h
@@ -339,25 +330,11 @@ func (f *Fabric) LineFetch(p *sim.Proc, regs, pages map[int]int, bytesEach int, 
 			p.AdvanceTo(arrival + service)
 		}
 	}
-	for h, c := range regs {
-		if h == p.Node {
-			continue
-		}
-		service := sim.Time(c) * f.P.DirService
-		if pc := pages[h]; pc > 0 {
-			service += sim.Time(pc) * wire
-		}
-		occupy(h, service)
-		f.nodes[p.Node].DirOps.Add(int64(c))
-		f.account(p.Node, h, 16*c)
-	}
 	for h, c := range pages {
 		if h == p.Node {
 			continue
 		}
-		if _, done := regs[h]; !done {
-			occupy(h, sim.Time(c)*wire)
-		}
+		occupy(h, sim.Time(c)*wire)
 		f.account(p.Node, h, c*bytesEach)
 		f.nodes[h].BytesSent.Add(int64(c * bytesEach))
 		f.nodes[p.Node].BytesReceived.Add(int64(c * bytesEach))
@@ -528,6 +505,106 @@ func (f *Fabric) PostWriteBurst(p *sim.Proc, items []PostItem) (failed []int) {
 	if f.MX != nil && delivered > 0 {
 		f.MX.BurstNs.Record(p.Node, p.Now()-t0)
 		f.MX.BurstOps.Inc()
+	}
+	return failed
+}
+
+// AtomicItem is one fetch-and-or of a registration burst: a remote atomic
+// on a directory word homed at node Home, carrying the same Corvus fault
+// identity a lone remote atomic on that word would (Key is the page number,
+// Attempt the reissue count) — so batching never perturbs chaos verdicts.
+type AtomicItem struct {
+	Home    int
+	Key     uint64
+	Attempt int
+}
+
+// AtomicBurst posts a line fetch's collected Pyxis fetch-and-or
+// registrations as per-home pipelined bursts — the write half of the
+// batched-registration optimization (the read half is directory.CachedMany).
+// Items must be sorted by home (the coherence layer sorts by home, then
+// page, keeping the issue order deterministic). Cost model per remote home:
+// one PostOverhead for the descriptor chain instead of a full round trip
+// per word, each surviving fetch-and-or contributes one DirService to a
+// single NIC service interval, and distinct homes overlap; the combined
+// full-map result rides back with the page transfers of the line fetch that
+// follows. Loopback items are one DRAM access each.
+//
+// Faults are drawn per item with the (issuer, ClassAtomic, home, key,
+// attempt) identity of the unbatched path. A dropped item vanishes without
+// NIC occupancy; a transient atomic failure reaches the NIC (occupancy and
+// accounting happen) but the OR does not take effect. Either way the item's
+// index is returned and the caller owns detection, backoff and reissue —
+// reissue is safe because fetch-and-OR is idempotent.
+func (f *Fabric) AtomicBurst(p *sim.Proc, items []AtomicItem) (failed []int) {
+	if len(items) == 0 {
+		return nil
+	}
+	t0 := p.Now()
+	remoteHomes := 0
+	prev := -1
+	for _, it := range items {
+		if it.Home == p.Node {
+			p.Advance(f.P.DRAMLatency)
+			f.nodes[p.Node].DirOps.Add(1)
+		} else if it.Home != prev {
+			remoteHomes++
+		}
+		prev = it.Home
+	}
+	if remoteHomes == 0 {
+		return nil
+	}
+	p.Advance(sim.Time(remoteHomes) * f.P.PostOverhead)
+	tPost := p.Now()
+
+	delivered := 0
+	for i := 0; i < len(items); {
+		h := items[i].Home
+		if h == p.Node {
+			i++
+			continue
+		}
+		var service, delayMax sim.Time
+		sent := 0
+		for ; i < len(items) && items[i].Home == h; i++ {
+			it := items[i]
+			v := f.FI.Draw(p.Node, fault.ClassAtomic, h, it.Key, it.Attempt)
+			if !v.Deliver {
+				f.nodes[p.Node].FaultsInjected.Add(1)
+				if f.MX != nil {
+					f.MX.InjectedDrops.Inc()
+				}
+				failed = append(failed, i)
+				continue
+			}
+			f.noteInjected(p, v)
+			if v.Delay > delayMax {
+				delayMax = v.Delay
+			}
+			service += f.P.DirService + v.Stall
+			f.account(p.Node, h, 16)
+			f.nodes[p.Node].DirOps.Add(1)
+			if v.AtomicFail {
+				// Reached the NIC but the OR did not take effect.
+				failed = append(failed, i)
+				continue
+			}
+			sent++
+		}
+		if service > 0 {
+			service = f.FI.Scale(h, service)
+			if f.P.NICSerialize {
+				f.nics[h].OccupyAt(p, tPost+delayMax, service)
+			} else {
+				p.AdvanceTo(tPost + delayMax + service)
+			}
+		}
+		delivered += sent
+	}
+	if f.MX != nil && delivered > 0 {
+		f.MX.RegNs.Record(p.Node, p.Now()-t0)
+		f.MX.RegOps.Inc()
 	}
 	return failed
 }

@@ -119,9 +119,11 @@ func TestNICSerializationDisabled(t *testing.T) {
 func TestLineFetchSharesLatency(t *testing.T) {
 	f := MustNew(testTopo(), DefaultParams())
 	// 4 pages (two from home 1, one each from homes 2 and 3) plus their
-	// registrations, issued as one pipelined burst.
+	// registrations, issued as a posted fetch-and-or burst followed by one
+	// pipelined transfer burst.
 	p := &sim.Proc{Node: 0}
-	f.LineFetch(p, map[int]int{1: 2, 2: 1, 3: 1}, map[int]int{1: 2, 2: 1, 3: 1}, 4096, 0)
+	f.AtomicBurst(p, []AtomicItem{{Home: 1, Key: 0}, {Home: 1, Key: 1}, {Home: 2, Key: 2}, {Home: 3, Key: 3}})
+	f.LineFetch(p, map[int]int{1: 2, 2: 1, 3: 1}, 4096, 0)
 	pipelined := p.Now()
 
 	// The same operations issued one by one.
@@ -147,7 +149,8 @@ func TestLineFetchSharesLatency(t *testing.T) {
 func TestLineFetchAllLocal(t *testing.T) {
 	f := MustNew(testTopo(), DefaultParams())
 	p := &sim.Proc{Node: 1}
-	f.LineFetch(p, map[int]int{1: 2}, map[int]int{1: 2}, 4096, 0)
+	f.AtomicBurst(p, []AtomicItem{{Home: 1, Key: 0}, {Home: 1, Key: 1}})
+	f.LineFetch(p, map[int]int{1: 2}, 4096, 0)
 	if p.Now() >= f.P.RemoteLatency {
 		t.Fatal("all-local line fetch paid network latency")
 	}

@@ -21,6 +21,7 @@ type Probes struct {
 	FetchNs  *metrics.Histogram
 	AtomicNs *metrics.Histogram
 	BurstNs  *metrics.Histogram // home-grouped posted-write burst (PostWriteBurst)
+	RegNs    *metrics.Histogram // home-grouped registration burst (AtomicBurst)
 
 	ReadOps   *metrics.Counter
 	WriteOps  *metrics.Counter
@@ -28,6 +29,7 @@ type Probes struct {
 	FetchOps  *metrics.Counter
 	AtomicOps *metrics.Counter
 	BurstOps  *metrics.Counter
+	RegOps    *metrics.Counter
 
 	// Corvus fault series, indexed by fault.Class: reissues per op kind
 	// and the recovery latency (first issue to successful completion) of
@@ -60,8 +62,10 @@ func NewProbes(r *metrics.Registry) *Probes {
 	p := &Probes{
 		ReadNs: h("remote_read"), WriteNs: h("remote_write"), PostNs: h("posted_write"),
 		FetchNs: h("line_fetch"), AtomicNs: h("remote_atomic"), BurstNs: h("posted_burst"),
+		RegNs:   h("reg_burst"),
 		ReadOps: c("remote_read"), WriteOps: c("remote_write"), PostOps: c("posted_write"),
 		FetchOps: c("line_fetch"), AtomicOps: c("remote_atomic"), BurstOps: c("posted_burst"),
+		RegOps: c("reg_burst"),
 	}
 	for cl := fault.Class(0); cl < fault.NumClasses; cl++ {
 		p.FaultRetries[cl] = r.Counter("argo_fault_retries_total",

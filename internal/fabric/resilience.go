@@ -1,6 +1,8 @@
 package fabric
 
 import (
+	"math/bits"
+
 	"argo/internal/fault"
 	"argo/internal/sim"
 )
@@ -21,14 +23,21 @@ func (f *Fabric) Backoff(p *sim.Proc, attempt int) {
 
 func (f *Fabric) backoffDelay(attempt int) sim.Time {
 	pl := f.FI.Plan()
-	if attempt > 30 {
-		return pl.BackoffCap
+	b, bc := pl.Backoff, pl.BackoffCap
+	if b <= 0 || b >= bc {
+		return bc
 	}
-	b := pl.Backoff << uint(attempt)
-	if b > pl.BackoffCap {
-		b = pl.BackoffCap
+	// Clamp the shift count itself: b << attempt overflows int64 (going
+	// negative, sliding under the cap) long before large attempt counts,
+	// so compare against the number of leading zero bits instead of
+	// shifting first.
+	if attempt >= bits.LeadingZeros64(uint64(b))-1 {
+		return bc
 	}
-	return b
+	if s := b << uint(attempt); s < bc {
+		return s
+	}
+	return bc
 }
 
 // DetectTimeout is the requester-side time to conclude an operation was

@@ -65,9 +65,14 @@ const (
 	// ClassAtomic is a remote atomic (fetch-and-or / fetch-and-add / CAS)
 	// executed by the target NIC.
 	ClassAtomic
+	// ClassCrash is a crash-stop node failure (Cygnus). Unlike the
+	// transient classes it is not drawn per operation attempt: the verdict
+	// is a pure hash of (seed, node, barrier episode) evaluated at safe
+	// points only (see Plan.CrashAt).
+	ClassCrash
 
 	// NumClasses is the number of operation classes.
-	NumClasses = 5
+	NumClasses = 6
 )
 
 func (c Class) String() string {
@@ -82,6 +87,8 @@ func (c Class) String() string {
 		return "line_fetch"
 	case ClassAtomic:
 		return "remote_atomic"
+	case ClassCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
 	}
@@ -118,6 +125,17 @@ type Plan struct {
 	// that node is multiplied by SlowFactor.
 	SlowNode   int
 	SlowFactor float64
+	// Crash is the per-(node, barrier episode) probability of a crash-stop
+	// failure, evaluated only at safe points (sync operations). The draw
+	// is a pure hash of (Seed, node, episode), so the crash schedule is
+	// bit-identical across runs — see CrashAt.
+	Crash float64
+	// CrashRestart makes crashed nodes rejoin (with empty caches) at the
+	// barrier episode after their death instead of staying down.
+	CrashRestart bool
+	// CrashMinEpoch suppresses crashes before the given barrier episode
+	// (episodes count from 1), letting programs survive initialization.
+	CrashMinEpoch int
 
 	// Timeout is the requester-side detection time for a lost operation.
 	Timeout sim.Time
@@ -173,7 +191,7 @@ func (p Plan) Validate() error {
 	for _, r := range []struct {
 		name string
 		v    float64
-	}{{"drop", p.Drop}, {"delay", p.Delay}, {"stallp", p.StallP}, {"atomicfail", p.AtomicFail}} {
+	}{{"drop", p.Drop}, {"delay", p.Delay}, {"stallp", p.StallP}, {"atomicfail", p.AtomicFail}, {"crash", p.Crash}} {
 		if r.v < 0 || r.v > 1 {
 			return fmt.Errorf("fault: %s rate %g outside [0,1]", r.name, r.v)
 		}
@@ -190,13 +208,37 @@ func (p Plan) Validate() error {
 	if p.SlowNode < 0 {
 		return fmt.Errorf("fault: negative slownode %d", p.SlowNode)
 	}
+	if p.CrashMinEpoch < 0 {
+		return fmt.Errorf("fault: negative crashminepoch %d", p.CrashMinEpoch)
+	}
 	return nil
 }
 
 // Enabled reports whether the plan injects anything at all.
 func (p Plan) Enabled() bool {
 	return p.Drop > 0 || p.Delay > 0 || (p.StallP > 0 && p.Stall > 0) ||
-		p.AtomicFail > 0 || p.SlowFactor > 1
+		p.AtomicFail > 0 || p.SlowFactor > 1 || p.Crash > 0
+}
+
+// Normalized returns a copy of the plan with zero-valued recovery knobs
+// filled in (the exported face of normalize, for layers like health that
+// need the effective Timeout of a hand-built plan).
+func (p Plan) Normalized() Plan {
+	p.normalize()
+	return p
+}
+
+// CrashAt reports whether node crashes at the given barrier episode
+// (episodes count from 1). The verdict is a pure hash of (Seed, node,
+// episode) — no counters, no host randomness — so a chaos run's crash
+// schedule replays bit-exactly, and adding unrelated operations to a
+// program never perturbs it.
+func (p Plan) CrashAt(node int, episode int64) bool {
+	if p.Crash <= 0 || episode < int64(p.CrashMinEpoch) {
+		return false
+	}
+	id := identity(p.Seed, node, ClassCrash, node, uint64(episode), 0)
+	return unit(id^saltCrash) < p.Crash
 }
 
 // String renders the plan in ParsePlan's spec syntax.
@@ -220,6 +262,15 @@ func (p Plan) String() string {
 	if p.SlowFactor > 1 {
 		add("slownode", strconv.Itoa(p.SlowNode))
 		add("slowfactor", strconv.FormatFloat(p.SlowFactor, 'g', -1, 64))
+	}
+	if p.Crash > 0 {
+		add("crash", strconv.FormatFloat(p.Crash, 'g', -1, 64))
+		if p.CrashRestart {
+			add("crashrestart", "on")
+		}
+		if p.CrashMinEpoch > 0 {
+			add("crashminepoch", strconv.Itoa(p.CrashMinEpoch))
+		}
 	}
 	add("seed", strconv.FormatInt(p.Seed, 10))
 	sort.Strings(parts[:len(parts)-1]) // keep seed last for readability
@@ -279,6 +330,12 @@ func ParsePlan(spec string) (Plan, error) {
 			p.SlowNode, err = strconv.Atoi(v)
 		case "slowfactor":
 			p.SlowFactor, err = strconv.ParseFloat(v, 64)
+		case "crash":
+			p.Crash, err = parseRate(v)
+		case "crashrestart":
+			p.CrashRestart, err = parseBool(v)
+		case "crashminepoch":
+			p.CrashMinEpoch, err = strconv.Atoi(v)
 		case "seed":
 			p.Seed, err = strconv.ParseInt(v, 10, 64)
 		case "timeout":
@@ -290,7 +347,7 @@ func ParsePlan(spec string) (Plan, error) {
 		case "backoffcap":
 			p.BackoffCap, err = parseDur(v)
 		default:
-			return Plan{}, fmt.Errorf("fault: unknown key %q (want drop, delay, jitter, stall, stallp, atomicfail, slownode, slowfactor, seed, timeout, retries, backoff, backoffcap)", k)
+			return Plan{}, fmt.Errorf("fault: unknown key %q (want drop, delay, jitter, stall, stallp, atomicfail, slownode, slowfactor, crash, crashrestart, crashminepoch, seed, timeout, retries, backoff, backoffcap)", k)
 		}
 		if err != nil {
 			return Plan{}, fmt.Errorf("fault: bad value for %s: %v", k, err)
@@ -309,6 +366,16 @@ func ParsePlan(spec string) (Plan, error) {
 		return Plan{}, err
 	}
 	return p, nil
+}
+
+func parseBool(s string) (bool, error) {
+	switch strings.ToLower(s) {
+	case "on", "true", "1", "yes":
+		return true, nil
+	case "off", "false", "0", "no":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad flag %q (want on/off)", s)
 }
 
 func parseRate(s string) (float64, error) {

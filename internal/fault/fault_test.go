@@ -211,3 +211,128 @@ func TestScale(t *testing.T) {
 		t.Fatalf("other node scale: got %d want 100", got)
 	}
 }
+
+func TestParseCrashSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantErr bool
+		check   func(t *testing.T, p Plan)
+	}{
+		{spec: "crash=0.05", check: func(t *testing.T, p Plan) {
+			if p.Crash != 0.05 || p.CrashRestart || p.CrashMinEpoch != 0 {
+				t.Fatalf("got %+v", p)
+			}
+			if !p.Enabled() {
+				t.Fatal("crash rate should enable the plan")
+			}
+		}},
+		{spec: "crash=0.02,crashrestart=on,crashminepoch=3", check: func(t *testing.T, p Plan) {
+			if p.Crash != 0.02 || !p.CrashRestart || p.CrashMinEpoch != 3 {
+				t.Fatalf("got %+v", p)
+			}
+		}},
+		{spec: "crashrestart=off", check: func(t *testing.T, p Plan) {
+			if p.CrashRestart || p.Enabled() {
+				t.Fatalf("got %+v", p)
+			}
+		}},
+		{spec: "crashrestart=true", check: func(t *testing.T, p Plan) {
+			if !p.CrashRestart {
+				t.Fatalf("got %+v", p)
+			}
+		}},
+		{spec: "crash=0.01,drop=0.02,seed=9", check: func(t *testing.T, p Plan) {
+			if p.Crash != 0.01 || p.Drop != 0.02 || p.Seed != 9 {
+				t.Fatalf("got %+v", p)
+			}
+		}},
+		{spec: "crash=1.5", wantErr: true},
+		{spec: "crash=-0.1", wantErr: true},
+		{spec: "crashrestart=maybe", wantErr: true},
+		{spec: "crashminepoch=-1", wantErr: true},
+		{spec: "crashminepoch=x", wantErr: true},
+	}
+	for _, c := range cases {
+		p, err := ParsePlan(c.spec)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParsePlan(%q): want error, got %+v", c.spec, p)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", c.spec, err)
+			continue
+		}
+		if c.check != nil {
+			c.check(t, p)
+		}
+	}
+}
+
+func TestCrashSpecStringRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"crash=0.05,seed=3",
+		"crash=0.02,crashrestart=on,crashminepoch=2,seed=7",
+		"drop=0.01,crash=0.1,crashrestart=on,seed=1",
+	} {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", spec, err)
+		}
+		q, err := ParsePlan(p.String())
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", p.String(), err)
+		}
+		if p != q {
+			t.Fatalf("round trip mismatch for %q:\n  p=%+v\n  q=%+v", spec, p, q)
+		}
+	}
+}
+
+func TestCrashAtDeterminism(t *testing.T) {
+	p, _ := ParsePlan("crash=0.2,seed=99")
+	hits := 0
+	for node := 0; node < 8; node++ {
+		for ep := int64(1); ep <= 50; ep++ {
+			a, b := p.CrashAt(node, ep), p.CrashAt(node, ep)
+			if a != b {
+				t.Fatalf("CrashAt(%d,%d) not deterministic", node, ep)
+			}
+			if a {
+				hits++
+			}
+		}
+	}
+	// 400 draws at rate 0.2: expect ~80; loose 3-sigma-ish bounds.
+	if hits < 40 || hits > 130 {
+		t.Fatalf("crash verdict distribution off: %d/400 at rate 0.2", hits)
+	}
+	// A different seed must produce a different schedule.
+	q := p
+	q.Seed = 100
+	same := true
+	for node := 0; node < 8 && same; node++ {
+		for ep := int64(1); ep <= 50; ep++ {
+			if p.CrashAt(node, ep) != q.CrashAt(node, ep) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("crash schedule insensitive to seed")
+	}
+}
+
+func TestCrashAtMinEpoch(t *testing.T) {
+	p, _ := ParsePlan("crash=1,crashminepoch=5,seed=1")
+	for ep := int64(0); ep < 5; ep++ {
+		if p.CrashAt(0, ep) {
+			t.Fatalf("crash at episode %d below crashminepoch=5", ep)
+		}
+	}
+	if !p.CrashAt(0, 5) {
+		t.Fatal("rate-1 crash did not fire at crashminepoch")
+	}
+}

@@ -27,10 +27,13 @@ type Snapshot struct {
 	Delays      int64
 	Stalls      int64
 	AtomicFails int64
+	Crashes     int64
 }
 
 // Total returns the number of injected fault events of all kinds.
-func (s Snapshot) Total() int64 { return s.Drops + s.Delays + s.Stalls + s.AtomicFails }
+func (s Snapshot) Total() int64 {
+	return s.Drops + s.Delays + s.Stalls + s.AtomicFails + s.Crashes
+}
 
 // Injector hands out deterministic fault verdicts. A nil *Injector is valid
 // and never injects, so callers need no nil checks on hot paths beyond the
@@ -42,6 +45,7 @@ type Injector struct {
 	delays      atomic.Int64
 	stalls      atomic.Int64
 	atomicFails atomic.Int64
+	crashes     atomic.Int64
 }
 
 // NewInjector builds an injector for the plan (recovery knobs are
@@ -78,7 +82,18 @@ func (in *Injector) Snapshot() Snapshot {
 		Delays:      in.delays.Load(),
 		Stalls:      in.stalls.Load(),
 		AtomicFails: in.atomicFails.Load(),
+		Crashes:     in.crashes.Load(),
 	}
+}
+
+// NoteCrash counts one injected crash-stop failure. Crash verdicts come
+// from Plan.CrashAt (a pure function, not a Draw), so the health layer
+// reports them here for the run's fault snapshot. Safe on nil.
+func (in *Injector) NoteCrash() {
+	if in == nil {
+		return
+	}
+	in.crashes.Add(1)
 }
 
 // Per-decision salts keep the drop / delay / stall / atomic-fail streams
@@ -90,6 +105,7 @@ const (
 	saltStall  = 0x94d049bb133111eb
 	saltAtomic = 0xd6e8feb86659fd93
 	saltJitter = 0xa0761d6478bd642f
+	saltCrash  = 0x8ebc6af09c88c6e3
 )
 
 // Draw decides the fate of one attempt of one operation. The decision is a

@@ -1,0 +1,423 @@
+// Package health is Cygnus, the Argo simulator's membership and
+// crash-recovery layer.
+//
+// The paper's handler-free design makes crash tolerance tractable: every
+// protocol action is a requester-issued one-sided operation, so a dead node
+// leaves no remote agent to lose — only remotely-readable state to recover.
+// Cygnus models the machinery a real deployment would need on top of that
+// property:
+//
+//   - per-node heartbeat counters, published to home slots on the fabric by
+//     each node's barrier representative once per episode;
+//   - a deterministic failure detector driven by virtual time: a node that
+//     crashes at virtual time T is "suspect" until T+Timeout, "dead" after
+//     one detection timeout, and "excised" once the survivors' membership
+//     view has dropped it;
+//   - a monotonically increasing membership epoch, bumped once per excision
+//     and once per rejoin, with a full transition history for replay
+//     comparison.
+//
+// Crashes take effect only at safe points (synchronization operations).
+// A crashing node loses its volatile state — page cache, write buffer,
+// directory cache — but home memory and the Pyxis directory survive, which
+// is DRF-sound: writes the dead node had not yet released were unobservable
+// by any correct program, so discarding them cannot invalidate observed
+// history.
+//
+// Determinism: a crash verdict is fault.Plan.CrashAt(node, episode) — a
+// pure hash of (seed, node, episode). Scripted crashes (ScheduleCrash) are
+// equally schedule-independent. All detector state transitions are driven
+// by the virtual clocks of the threads that discover them, so two runs of
+// the same program produce identical crash schedules, membership-epoch
+// histories and makespans.
+package health
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"argo/internal/fault"
+	"argo/internal/metrics"
+	"argo/internal/sim"
+)
+
+// CrashSignal is the panic value a simulated thread raises when its node
+// crash-stops. core.Cluster.Run recovers it at the goroutine boundary, so a
+// crash terminates the thread without failing the run.
+type CrashSignal struct {
+	Node    int
+	Episode int64
+}
+
+func (c CrashSignal) Error() string {
+	return fmt.Sprintf("health: node %d crash-stopped at barrier episode %d", c.Node, c.Episode)
+}
+
+// State is a node's position in the suspect→dead→excised lifecycle.
+// The timed phases (suspect vs dead) are derived from the crash timestamp
+// and the detection timeout — see Detector.StateAt.
+type State int
+
+const (
+	// Alive: a full member.
+	Alive State = iota
+	// Crashed: the node stopped at a safe point; survivors classify it as
+	// suspect until one detection timeout has passed, dead afterwards.
+	Crashed
+	// Excised: the membership view has dropped the node (epoch bumped,
+	// directory bits scheduled for scrubbing).
+	Excised
+)
+
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Crashed:
+		return "crashed"
+	case Excised:
+		return "excised"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Transition is one membership event, recorded for replay comparison.
+type Transition struct {
+	Epoch   int64    // membership epoch after the transition
+	Node    int
+	Kind    string   // "crash", "excise" or "rejoin"
+	Episode int64    // barrier episode at which it took effect
+	At      sim.Time // virtual time of the transition
+}
+
+func (t Transition) String() string {
+	return fmt.Sprintf("ep%d:%s(n%d)@e%d/t%d", t.Epoch, t.Kind, t.Node, t.Episode, t.At)
+}
+
+// Probes holds the Argoscope instruments of the detector. Nil when the
+// cluster has no metrics suite.
+type Probes struct {
+	Epoch      *metrics.Gauge
+	LiveNodes  *metrics.Gauge
+	Heartbeats *metrics.Counter
+	Crashes    *metrics.Counter
+	Excisions  *metrics.Counter
+	Rejoins    *metrics.Counter
+}
+
+// NewProbes registers the argo_health_* / argo_crash_* instruments.
+func NewProbes(r *metrics.Registry) *Probes {
+	const evHelp = "Cygnus crash, excision and rejoin events"
+	return &Probes{
+		Epoch:      r.Gauge("argo_health_epoch", "Current membership epoch"),
+		LiveNodes:  r.Gauge("argo_health_live_nodes", "Nodes currently alive"),
+		Heartbeats: r.Counter("argo_health_heartbeats_total", "Heartbeat counters published to home slots"),
+		Crashes:    r.Counter("argo_crash_events_total", evHelp, metrics.L("event", "crash")),
+		Excisions:  r.Counter("argo_crash_events_total", evHelp, metrics.L("event", "excise")),
+		Rejoins:    r.Counter("argo_crash_events_total", evHelp, metrics.L("event", "rejoin")),
+	}
+}
+
+// Detector is the cluster's failure detector and membership view. One
+// instance per core.Cluster, always constructed (the fault-free fast path
+// is Armed() == false, one atomic load).
+type Detector struct {
+	nodes int
+	plan  fault.Plan // normalized; Crash* and Timeout drive verdicts
+
+	// MX, when non-nil, receives event counts and the epoch gauge.
+	MX *Probes
+
+	armedScript atomic.Bool // true once a crash has been scripted
+
+	mu       sync.Mutex
+	state    []State
+	diedAt   []sim.Time
+	diedEp   []int64 // episode of the last Kill, for idempotence
+	epoch    atomic.Int64
+	live     atomic.Int64
+	history  []Transition
+	onDeath  []func(node int, at sim.Time)
+	onExcise []func(node int, at sim.Time)
+	scripted map[int]scriptedCrash
+	hb       []int64 // heartbeats published per node
+	fi       *fault.Injector
+}
+
+type scriptedCrash struct {
+	episode int64
+	restart bool
+}
+
+// New builds a detector for nodes members under plan. The injector, when
+// non-nil, has its crash counter bumped on every kill (for the run's fault
+// snapshot).
+func New(nodes int, plan fault.Plan, fi *fault.Injector) *Detector {
+	d := &Detector{
+		nodes:    nodes,
+		plan:     plan.Normalized(),
+		state:    make([]State, nodes),
+		diedAt:   make([]sim.Time, nodes),
+		diedEp:   make([]int64, nodes),
+		scripted: map[int]scriptedCrash{},
+		hb:       make([]int64, nodes),
+		fi:       fi,
+	}
+	for i := range d.diedEp {
+		d.diedEp[i] = -1
+	}
+	d.live.Store(int64(nodes))
+	return d
+}
+
+// Nodes returns the configured member count.
+func (d *Detector) Nodes() int { return d.nodes }
+
+// Armed reports whether crashes can occur at all. When false, sync layers
+// keep their exact fault-free fast paths (bit-identical timings).
+func (d *Detector) Armed() bool {
+	return d.plan.Crash > 0 || d.armedScript.Load()
+}
+
+// Timeout returns the detection timeout: how long after a crash survivors
+// take to classify the node as dead and reconfigure.
+func (d *Detector) Timeout() sim.Time { return d.plan.Timeout }
+
+// ScheduleCrash scripts a deterministic crash of node at the given barrier
+// episode (episodes count from 1), overriding the plan's hash draw for that
+// node. Call before the run starts; scripted crashes survive Reset so
+// replays repeat them.
+func (d *Detector) ScheduleCrash(node int, episode int64, restart bool) {
+	d.mu.Lock()
+	d.scripted[node] = scriptedCrash{episode: episode, restart: restart}
+	d.mu.Unlock()
+	d.armedScript.Store(true)
+}
+
+// DiesAt reports whether node crashes at the given barrier episode, and
+// whether it restarts afterwards. Pure: scripted schedule first, then the
+// plan's hash draw.
+func (d *Detector) DiesAt(node int, episode int64) (dies, restart bool) {
+	if d.armedScript.Load() {
+		d.mu.Lock()
+		sc, ok := d.scripted[node]
+		d.mu.Unlock()
+		if ok {
+			return sc.episode == episode, sc.restart
+		}
+	}
+	return d.plan.CrashAt(node, episode), d.plan.CrashRestart
+}
+
+// Alive reports whether node is currently a live member.
+func (d *Detector) Alive(node int) bool {
+	d.mu.Lock()
+	ok := d.state[node] == Alive
+	d.mu.Unlock()
+	return ok
+}
+
+// LiveCount returns the number of live members (lock-free; for metrics and
+// quick checks).
+func (d *Detector) LiveCount() int { return int(d.live.Load()) }
+
+// Live returns the sorted list of live members.
+func (d *Detector) Live() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []int
+	for n, s := range d.state {
+		if s == Alive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Epoch returns the current membership epoch (0 until the first excision).
+func (d *Detector) Epoch() int64 { return d.epoch.Load() }
+
+// StateAt classifies node as seen by a survivor at virtual time t: alive,
+// "suspect" (crashed less than one detection timeout ago), "dead" (crashed
+// at least Timeout ago) or "excised".
+func (d *Detector) StateAt(node int, t sim.Time) string {
+	d.mu.Lock()
+	s, at := d.state[node], d.diedAt[node]
+	d.mu.Unlock()
+	switch s {
+	case Alive:
+		return "alive"
+	case Excised:
+		return "excised"
+	default:
+		if t < at+d.plan.Timeout {
+			return "suspect"
+		}
+		return "dead"
+	}
+}
+
+// OnDeath registers a callback invoked (outside the detector lock) when a
+// node is killed. Recovery layers — the global lock's lease expiry, the
+// flag's waiter unwind — hook here.
+func (d *Detector) OnDeath(fn func(node int, at sim.Time)) {
+	d.mu.Lock()
+	d.onDeath = append(d.onDeath, fn)
+	d.mu.Unlock()
+}
+
+// OnExcise registers a callback invoked (outside the detector lock) when a
+// dead node is excised from the membership. Unlike OnDeath — which fires at
+// the kill, while sibling threads of the dead node may still be running
+// their epoch tails — excision guarantees the dead node is fully stopped.
+func (d *Detector) OnExcise(fn func(node int, at sim.Time)) {
+	d.mu.Lock()
+	d.onExcise = append(d.onExcise, fn)
+	d.mu.Unlock()
+}
+
+// Kill crash-stops node at virtual time at during barrier episode ep. It
+// returns true for the first kill of that (node, episode) — the caller that
+// wins performs the volatile-state wipe. Idempotent per episode so every
+// thread of a crashing node may call it.
+func (d *Detector) Kill(node int, at sim.Time, ep int64) bool {
+	d.mu.Lock()
+	if d.diedEp[node] == ep {
+		d.mu.Unlock()
+		return false
+	}
+	if d.state[node] != Alive {
+		d.mu.Unlock()
+		return false
+	}
+	d.state[node] = Crashed
+	d.diedAt[node] = at
+	d.diedEp[node] = ep
+	d.live.Add(-1)
+	d.history = append(d.history, Transition{
+		Epoch: d.epoch.Load(), Node: node, Kind: "crash", Episode: ep, At: at,
+	})
+	cbs := append([]func(int, sim.Time){}, d.onDeath...)
+	d.mu.Unlock()
+	d.fi.NoteCrash()
+	if d.MX != nil {
+		d.MX.Crashes.Inc()
+		d.MX.LiveNodes.Set(d.live.Load())
+	}
+	for _, fn := range cbs {
+		fn(node, at)
+	}
+	return true
+}
+
+// Excise drops a crashed node from the membership view, bumping the epoch.
+// Called by the barrier episode that completes the reconfiguration — by which
+// point every thread of the dead node has stopped, so OnExcise callbacks
+// (lock lease recovery) can reassign resources without racing the dead.
+func (d *Detector) Excise(node int, at sim.Time, ep int64) {
+	d.mu.Lock()
+	d.state[node] = Excised
+	e := d.epoch.Add(1)
+	d.history = append(d.history, Transition{
+		Epoch: e, Node: node, Kind: "excise", Episode: ep, At: at,
+	})
+	cbs := append([]func(int, sim.Time){}, d.onExcise...)
+	d.mu.Unlock()
+	if d.MX != nil {
+		d.MX.Excisions.Inc()
+		d.MX.Epoch.Set(e)
+	}
+	for _, fn := range cbs {
+		fn(node, at)
+	}
+}
+
+// Rejoin readmits an excised node (crash-restart), bumping the epoch.
+func (d *Detector) Rejoin(node int, at sim.Time, ep int64) {
+	d.mu.Lock()
+	d.state[node] = Alive
+	d.live.Add(1)
+	e := d.epoch.Add(1)
+	d.history = append(d.history, Transition{
+		Epoch: e, Node: node, Kind: "rejoin", Episode: ep, At: at,
+	})
+	d.mu.Unlock()
+	if d.MX != nil {
+		d.MX.Rejoins.Inc()
+		d.MX.Epoch.Set(e)
+		d.MX.LiveNodes.Set(d.live.Load())
+	}
+}
+
+// Heartbeat counts one published heartbeat for node.
+func (d *Detector) Heartbeat(node int) {
+	d.mu.Lock()
+	d.hb[node]++
+	d.mu.Unlock()
+	if d.MX != nil {
+		d.MX.Heartbeats.Inc()
+	}
+}
+
+// Heartbeats returns node's published heartbeat count.
+func (d *Detector) Heartbeats(node int) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hb[node]
+}
+
+// History returns a copy of the membership transitions so far.
+func (d *Detector) History() []Transition {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Transition{}, d.history...)
+}
+
+// HistoryString renders the transition history canonically (for replay
+// equality checks: two same-seed runs must produce identical strings).
+func (d *Detector) HistoryString() string {
+	h := d.History()
+	parts := make([]string, len(h))
+	for i, t := range h {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// DeathsAt returns the sorted live members that crash at episode ep —
+// the reconfiguration the barrier applies when the episode completes.
+func (d *Detector) DeathsAt(members []int, ep int64) []int {
+	var out []int
+	for _, m := range members {
+		if dies, _ := d.DiesAt(m, ep); dies {
+			out = append(out, m)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Reset returns the detector to the all-alive, epoch-zero state (between
+// seeded runs of one cluster). Scripted crashes persist so a replayed run
+// repeats them; OnDeath hooks persist with the structures they guard.
+func (d *Detector) Reset() {
+	d.mu.Lock()
+	for i := range d.state {
+		d.state[i] = Alive
+		d.diedAt[i] = 0
+		d.diedEp[i] = -1
+		d.hb[i] = 0
+	}
+	d.epoch.Store(0)
+	d.live.Store(int64(d.nodes))
+	d.history = nil
+	d.mu.Unlock()
+	if d.MX != nil {
+		d.MX.Epoch.Set(0)
+		d.MX.LiveNodes.Set(int64(d.nodes))
+	}
+}

@@ -1,0 +1,168 @@
+package locks
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"argo/internal/core"
+	"argo/internal/fault"
+	"argo/internal/metrics"
+	"argo/internal/vela"
+)
+
+// crashLockCluster builds a crash-armed cluster (scripted crash far beyond
+// the test's episodes, just to arm the detector) with a metrics suite so
+// lock excisions are counted.
+func crashLockCluster(nodes int) (*core.Cluster, *metrics.Suite) {
+	cfg := core.DefaultConfig(nodes)
+	cfg.MemoryBytes = 4 << 20
+	plan := fault.DefaultPlan(1)
+	cfg.Faults = &plan
+	c := core.MustNewCluster(cfg)
+	c.BarrierFactory = func(c *core.Cluster, tpn int) core.BarrierWaiter {
+		return vela.NewHierBarrier(c, tpn)
+	}
+	c.Health.ScheduleCrash(0, 1<<30, false) // arm, never fires
+	ms := metrics.NewSuite()
+	c.AttachMetrics(ms)
+	return c, ms
+}
+
+// TestTicketLockDeadHolderExcised: node 1's thread takes the lock and dies
+// without releasing. Once the membership excises the corpse, the lease
+// expires, the head waiter is granted and pays the excision CAS, and every
+// survivor still gets its critical section — the lock makes progress.
+func TestTicketLockDeadHolderExcised(t *testing.T) {
+	const nodes = 4
+	c, ms := crashLockCluster(nodes)
+	l := NewGlobalTicketLock(c, 0)
+
+	var acquired atomic.Int64
+	// Host-side failure detector: once the dead holder has all survivors
+	// queued behind it, excise it (one detection timeout after the kill,
+	// as the membership layer would).
+	go func() {
+		for {
+			l.mu.Lock()
+			holderDead := l.locked && l.holder == 1 && !c.Health.Alive(1)
+			queued := len(l.waiters)
+			l.mu.Unlock()
+			if holderDead && queued == nodes-1 {
+				c.Health.Excise(1, 50_000+c.Health.Timeout(), 1)
+				return
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	c.Run(1, func(th *core.Thread) {
+		if th.Node == 1 {
+			l.Lock(th)
+			c.Health.Kill(1, th.P.Now(), 1)
+			return // dies holding the lock: no Unlock
+		}
+		// Survivors: wait until the doomed node holds the lock, then queue.
+		for {
+			l.mu.Lock()
+			h := l.holder
+			l.mu.Unlock()
+			if h == 1 {
+				break
+			}
+			runtime.Gosched()
+		}
+		l.Lock(th)
+		acquired.Add(1)
+		th.P.Advance(100)
+		l.Unlock(th)
+	})
+
+	if got := acquired.Load(); got != nodes-1 {
+		t.Fatalf("%d survivors acquired the lock, want %d", got, nodes-1)
+	}
+	exc := ms.Reg.Counter("argo_crash_lock_excisions_total", "").Value()
+	if exc != 1 {
+		t.Fatalf("argo_crash_lock_excisions_total = %d, want 1", exc)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.locked || l.holder != -1 || len(l.waiters) != 0 {
+		t.Fatalf("lock not clean after recovery: locked=%v holder=%d waiters=%d",
+			l.locked, l.holder, len(l.waiters))
+	}
+}
+
+// TestTicketLockDeadWaiterPruned: a waiter's node is excised while parked in
+// the queue; the waiter is pruned (its thread unwinds with a CrashSignal,
+// absorbed by the SPMD runner) and never enters the critical section.
+func TestTicketLockDeadWaiterPruned(t *testing.T) {
+	c, _ := crashLockCluster(3)
+	l := NewGlobalTicketLock(c, 0)
+
+	var doomedRan, release atomic.Bool
+	go func() {
+		for {
+			l.mu.Lock()
+			queued := 0
+			for _, w := range l.waiters {
+				if w.node == 1 {
+					queued++
+				}
+			}
+			l.mu.Unlock()
+			if queued == 1 {
+				c.Health.Kill(1, 10_000, 1)
+				c.Health.Excise(1, 10_000+c.Health.Timeout(), 1)
+				release.Store(true)
+				return
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	c.Run(1, func(th *core.Thread) {
+		switch th.Node {
+		case 2:
+			l.Lock(th)
+			for !release.Load() {
+				runtime.Gosched()
+			}
+			th.P.Advance(100)
+			l.Unlock(th)
+		case 1:
+			// Queue behind node 2's long critical section, then die parked.
+			for {
+				l.mu.Lock()
+				h := l.holder
+				l.mu.Unlock()
+				if h == 2 {
+					break
+				}
+				runtime.Gosched()
+			}
+			l.Lock(th) // pruned: unwinds via CrashSignal
+			doomedRan.Store(true)
+			l.Unlock(th)
+		case 0:
+			// Bystander: a live waiter queued after the doomed one must
+			// still get the lock.
+			for !release.Load() {
+				runtime.Gosched()
+			}
+			l.Lock(th)
+			th.P.Advance(50)
+			l.Unlock(th)
+		}
+	})
+
+	if doomedRan.Load() {
+		t.Fatal("pruned waiter entered the critical section")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.locked || len(l.waiters) != 0 {
+		t.Fatalf("lock not clean after pruning: locked=%v waiters=%d", l.locked, len(l.waiters))
+	}
+}

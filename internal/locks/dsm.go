@@ -5,8 +5,10 @@ import (
 	"sync"
 
 	"argo/internal/core"
+	"argo/internal/health"
 	"argo/internal/metrics"
 	"argo/internal/sim"
+	"argo/internal/trace"
 )
 
 // dsmLockMX bundles the Argoscope instruments of one DSM lock instance:
@@ -60,24 +62,55 @@ type DSMLock interface {
 // Global ticket lock (no fences — building block)
 // ---------------------------------------------------------------------------
 
+// glWaiter is one parked acquirer of a GlobalTicketLock. The grantor marks
+// the handover before closing the channel: granted=false means the waiter's
+// node was excised while parked and the thread must unwind; excise=true
+// means the grant came from expiring a dead holder's lease, and the grantee
+// pays the compare-and-swap that swings the lock word past the corpse.
+type glWaiter struct {
+	ch      chan struct{}
+	node    int
+	granted bool
+	excise  bool
+	dead    int // the excised holder, when excise is set
+}
+
 // GlobalTicketLock is a FIFO spin lock whose word lives at one home node and
 // is manipulated purely with one-sided operations: fetch-and-increment to
 // take a ticket, remote polling until the grant counter matches. It carries
 // no fence semantics of its own; it is the building block under the fenced
 // DSM locks and under HQDL.
+//
+// Crash recovery (Cygnus): every acquisition stamps the holder's node as a
+// lease. When the membership excises a dead node — which happens one failure
+// detection timeout after the crash, with every thread of the dead node
+// provably stopped — a lock whose lease names the corpse frees itself: the
+// head waiter (or, with an empty queue, the next acquirer) is granted and
+// pays one extra remote CAS, the excision that swings the lock word past the
+// dead holder's stale ticket. Parked waiters of the excised node are pruned
+// and unwound.
 type GlobalTicketLock struct {
 	c    *core.Cluster
 	home int
 	key  uint64 // fault identity of the ticket/grant words
 
 	// retries counts acquisition reissues under injected faults; nil
-	// without a metrics suite.
-	retries *metrics.Counter
+	// without a metrics suite. excisions counts dead-holder lease
+	// recoveries.
+	retries   *metrics.Counter
+	excisions *metrics.Counter
 
 	mu      sync.Mutex
 	locked  bool
-	waiters []chan struct{}
+	holder  int // node whose thread holds the lock; -1 when free
+	waiters []*glWaiter
 	freeAt  sim.Time
+
+	// pendingExcise marks a dead-holder recovery that found no queued
+	// waiter: the next acquirer pays the excision CAS. pendingDead is the
+	// node it excises.
+	pendingExcise bool
+	pendingDead   int
 }
 
 // NewGlobalTicketLock creates a ticket lock homed at node home. The lock's
@@ -85,12 +118,70 @@ type GlobalTicketLock struct {
 // workload that builds its locks in setup order sees the same injected
 // schedule run after run.
 func NewGlobalTicketLock(c *core.Cluster, home int) *GlobalTicketLock {
-	l := &GlobalTicketLock{c: c, home: home, key: c.NextSyncKey()}
+	l := &GlobalTicketLock{c: c, home: home, key: c.NextSyncKey(), holder: -1}
 	if c.MX != nil {
 		l.retries = c.MX.Reg.Counter("argo_lock_retries_total",
 			"Lock-word operation reissues under injected faults", metrics.L("lock", "ticket"))
+		l.excisions = c.MX.Reg.Counter("argo_crash_lock_excisions_total",
+			"Dead lock holders excised via lease recovery")
+	}
+	if c.Health != nil && c.Health.Armed() {
+		c.Health.OnExcise(l.onExcise)
 	}
 	return l
+}
+
+// onExcise recovers the lock from a dead node: parked waiters of the corpse
+// are pruned (their threads, if any remain, unwind with a CrashSignal), and
+// a lease held by the corpse is expired and handed to the head waiter.
+func (l *GlobalTicketLock) onExcise(node int, at sim.Time) {
+	l.mu.Lock()
+	var drop []*glWaiter
+	kept := l.waiters[:0]
+	for _, w := range l.waiters {
+		if w.node == node {
+			drop = append(drop, w)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	l.waiters = kept
+	var grant *glWaiter
+	if l.locked && l.holder == node {
+		if at > l.freeAt {
+			l.freeAt = at
+		}
+		l.holder = -1
+		if len(l.waiters) > 0 {
+			grant = l.waiters[0]
+			l.waiters = l.waiters[1:]
+			grant.granted, grant.excise, grant.dead = true, true, node
+		} else {
+			l.locked = false
+			l.pendingExcise = true
+			l.pendingDead = node
+		}
+	}
+	l.mu.Unlock()
+	for _, w := range drop {
+		close(w.ch)
+	}
+	if grant != nil {
+		close(grant.ch)
+	}
+}
+
+// payExcision charges the grantee the remote CAS that swings the lock word
+// past a dead holder and records the recovery.
+func (l *GlobalTicketLock) payExcision(t *core.Thread, dead int) {
+	l.c.Fab.RemoteAtomic(t.P, l.home, l.key)
+	if l.excisions != nil {
+		l.excisions.Inc()
+	}
+	t.Coh.Trc.Record(trace.Event{
+		T: t.P.Now(), Node: t.Node, Tid: trace.TidOf(t.P.Socket, t.P.Core),
+		Kind: trace.EvExcise, Page: -1, Arg: int64(dead),
+	})
 }
 
 // countRetries records n acquisition reissues (no-op without metrics).
@@ -117,20 +208,34 @@ func (l *GlobalTicketLock) Lock(t *core.Thread) {
 	l.mu.Lock()
 	if !l.locked {
 		l.locked = true
+		l.holder = t.Node
+		excise, dead := l.pendingExcise, l.pendingDead
+		l.pendingExcise = false
 		t.P.AdvanceTo(l.freeAt)
 		l.mu.Unlock()
+		if excise {
+			l.payExcision(t, dead)
+		}
 		// Yield so contenders arrive and queue while the section runs
 		// (interleaving aid for few-CPU hosts; no semantic effect).
 		runtime.Gosched()
 		return
 	}
-	ch := make(chan struct{})
-	l.waiters = append(l.waiters, ch)
+	w := &glWaiter{ch: make(chan struct{}), node: t.Node}
+	l.waiters = append(l.waiters, w)
 	l.mu.Unlock()
-	<-ch
+	<-w.ch
+	if !w.granted {
+		// Pruned: our node was excised while we were parked.
+		panic(health.CrashSignal{Node: t.Node, Episode: t.SyncEpoch})
+	}
 	l.mu.Lock()
+	l.holder = t.Node
 	t.P.AdvanceTo(l.freeAt)
 	l.mu.Unlock()
+	if w.excise {
+		l.payExcision(t, w.dead)
+	}
 	// The winning poll that observes the grant.
 	l.c.Fab.RemoteRead(t.P, l.home, 8, l.key)
 	runtime.Gosched()
@@ -148,6 +253,7 @@ func (l *GlobalTicketLock) Unlock(t *core.Thread) {
 	l.countRetries(attempt)
 	l.mu.Lock()
 	l.freeAt = t.P.Now()
+	l.holder = -1
 	if len(l.waiters) == 0 {
 		l.locked = false
 		l.mu.Unlock()
@@ -155,8 +261,9 @@ func (l *GlobalTicketLock) Unlock(t *core.Thread) {
 	}
 	next := l.waiters[0]
 	l.waiters = l.waiters[1:]
+	next.granted = true
 	l.mu.Unlock()
-	close(next)
+	close(next.ch)
 }
 
 // ---------------------------------------------------------------------------

@@ -39,6 +39,8 @@ const (
 	EvDelegate
 	EvWBRetry // a posted writeback was lost; Arg is the reissue count so far
 	EvWBBurst // a fence posted its downgrades as one burst; Arg packs pages<<8|homes
+	EvCrash   // a node crash-stopped at a safe point; Arg is the barrier episode
+	EvExcise  // membership dropped a dead node (or a lock excised its holder); Arg is the node
 	numKinds
 )
 
@@ -46,7 +48,7 @@ var kindNames = [numKinds]string{
 	"read-miss", "write-miss", "line-fetch", "writeback", "checkpoint",
 	"si-fence", "sd-fence", "invalidate", "keep", "notify",
 	"class-transition", "barrier", "lock-acquire", "lock-release", "delegate",
-	"wb-retry", "wb-burst",
+	"wb-retry", "wb-burst", "crash", "excise",
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,307 @@
+// Cygnus: the member-aware rendezvous behind HierBarrier when crash faults
+// are armed.
+//
+// The plain global barrier (sim.Barrier) has a fixed arrival count, so a
+// crash-stopped node would hang every survivor forever. memberBarrier
+// replaces it with an episode-keyed rendezvous over the *current membership*:
+// each episode completes when every surviving representative has arrived AND
+// every thread of every node dying this episode has checked in (restarting
+// threads as observers, crash-stopping threads as final arrivals before they
+// unwind). Membership mutations — excision, directory dead-marking, rejoin —
+// happen exactly once per episode, at completion, under the barrier lock,
+// while every live thread in the cluster is parked. That single serialization
+// point is what keeps crash runs bit-exact across replays: no survivor can
+// race the wipe of a dead node's directory cache, and the membership epoch
+// history is a pure function of (seed, plan, program).
+//
+// Timing model: a death adds one failure-detection timeout to the episode's
+// release (survivors wait out the detector before reconfiguring), and a
+// restarting node rejoins with its clock pushed a further timeout past the
+// release (reboot downtime).
+package vela
+
+import (
+	"sync"
+
+	"argo/internal/core"
+	"argo/internal/fault"
+	"argo/internal/health"
+	"argo/internal/sim"
+	"argo/internal/trace"
+)
+
+// hbKeyBase tags heartbeat publishes in the fabric's fault-identity space,
+// well away from page and sync keys.
+const hbKeyBase = uint64(1) << 62
+
+type epKey struct {
+	ep  int64
+	sub int // 0 = main (OR-combining) rendezvous, 1 = post-reset rendezvous
+}
+
+type crashKey struct {
+	ep   int64
+	node int
+}
+
+type epState struct {
+	arrived  int      // surviving representatives that have arrived
+	observed int      // threads of restarting nodes parked for this episode
+	stopped  int      // threads of crash-stopping nodes that have checked in
+	maxT     sim.Time // latest arrival clock seen
+	or       bool     // OR-combined reset vote
+	expected int      // sub=1 only: arrivals required (survivor count at sub=0)
+
+	complete bool
+	release  sim.Time
+	orOut    bool
+}
+
+// memberBarrier is the crash-aware replacement for HierBarrier's global
+// sim.Barrier. It is built only when the cluster's crash faults are armed,
+// so fault-free runs keep the exact timing of the fixed-count barrier.
+type memberBarrier struct {
+	c    *core.Cluster
+	det  *health.Detector
+	cost sim.Time // global rendezvous exit cost (same as HierBarrier)
+	tpn  int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	members []bool // current membership view (crash-restart keeps the slot)
+	done    int64  // highest fully-completed sub=0 episode
+	eps     map[epKey]*epState
+	crashed map[crashKey]int // per-(episode,node) crash check-in count
+}
+
+func newMemberBarrier(c *core.Cluster, tpn int, cost sim.Time) *memberBarrier {
+	m := &memberBarrier{
+		c:       c,
+		det:     c.Health,
+		cost:    cost,
+		tpn:     tpn,
+		members: make([]bool, c.Cfg.Nodes),
+		eps:     map[epKey]*epState{},
+		crashed: map[crashKey]int{},
+	}
+	for i := range m.members {
+		m.members[i] = true
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *memberBarrier) state(k epKey) *epState {
+	st, ok := m.eps[k]
+	if !ok {
+		st = &epState{}
+		m.eps[k] = st
+	}
+	return st
+}
+
+// memberList returns the current members in ascending order. Caller holds mu.
+func (m *memberBarrier) memberList() []int {
+	out := make([]int, 0, len(m.members))
+	for n, ok := range m.members {
+		if ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// leaderAt returns the lowest member that survives episode ep. The leader
+// takes over node 0's duties (decay vote, directory reset) once node 0 dies.
+func (m *memberBarrier) leaderAt(ep int64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for n, ok := range m.members {
+		if !ok {
+			continue
+		}
+		if dies, _ := m.det.DiesAt(n, ep); !dies {
+			return n
+		}
+	}
+	return -1
+}
+
+// expectations returns, for episode ep over the current membership, the
+// number of surviving representatives, restart observers, and crash-stop
+// check-ins required for completion. Caller holds mu.
+func (m *memberBarrier) expectations(ep int64) (arrive, observe, stop int) {
+	for n, ok := range m.members {
+		if !ok {
+			continue
+		}
+		dies, restart := m.det.DiesAt(n, ep)
+		switch {
+		case !dies:
+			arrive++
+		case restart:
+			observe += m.tpn
+		default:
+			stop += m.tpn
+		}
+	}
+	return arrive, observe, stop
+}
+
+// crashPoint is every thread's episode entry. It returns true when the
+// thread's node dies-and-restarts this episode (the caller skips the episode
+// body); it panics with health.CrashSignal for a crash-stop; it returns
+// false for a live thread.
+func (m *memberBarrier) crashPoint(t *core.Thread, ep int64) bool {
+	dies, restart := m.det.DiesAt(t.Node, ep)
+	if !dies {
+		if !m.det.Alive(t.Node) {
+			// Killed out-of-band (scripted mid-episode kill in tests).
+			panic(health.CrashSignal{Node: t.Node, Episode: ep})
+		}
+		return false
+	}
+	m.det.Kill(t.Node, t.P.Now(), ep)
+	// The page cache is shared by the node's threads, so the wipe waits for
+	// the node's last thread: until then a sibling may still be running its
+	// epoch tail, and yanking lines under it would make cache hit/miss
+	// sequences depend on the host schedule.
+	m.mu.Lock()
+	ck := crashKey{ep, t.Node}
+	m.crashed[ck]++
+	last := m.crashed[ck] == m.tpn
+	m.mu.Unlock()
+	if last {
+		t.Coh.CrashWipe()
+		t.Coh.Trc.Record(trace.Event{
+			T: t.P.Now(), Node: t.Node, Tid: trace.TidOf(t.P.Socket, t.P.Core),
+			Kind: trace.EvCrash, Page: -1, Arg: ep,
+		})
+	}
+	if restart {
+		m.observe(t.P, ep)
+		return true
+	}
+	// Crash-stop: check in so the episode can complete, then unwind.
+	m.mu.Lock()
+	st := m.state(epKey{ep, 0})
+	st.stopped++
+	m.maybeComplete(ep, st)
+	m.mu.Unlock()
+	panic(health.CrashSignal{Node: t.Node, Episode: ep})
+}
+
+// rendezvous is the surviving representatives' global barrier for episode ep.
+// sub=0 OR-combines the reset vote; sub=1 is the post-reset rendezvous.
+func (m *memberBarrier) rendezvous(p *sim.Proc, ep int64, sub int, vote bool) bool {
+	m.mu.Lock()
+	st := m.state(epKey{ep, sub})
+	if p.Now() > st.maxT {
+		st.maxT = p.Now()
+	}
+	if vote {
+		st.or = true
+	}
+	st.arrived++
+	if sub == 0 {
+		m.maybeComplete(ep, st)
+	} else if st.arrived == st.expected {
+		st.release = st.maxT + m.cost
+		st.complete = true
+		m.cond.Broadcast()
+	}
+	for !st.complete {
+		m.cond.Wait()
+	}
+	rel, out := st.release, st.orOut
+	m.mu.Unlock()
+	p.AdvanceTo(rel)
+	return out
+}
+
+// observe parks a restarting node's thread until the episode completes, then
+// resynchronizes its clock past the reboot downtime.
+func (m *memberBarrier) observe(p *sim.Proc, ep int64) {
+	m.mu.Lock()
+	st := m.state(epKey{ep, 0})
+	st.observed++
+	m.maybeComplete(ep, st)
+	for !st.complete {
+		m.cond.Wait()
+	}
+	rel := st.release
+	m.mu.Unlock()
+	p.AdvanceTo(rel + m.det.Timeout())
+}
+
+// maybeComplete fires the episode's reconfiguration once every survivor has
+// arrived and every dying thread has checked in. Caller holds mu.
+func (m *memberBarrier) maybeComplete(ep int64, st *epState) {
+	if st.complete || ep != m.done+1 {
+		return
+	}
+	arrive, observe, stop := m.expectations(ep)
+	if st.arrived != arrive || st.observed != observe || st.stopped != stop {
+		return
+	}
+	deaths := m.det.DeathsAt(m.memberList(), ep)
+	release := st.maxT + m.cost
+	if len(deaths) > 0 {
+		// Survivors wait out one failure-detection timeout before they
+		// reconfigure around the dead.
+		release += m.det.Timeout()
+	}
+	for _, dn := range deaths {
+		_, restart := m.det.DiesAt(dn, ep)
+		m.det.Excise(dn, release, ep)
+		m.c.Dir.SetDead(dn)
+		// Every survivor is parked here, so wiping the dead node's
+		// directory cache cannot race an in-flight Notify.
+		m.c.Dir.ClearCache(dn)
+		m.c.Nodes[dn].Trc.Record(trace.Event{
+			T: release, Node: dn, Kind: trace.EvExcise, Page: -1, Arg: int64(dn),
+		})
+		if restart {
+			m.det.Rejoin(dn, release, ep)
+			m.c.Dir.ClearDeadBit(dn)
+		} else {
+			m.members[dn] = false
+		}
+	}
+	st.release = release
+	st.orOut = st.or
+	st.complete = true
+	m.done = ep
+	// Pre-size the post-reset rendezvous for the survivors of this episode.
+	m.state(epKey{ep, 1}).expected = st.arrived
+	m.cond.Broadcast()
+}
+
+// heartbeat publishes the node's liveness counter toward its successor (a
+// posted one-sided write, attempt 0; a dropped publish is a missed
+// heartbeat, not an error) and bumps the detector's count.
+//
+// The publish deliberately does NOT occupy the successor's shared NIC
+// resource — in the model, heartbeats ride a dedicated shallow QP that never
+// contends with data traffic. This is load-bearing for replay: NIC occupancy
+// is arbitrated in host arrival order, so a heartbeat landing on a NIC the
+// schedule-independent workloads prove has exactly one client per phase
+// would add a second, scheduling-ordered client and shift virtual time run
+// to run. The issuer still pays the posting overhead, and the Corvus verdict
+// (a pure hash of the heartbeat's identity) still decides whether it lands.
+func (m *memberBarrier) heartbeat(t *core.Thread, ep int64) {
+	home := (t.Node + 1) % m.det.Nodes()
+	if home != t.Node {
+		key := hbKeyBase | uint64(t.Node)<<32 | uint64(ep)&0xffffffff
+		v := m.c.Fab.FI.Draw(t.Node, fault.ClassPost, home, key, 0)
+		t.P.Advance(m.c.Fab.P.PostOverhead + v.Delay)
+	}
+	m.det.Heartbeat(t.Node)
+}
+
+// Members returns the barrier's current membership view in ascending order.
+func (m *memberBarrier) Members() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.memberList()
+}

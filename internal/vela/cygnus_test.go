@@ -1,0 +1,211 @@
+package vela
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"argo/internal/core"
+	"argo/internal/fault"
+	"argo/internal/metrics"
+	"argo/internal/sim"
+)
+
+// crashCluster builds a cluster whose default plan carries recovery knobs
+// (timeout, backoff) so scripted crashes have a detection timeout to charge.
+func crashCluster(nodes int) *core.Cluster {
+	cfg := core.DefaultConfig(nodes)
+	cfg.MemoryBytes = 4 << 20
+	plan := fault.DefaultPlan(1)
+	cfg.Faults = &plan
+	c := core.MustNewCluster(cfg)
+	c.BarrierFactory = func(c *core.Cluster, tpn int) core.BarrierWaiter {
+		return NewHierBarrier(c, tpn)
+	}
+	return c
+}
+
+func TestCrashStopSurvivorsReconfigure(t *testing.T) {
+	const nodes, tpn, episodes = 4, 2, 6
+	c := crashCluster(nodes)
+	// Node 0 dies at episode 3: this also exercises leader failover (the
+	// decay/reset duties move to the lowest surviving member).
+	c.Health.ScheduleCrash(0, 3, false)
+	ms := metrics.NewSuite()
+	c.AttachMetrics(ms)
+
+	var survived atomic.Int64
+	var preCrash, postCrash [nodes * tpn]sim.Time
+	c.Run(tpn, func(th *core.Thread) {
+		for e := 1; e <= episodes; e++ {
+			if e == 3 {
+				preCrash[th.Rank] = th.P.Now()
+			}
+			th.Barrier()
+			if e == 3 {
+				postCrash[th.Rank] = th.P.Now()
+			}
+		}
+		survived.Add(1)
+	})
+
+	if got := survived.Load(); got != (nodes-1)*tpn {
+		t.Fatalf("%d threads finished, want %d survivors", got, (nodes-1)*tpn)
+	}
+	if c.Health.Alive(0) {
+		t.Fatal("node 0 still alive after crash-stop")
+	}
+	if got := c.Health.LiveCount(); got != nodes-1 {
+		t.Fatalf("live count %d, want %d", got, nodes-1)
+	}
+	if got := c.Health.Epoch(); got != 1 {
+		t.Fatalf("membership epoch %d, want 1 (one excision)", got)
+	}
+	h := c.Health.HistoryString()
+	if !strings.Contains(h, "crash(n0)") || !strings.Contains(h, "excise(n0)") {
+		t.Fatalf("history missing crash/excise of node 0: %q", h)
+	}
+	// Survivors reconfigure within one detection timeout: the crash
+	// episode's barrier may cost at most the fault-free barrier plus the
+	// detector timeout (plus the heartbeat publish, well under the slack).
+	var worst sim.Time
+	for r, post := range postCrash {
+		if post == 0 {
+			continue // dead thread
+		}
+		if d := post - preCrash[r]; d > worst {
+			worst = d
+		}
+	}
+	b := NewHierBarrier(c, tpn)
+	budget := 2*b.localCost + b.globalCost + c.Health.Timeout() + 20_000
+	if worst > budget {
+		t.Fatalf("crash episode took %d ns, budget %d ns (timeout %d)", worst, budget, c.Health.Timeout())
+	}
+	// Post-crash episodes still complete and align survivor clocks.
+	var clocks []sim.Time
+	for r, post := range postCrash {
+		if post != 0 {
+			clocks = append(clocks, post)
+			_ = r
+		}
+	}
+	for _, cl := range clocks {
+		if cl != clocks[0] {
+			t.Fatalf("survivor clocks diverge after crash episode: %v", clocks)
+		}
+	}
+	for _, ev := range []string{"crash", "excise"} {
+		got := ms.Reg.Counter("argo_crash_events_total", "", metrics.L("event", ev)).Value()
+		if got != 1 {
+			t.Fatalf("argo_crash_events_total{event=%s} = %d, want 1", ev, got)
+		}
+	}
+}
+
+func TestCrashRestartRejoins(t *testing.T) {
+	const nodes, tpn, episodes = 3, 2, 5
+	c := crashCluster(nodes)
+	c.Health.ScheduleCrash(1, 2, true)
+
+	var finished atomic.Int64
+	c.Run(tpn, func(th *core.Thread) {
+		for e := 1; e <= episodes; e++ {
+			th.Barrier()
+		}
+		finished.Add(1)
+	})
+
+	if got := finished.Load(); got != nodes*tpn {
+		t.Fatalf("%d threads finished, want all %d (restart keeps threads)", got, nodes*tpn)
+	}
+	if !c.Health.Alive(1) || c.Health.LiveCount() != nodes {
+		t.Fatalf("node 1 did not rejoin: alive=%v live=%d", c.Health.Alive(1), c.Health.LiveCount())
+	}
+	if got := c.Health.Epoch(); got != 2 {
+		t.Fatalf("membership epoch %d, want 2 (excise + rejoin)", got)
+	}
+	h := c.Health.HistoryString()
+	for _, want := range []string{"crash(n1)", "excise(n1)", "rejoin(n1)"} {
+		if !strings.Contains(h, want) {
+			t.Fatalf("history missing %q: %q", want, h)
+		}
+	}
+}
+
+func TestCrashFlagSignalFromDyingNode(t *testing.T) {
+	// The signaler's node crash-restarts at the barrier *after* the signal:
+	// waiters on other nodes must still observe it, and the run completes.
+	const nodes = 3
+	c := crashCluster(nodes)
+	c.Health.ScheduleCrash(0, 1, true)
+	f := NewFlag(c, 0)
+
+	var got atomic.Int64
+	c.Run(1, func(th *core.Thread) {
+		if th.Node == 0 {
+			th.Compute(1000)
+			f.Signal(th)
+		} else {
+			f.Wait(th)
+			got.Add(1)
+		}
+		th.Barrier() // node 0 crashes and restarts here
+		th.Barrier()
+	})
+	if got.Load() != nodes-1 {
+		t.Fatalf("%d waiters observed the flag, want %d", got.Load(), nodes-1)
+	}
+	if !c.Health.Alive(0) {
+		t.Fatal("node 0 did not rejoin")
+	}
+}
+
+func TestCrashScheduleDeterminism(t *testing.T) {
+	run := func() (sim.Time, string) {
+		cfg := core.DefaultConfig(5)
+		cfg.MemoryBytes = 4 << 20
+		plan := fault.DefaultPlan(123)
+		plan.Crash = 0.08
+		plan.CrashRestart = true
+		cfg.Faults = &plan
+		c := core.MustNewCluster(cfg)
+		c.BarrierFactory = func(c *core.Cluster, tpn int) core.BarrierWaiter {
+			return NewHierBarrier(c, tpn)
+		}
+		ms := c.Run(2, func(th *core.Thread) {
+			for e := 0; e < 8; e++ {
+				th.Compute(int64(100 * (th.Rank + 1)))
+				th.Barrier()
+			}
+		})
+		return ms, c.Health.HistoryString()
+	}
+	ms1, h1 := run()
+	ms2, h2 := run()
+	if h1 == "" {
+		t.Fatal("crash plan produced no membership transitions (rate too low for the test)")
+	}
+	if h1 != h2 {
+		t.Fatalf("membership history not deterministic:\n  run1 %q\n  run2 %q", h1, h2)
+	}
+	if ms1 != ms2 {
+		t.Fatalf("makespan not deterministic: %d vs %d", ms1, ms2)
+	}
+}
+
+func TestFaultFreeBarrierUnchangedWhenUnarmed(t *testing.T) {
+	// A cluster with a plan but no crash rate must keep the plain
+	// fixed-count barrier (mem == nil), preserving fault-free timings.
+	c := crashCluster(2)
+	b := NewHierBarrier(c, 2)
+	if b.mem != nil {
+		t.Fatal("member barrier built without crash faults armed")
+	}
+	c2 := crashCluster(2)
+	c2.Health.ScheduleCrash(0, 99, true)
+	b2 := NewHierBarrier(c2, 2)
+	if b2.mem == nil {
+		t.Fatal("member barrier not built after ScheduleCrash armed the detector")
+	}
+}

@@ -66,6 +66,10 @@ type HierBarrier struct {
 
 	mx *barrierMX
 
+	// mem replaces the fixed-count global barrier when crash faults are
+	// armed (Cygnus). Nil otherwise, keeping fault-free runs bit-identical.
+	mem *memberBarrier
+
 	episodes atomic.Int64
 	resets   atomic.Int64
 }
@@ -88,6 +92,9 @@ func NewHierBarrier(c *core.Cluster, threadsPerNode int) *HierBarrier {
 	if c.Cfg.Nodes > 1 {
 		b.globalCost = 2 * p.RemoteLatency * sim.Time(log2ceil(c.Cfg.Nodes))
 	}
+	if c.Health != nil && c.Health.Armed() {
+		b.mem = newMemberBarrier(c, threadsPerNode, b.globalCost)
+	}
 	return b
 }
 
@@ -105,6 +112,15 @@ func (b *HierBarrier) Wait(t *core.Thread) { b.wait(t, false) }
 func (b *HierBarrier) WaitAndReset(t *core.Thread) { b.wait(t, true) }
 
 func (b *HierBarrier) wait(t *core.Thread, forceReset bool) {
+	if b.mem != nil {
+		// Cygnus: barrier entry is the crash safe point. Every thread of a
+		// crashing node is diverted here — restart observers return without
+		// running the episode, crash-stop threads unwind via CrashSignal.
+		t.SyncEpoch++
+		if b.mem.crashPoint(t, t.SyncEpoch) {
+			return
+		}
+	}
 	n := t.Node
 	t0 := t.P.Now()
 	b.local[n].Wait(t.P, b.localCost)
@@ -116,9 +132,14 @@ func (b *HierBarrier) wait(t *core.Thread, forceReset bool) {
 		// invalidate. The reset decision travels with the rendezvous so
 		// all representatives of one episode agree on it.
 		r0 := t.P.Now()
+		leader := t.Node == 0
+		if b.mem != nil {
+			b.mem.heartbeat(t, t.SyncEpoch)
+			leader = b.mem.leaderAt(t.SyncEpoch) == t.Node
+		}
 		t.Coh.SDFence(t.P)
 		want := forceReset
-		if t.Node == 0 {
+		if leader {
 			ep := b.episodes.Add(1)
 			if b.mx != nil {
 				b.mx.episodes.Inc()
@@ -132,9 +153,15 @@ func (b *HierBarrier) wait(t *core.Thread, forceReset bool) {
 				panic("vela: paranoia check failed after SD: " + err.Error())
 			}
 		}
-		if b.global.WaitOr(t.P, b.globalCost, want) {
+		var reset bool
+		if b.mem != nil {
+			reset = b.mem.rendezvous(t.P, t.SyncEpoch, 0, want)
+		} else {
+			reset = b.global.WaitOr(t.P, b.globalCost, want)
+		}
+		if reset {
 			t.Coh.ResetForPhase()
-			if t.Node == 0 {
+			if leader {
 				b.c.Dir.Reset()
 				b.resets.Add(1)
 				if b.mx != nil {
@@ -142,8 +169,12 @@ func (b *HierBarrier) wait(t *core.Thread, forceReset bool) {
 				}
 			}
 			// Second rendezvous: nobody may re-register pages while the
-			// directory wipe is in progress on node 0.
-			b.global.Wait(t.P, b.globalCost)
+			// directory wipe is in progress on the leader.
+			if b.mem != nil {
+				b.mem.rendezvous(t.P, t.SyncEpoch, 1, false)
+			} else {
+				b.global.Wait(t.P, b.globalCost)
+			}
 		} else {
 			t.Coh.SIFence(t.P)
 		}
@@ -155,6 +186,19 @@ func (b *HierBarrier) wait(t *core.Thread, forceReset bool) {
 	if b.mx != nil {
 		b.mx.episodeNs.Record(n, t.P.Now()-t0)
 	}
+}
+
+// Members returns the barrier's current membership view in ascending node
+// order (all nodes when crash faults are not armed).
+func (b *HierBarrier) Members() []int {
+	if b.mem == nil {
+		out := make([]int, b.c.Cfg.Nodes)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	return b.mem.Members()
 }
 
 // Episodes returns the number of completed barrier episodes.
@@ -182,6 +226,13 @@ type Flag struct {
 }
 
 // NewFlag creates a flag whose word is homed at node home.
+//
+// Crash semantics (Cygnus): a crash takes effect only at barrier safe
+// points, so a thread of a dying node that is parked in Wait still receives
+// its signal (the signaler either survives or signals before its own crash
+// point), finishes the episode tail, and unwinds at its next barrier entry.
+// Flags therefore need no death handling of their own; programs must not
+// depend on a signal that only a node dying *before* the signal would send.
 func NewFlag(c *core.Cluster, home int) *Flag {
 	f := &Flag{c: c, home: home, key: c.NextSyncKey()}
 	f.cond = sync.NewCond(&f.mu)

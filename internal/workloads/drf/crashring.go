@@ -1,0 +1,312 @@
+package drf
+
+// Crash-tolerant ring (Cygnus): the schedule-independent ring program of
+// chaos.go, restructured so that crash-stop and crash-restart node failures
+// at barrier safe points never cost an answer.
+//
+// The key property the planner exploits is that crash verdicts are pure
+// functions of (fault seed, node, barrier episode) — health.Detector.DiesAt
+// can be evaluated host-side before the run. planCrashRing therefore walks
+// the program's barrier episodes in order, maintains exactly the membership
+// view the member-aware barrier will hold at runtime, and emits one phase
+// plan per episode: which live node writes which blocks, which repairs the
+// blocks a freshly dead writer lost (volatile state is wiped at the crash
+// point, so an un-downgraded epoch of writes evaporates), and which verifies.
+// Threads just execute their slice of each phase; the barrier between phases
+// is where crashes strike. Because repairs rewrite the exact values the dead
+// node would have published, the surviving shards — and in fact the whole
+// final memory image — are bit-identical to the fault-free run.
+//
+// Role assignment is STATIC, not rotated: block b is written by node b+1 and
+// verified by node b+2 (the proven schedule-independent geometry of RunRing)
+// for as long as both live, and a death collapses each affected block onto a
+// single surviving holder. This is load-bearing for bit-exact replay. A
+// block whose writer set changes goes through an NW→SW or SW→MW directory
+// transition, and the Notify that transition pushes into other holders'
+// directory caches races (in host scheduling) with those holders' fence
+// sweeps. In P/S3 the races the static geometry leaves are all benign — the
+// notified entry yields the same ShouldSelfInvalidate decision before and
+// after — but a writer handover while another live node still holds the
+// block flips the old writer's decision (keep, as sole writer → invalidate,
+// under MW) and makes the makespan depend on notify arrival order. Collapse
+// avoids that by construction: a handover target is always the block's only
+// surviving holder (the verifier inherits writing, the writer inherits
+// verifying, or — both dead — a fresh node inherits a block nobody live
+// holds), so every registration the recovery performs transitions a
+// directory entry whose other holders are all dead and wiped. Crash-restart
+// needs no handover at all: the rejoining node keeps its roles, and its
+// re-registrations find its bits still set in the preserved home truth.
+
+import (
+	"fmt"
+	"sort"
+
+	"argo/internal/core"
+	"argo/internal/fault"
+	"argo/internal/health"
+	"argo/internal/mem"
+	"argo/internal/workloads/wload"
+)
+
+// phase kinds of the crash-ring script.
+const (
+	phaseWrite = iota
+	phaseRepair
+	phaseVerify
+)
+
+// phasePlan is one barrier-delimited phase: per live node, the blocks it
+// writes (or re-writes, or verifies) with epoch e's values.
+type phasePlan struct {
+	kind   int
+	epoch  int
+	assign map[int][]int // node -> block list
+}
+
+// CrashReport extends Report with the run's membership outcome.
+type CrashReport struct {
+	Report
+	Epoch   int64  // final membership epoch
+	Deaths  int    // crash transitions observed
+	History string // full membership transition history
+}
+
+// planCrashRing precomputes the crash-ring script for a detector's crash
+// schedule. It mirrors, episode by episode, the membership updates the
+// member-aware barrier performs at runtime: a crash-stop leaves the member
+// set at its death episode, a crash-restart stays (it rejoins within the
+// same episode). It fails if the live set ever empties.
+func planCrashRing(det *health.Detector, nodes, epochs int) ([]phasePlan, error) {
+	members := make([]bool, nodes)
+	wtr := make([]int, nodes) // writer of block b; always a live member
+	vfr := make([]int, nodes) // verifier of block b; always a live member
+	for b := 0; b < nodes; b++ {
+		members[b] = true
+		wtr[b] = (b + 1) % nodes
+		vfr[b] = (b + 2) % nodes
+	}
+	liveCount := nodes
+	nextLive := func(after int) int {
+		for i := 1; i <= nodes; i++ {
+			if n := (after + i) % nodes; members[n] {
+				return n
+			}
+		}
+		return -1
+	}
+	// reassign hands the dying node's roles to survivors, collapsing each
+	// affected block onto a single live holder (see the package comment for
+	// why collapse — rather than rebalancing — is what keeps the run
+	// bit-exact: the handover must never change a surviving holder's
+	// classification entry).
+	reassign := func(d int) {
+		for b := 0; b < nodes; b++ {
+			switch wd, vd := wtr[b] == d, vfr[b] == d; {
+			case wd && vd:
+				// The collapsed sole owner died: a fresh node — which holds
+				// no copy of the block — inherits both roles.
+				o := nextLive(b)
+				wtr[b], vfr[b] = o, o
+			case wd:
+				// Writer died: its only surviving co-holder, the verifier,
+				// inherits writing.
+				wtr[b] = vfr[b]
+			case vd:
+				// Verifier died: the writer verifies its own block.
+				vfr[b] = wtr[b]
+			}
+		}
+	}
+	ep := int64(0)
+	// applyDeaths advances past one barrier episode: when the phase behind
+	// it produced data (write/repair), blocks assigned to a node dying at
+	// the episode are returned as lost (the crash wipes its write buffer
+	// before the SD fence runs); crash-stop members are removed and their
+	// roles handed over.
+	applyDeaths := func(asg map[int][]int, losable bool) []int {
+		var lost []int
+		for n := 0; n < nodes; n++ {
+			if !members[n] {
+				continue
+			}
+			dies, restart := det.DiesAt(n, ep)
+			if !dies {
+				continue
+			}
+			if losable {
+				lost = append(lost, asg[n]...)
+			}
+			if !restart {
+				members[n] = false
+				liveCount--
+				reassign(n)
+			}
+		}
+		sort.Ints(lost)
+		return lost
+	}
+
+	var phases []phasePlan
+	for e := 0; e < epochs; e++ {
+		if liveCount == 0 {
+			return nil, fmt.Errorf("drf: crash ring epoch %d: every node is dead", e)
+		}
+		// Write phase: every block is written by its current writer (home
+		// memory survives a crash, so even a dead node's block stays
+		// writable).
+		asg := map[int][]int{}
+		for b := 0; b < nodes; b++ {
+			asg[wtr[b]] = append(asg[wtr[b]], b)
+		}
+		phases = append(phases, phasePlan{kind: phaseWrite, epoch: e, assign: asg})
+		ep++
+		lost := applyDeaths(asg, true)
+
+		// Repair rounds: a writer that died at the post-write barrier never
+		// downgraded, so its blocks must be rewritten — by the block's new
+		// writer after a crash-stop handover, or by the rejoined node itself
+		// after a crash-restart. A repairer can itself die, so loop until a
+		// round survives intact.
+		for round := 0; len(lost) > 0; round++ {
+			if round > 2*int(ep)+nodes {
+				return nil, fmt.Errorf("drf: crash ring epoch %d: repair not converging", e)
+			}
+			if liveCount == 0 {
+				return nil, fmt.Errorf("drf: crash ring epoch %d: every node is dead mid-repair", e)
+			}
+			asg = map[int][]int{}
+			for _, b := range lost {
+				asg[wtr[b]] = append(asg[wtr[b]], b)
+			}
+			phases = append(phases, phasePlan{kind: phaseRepair, epoch: e, assign: asg})
+			ep++
+			lost = applyDeaths(asg, true)
+		}
+
+		// Verify phase: every block is read back by its current verifier.
+		if liveCount == 0 {
+			return nil, fmt.Errorf("drf: crash ring epoch %d: every node is dead before verify", e)
+		}
+		asg = map[int][]int{}
+		for b := 0; b < nodes; b++ {
+			asg[vfr[b]] = append(asg[vfr[b]], b)
+		}
+		phases = append(phases, phasePlan{kind: phaseVerify, epoch: e, assign: asg})
+		ep++
+		applyDeaths(asg, false)
+	}
+	return phases, nil
+}
+
+// RunRingCrash executes the crash-tolerant ring program under pr.Faults
+// (typically a plan with a crash rate; nil runs it fault-free). It asserts
+// inside the program that every surviving read observes exactly the values
+// the repair discipline guarantees, and returns the final memory digest —
+// which must match the fault-free digest — plus the membership outcome.
+func RunRingCrash(pr RingParams) (CrashReport, error) {
+	if pr.Nodes < 3 {
+		return CrashReport{}, fmt.Errorf("drf: crash ring needs >= 3 nodes, got %d", pr.Nodes)
+	}
+	bytesPerNode := int64(pr.PerNode) * 8
+	if bytesPerNode%int64(pr.PageSize) != 0 {
+		return CrashReport{}, fmt.Errorf("drf: crash ring block (%d B) must be page-multiple (%d B)", bytesPerNode, pr.PageSize)
+	}
+	cfg := core.DefaultConfig(pr.Nodes)
+	cfg.MemoryBytes = int64(pr.Nodes) * bytesPerNode
+	cfg.PageSize = pr.PageSize
+	cfg.Policy = mem.Blocked
+	cfg.Net = wload.Net()
+	cfg.Faults = pr.Faults
+	c := wload.MustCluster(cfg)
+	phases, err := planCrashRing(c.Health, pr.Nodes, pr.Epochs)
+	if err != nil {
+		return CrashReport{}, err
+	}
+	xs := c.AllocI64(pr.Nodes * pr.PerNode)
+	val := func(e, i int) int64 { return int64(e)*1_000_000 + int64(i)*37 + 11 }
+
+	errCh := make(chan error, pr.Nodes)
+	makespan := c.Run(1, func(th *core.Thread) {
+		for _, ph := range phases {
+			blocks := ph.assign[th.Node]
+			switch ph.kind {
+			case phaseWrite, phaseRepair:
+				for _, b := range blocks {
+					for i := b * pr.PerNode; i < (b+1)*pr.PerNode; i++ {
+						th.SetI64(xs, i, val(ph.epoch, i))
+					}
+				}
+			case phaseVerify:
+				for _, b := range blocks {
+					for i := b * pr.PerNode; i < (b+1)*pr.PerNode; i++ {
+						if got := th.GetI64(xs, i); got != val(ph.epoch, i) {
+							select {
+							case errCh <- fmt.Errorf("crash ring epoch %d: node %d read xs[%d]=%d, want %d",
+								ph.epoch, th.Node, i, got, val(ph.epoch, i)):
+							default:
+							}
+							return
+						}
+					}
+				}
+			}
+			// The barrier after each phase is the crash safe point: a
+			// crash-stop unwinds the thread here, a crash-restart returns
+			// with the node's volatile state wiped.
+			th.Barrier()
+		}
+	})
+	deaths := 0
+	for _, tr := range c.Health.History() {
+		if tr.Kind == "crash" {
+			deaths++
+		}
+	}
+	rep := CrashReport{
+		Report:  Report{Makespan: makespan, Digest: digestI64(c.DumpI64(xs)), Faults: c.FaultStats()},
+		Epoch:   c.Health.Epoch(),
+		Deaths:  deaths,
+		History: c.Health.HistoryString(),
+	}
+	select {
+	case err := <-errCh:
+		return rep, err
+	default:
+	}
+	if err := c.CheckInvariants(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// ReplayCrashCheck runs the crash ring once fault-free and twice under plan,
+// asserting Cygnus's guarantees in full: both crashy runs produce the
+// fault-free memory image (recovery), and they agree bit-exactly on
+// makespan, fault schedule, crash count, membership epoch and the complete
+// membership transition history (deterministic replay).
+func ReplayCrashCheck(pr RingParams, plan fault.Plan) (CrashReport, error) {
+	pr.Faults = nil
+	base, err := RunRingCrash(pr)
+	if err != nil {
+		return base, fmt.Errorf("crash ring baseline: %w", err)
+	}
+	pr.Faults = &plan
+	f1, err := RunRingCrash(pr)
+	if err != nil {
+		return f1, fmt.Errorf("crash ring faulty run (%s): %w", plan.String(), err)
+	}
+	if f1.Digest != base.Digest {
+		return f1, fmt.Errorf("crash ring run (%s) diverged from fault-free: digest %016x vs %016x",
+			plan.String(), f1.Digest, base.Digest)
+	}
+	f2, err := RunRingCrash(pr)
+	if err != nil {
+		return f1, fmt.Errorf("crash ring faulty replay (%s): %w", plan.String(), err)
+	}
+	if f1 != f2 {
+		return f1, fmt.Errorf("crash ring replay not deterministic under %s: run1 {makespan %d, epoch %d, deaths %d, history %q}, run2 {makespan %d, epoch %d, deaths %d, history %q}",
+			plan.String(), f1.Makespan, f1.Epoch, f1.Deaths, f1.History,
+			f2.Makespan, f2.Epoch, f2.Deaths, f2.History)
+	}
+	return f1, nil
+}

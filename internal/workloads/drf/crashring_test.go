@@ -1,0 +1,109 @@
+package drf
+
+import (
+	"testing"
+
+	"argo/internal/fault"
+	"argo/internal/health"
+)
+
+func crashPlan(seed int64, rate float64, restart bool) fault.Plan {
+	p := fault.DefaultPlan(seed)
+	p.Crash = rate
+	p.CrashRestart = restart
+	p.CrashMinEpoch = 1
+	return p
+}
+
+// The full Cygnus guarantee on the crash-tolerant ring: survivors repair the
+// dead nodes' shards to the bit-exact fault-free memory image, and two runs
+// under the same plan agree on makespan, crash schedule, membership epoch and
+// the complete transition history.
+func TestCrashRingReplayCheck(t *testing.T) {
+	pr := RingParams{Nodes: 6, PerNode: 512, Epochs: 5, PageSize: 1024}
+	for _, restart := range []bool{false, true} {
+		rep, err := ReplayCrashCheck(pr, crashPlan(42, 0.05, restart))
+		if err != nil {
+			t.Fatalf("restart=%v: %v", restart, err)
+		}
+		if rep.Deaths == 0 {
+			t.Fatalf("restart=%v: plan injected no crashes — rate too low to exercise recovery", restart)
+		}
+		if rep.Epoch == 0 {
+			t.Fatalf("restart=%v: membership epoch never advanced despite %d deaths", restart, rep.Deaths)
+		}
+	}
+}
+
+// Crash faults compose with the transient Corvus classes: drops and stalls
+// under the same crash schedule still converge to the fault-free answer and
+// replay bit-exactly.
+func TestCrashRingWithTransientFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := testPlan(7)
+	p.Crash = 0.04
+	p.CrashRestart = false
+	p.CrashMinEpoch = 1
+	rep, err := ReplayCrashCheck(RingParams{Nodes: 5, PerNode: 512, Epochs: 4, PageSize: 1024}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deaths == 0 {
+		t.Fatal("combined plan injected no crashes")
+	}
+	if rep.Faults == (fault.Snapshot{}) {
+		t.Fatal("combined plan injected no transient faults")
+	}
+}
+
+// The host-side planner mirrors the runtime membership exactly: a detector
+// with a scripted crash yields repair phases covering precisely the dead
+// writer's blocks, and a crash-stop removes the node from later phases.
+func TestPlanCrashRingMirrorsSchedule(t *testing.T) {
+	const nodes, epochs = 4, 3
+	det := health.New(nodes, fault.DefaultPlan(1), nil)
+	// Node 2 crash-stops at the barrier after epoch 0's write phase (episode 1).
+	det.ScheduleCrash(2, 1, false)
+
+	phases, err := planCrashRing(det, nodes, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block b is written by node b+1, so node 2 owned block 1; the first
+	// repair phase must rewrite exactly that block, and the writer role
+	// collapses onto block 1's verifier, node 3.
+	if phases[0].kind != phaseWrite {
+		t.Fatalf("phase 0 kind = %d, want write", phases[0].kind)
+	}
+	if phases[1].kind != phaseRepair {
+		t.Fatalf("phase after the crash episode is kind %d, want repair", phases[1].kind)
+	}
+	if blocks := phases[1].assign[3]; len(blocks) != 1 || blocks[0] != 1 {
+		t.Fatalf("repair assignment %v, want block 1 repaired by node 3", phases[1].assign)
+	}
+	for n, blocks := range phases[1].assign {
+		if n != 3 && len(blocks) > 0 {
+			t.Fatalf("unexpected repair work for node %d: %v", n, blocks)
+		}
+	}
+	// Node 2 never appears in any later phase.
+	for i, ph := range phases[1:] {
+		if blocks, ok := ph.assign[2]; ok && len(blocks) > 0 {
+			t.Fatalf("phase %d still assigns dead node 2 blocks %v", i+1, blocks)
+		}
+	}
+}
+
+// An all-nodes crash schedule is rejected at planning time, not by a hang.
+func TestPlanCrashRingRejectsTotalLoss(t *testing.T) {
+	const nodes = 3
+	det := health.New(nodes, fault.DefaultPlan(1), nil)
+	for n := 0; n < nodes; n++ {
+		det.ScheduleCrash(n, 1, false)
+	}
+	if _, err := planCrashRing(det, nodes, 2); err == nil {
+		t.Fatal("planner accepted a schedule that kills every node")
+	}
+}
