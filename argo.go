@@ -44,6 +44,7 @@ import (
 	"argo/internal/fault"
 	"argo/internal/health"
 	"argo/internal/metrics"
+	"argo/internal/span"
 	"argo/internal/trace"
 	"argo/internal/vela"
 )
@@ -71,6 +72,9 @@ type (
 	Tracer = trace.Tracer
 	// Metrics is the Argoscope observability suite (see WithMetrics).
 	Metrics = metrics.Suite
+	// SpanRecorder collects Pictor causal spans and happens-before edges
+	// for critical-path attribution (see WithSpans and internal/span).
+	SpanRecorder = span.Recorder
 	// FaultPlan describes a deterministic fault-injection campaign
 	// (see WithFaultPlan and ParseFaultPlan).
 	FaultPlan = fault.Plan
@@ -107,6 +111,10 @@ func NewMetrics() *Metrics { return metrics.NewSuite() }
 // per node (0 means the default cap) to pass to WithTracer.
 func NewTracer(limit int) *Tracer { return trace.New(limit) }
 
+// NewSpanRecorder creates a Pictor span recorder keeping at most limit
+// records per node (0 means the default cap) to pass to WithSpans.
+func NewSpanRecorder(limit int) *SpanRecorder { return span.NewRecorder(limit) }
+
 // Option configures a Cluster at construction time (see NewCluster).
 type Option func(*clusterOptions)
 
@@ -114,6 +122,7 @@ type clusterOptions struct {
 	net     *FabricParams
 	tracer  *Tracer
 	metrics *Metrics
+	spans   *SpanRecorder
 	faults  *FaultPlan
 	barrier BarrierFactory
 }
@@ -134,6 +143,13 @@ func WithTracer(t *Tracer) Option {
 // AttachMetrics) guarantees locks and barriers built later see the suite.
 func WithMetrics(ms *Metrics) Option {
 	return func(o *clusterOptions) { o.metrics = ms }
+}
+
+// WithSpans attaches a Pictor span recorder to every layer of the cluster.
+// Probes are nil-checked and off by default: a cluster built without this
+// option runs bit-identically to one that never heard of Pictor.
+func WithSpans(sr *SpanRecorder) Option {
+	return func(o *clusterOptions) { o.spans = sr }
 }
 
 // WithFaultPlan arms the Corvus fault injector with plan. The injected
@@ -199,6 +215,9 @@ func NewCluster(cfg Config, opts ...Option) (*Cluster, error) {
 	}
 	if o.metrics != nil {
 		c.AttachMetrics(o.metrics)
+	}
+	if o.spans != nil {
+		c.AttachSpans(o.spans)
 	}
 	return c, nil
 }

@@ -31,6 +31,7 @@ import (
 	"argo/internal/fault"
 	"argo/internal/harness"
 	"argo/internal/metrics"
+	"argo/internal/span"
 	"argo/internal/trace"
 )
 
@@ -39,7 +40,8 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	metricsOut := flag.String("metrics-out", "", "write the accumulated metrics dump (metrics.json) to this file")
 	promOut := flag.String("prom-out", "", "write the accumulated metrics as Prometheus exposition text to this file")
-	traceOut := flag.String("trace-out", "", "attach the protocol tracer and write a Perfetto JSON timeline to this file")
+	traceOut := flag.String("trace-out", "", "attach the protocol tracer and write a Perfetto JSON timeline to this file (with -critpath, causal flow arrows are included)")
+	critpath := flag.String("critpath", "", "attach the Pictor span recorder and write the critical-path report to this file (best with a single experiment)")
 	faults := flag.String("faults", "", "Corvus fault plan applied to every cluster, e.g. drop=0.01,stall=5us,seed=42")
 	crash := flag.Float64("crash", 0, "Cygnus per-(node,episode) crash rate merged into the fault plan (most experiments are not crash-tolerant; see the 'crash' experiment)")
 	crashRestart := flag.Bool("crash-restart", false, "crashed nodes rejoin after one detection timeout instead of staying dead (with -crash)")
@@ -93,6 +95,12 @@ func main() {
 		core.TraceHook = func(c *core.Cluster) { c.AttachTracer(tr) }
 		defer func() { core.TraceHook = nil }()
 	}
+	var sr *span.Recorder
+	if *critpath != "" {
+		sr = span.NewRecorder(0)
+		core.SpanHook = func(c *core.Cluster) { c.AttachSpans(sr) }
+		defer func() { core.SpanHook = nil }()
+	}
 
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -122,11 +130,23 @@ func main() {
 			fmt.Printf("prometheus exposition written to %s\n", *promOut)
 		}
 	}
+	var flows []trace.Flow
+	if sr != nil {
+		recs := sr.Records()
+		rep, err := span.Analyze(recs, sr.Makespan())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "argo-bench:", err)
+			os.Exit(1)
+		}
+		flows = span.Flows(recs)
+		writeFile(*critpath, func(w io.Writer) error { return span.WriteReport(w, rep, 10) })
+		fmt.Printf("critical-path report written to %s\n", *critpath)
+	}
 	if tr != nil {
 		if d := tr.Dropped(); d > 0 {
 			fmt.Fprintf(os.Stderr, "argo-bench: %d trace events dropped (per-node buffer limit)\n", d)
 		}
-		writeFile(*traceOut, tr.WritePerfetto)
+		writeFile(*traceOut, func(w io.Writer) error { return tr.WritePerfettoFlows(w, flows) })
 		fmt.Printf("perfetto timeline written to %s\n", *traceOut)
 	}
 }

@@ -35,7 +35,9 @@ import (
 	"os"
 	"time"
 
+	"argo/internal/core"
 	"argo/internal/fault"
+	"argo/internal/span"
 	"argo/internal/workloads/drf"
 )
 
@@ -63,10 +65,17 @@ func main() {
 	faults := flag.String("faults", "", "Corvus fault plan, e.g. drop=0.01,stall=5us,seed=42 (enables chaos mode)")
 	crash := flag.Float64("crash", 0, "Cygnus per-(node,episode) crash rate; sweeps crash-stop and crash-restart recovery on the crash-tolerant ring")
 	digests := flag.Bool("digests", false, "print one answers-digest line per program")
+	critpath := flag.String("critpath", "", "attach the Pictor span recorder to every program and write the accumulated critical-path report to this file")
 	flag.Parse()
 
 	if *seed == 0 {
 		*seed = time.Now().UnixNano()
+	}
+	var sr *span.Recorder
+	if *critpath != "" {
+		sr = span.NewRecorder(0)
+		core.SpanHook = func(c *core.Cluster) { c.AttachSpans(sr) }
+		defer func() { core.SpanHook = nil }()
 	}
 	var plan fault.Plan
 	chaos := *faults != ""
@@ -180,5 +189,30 @@ func main() {
 			*n, len(sweep), time.Since(start).Round(time.Millisecond))
 	} else {
 		fmt.Printf("all %d programs verified in %v\n", *n, time.Since(start).Round(time.Millisecond))
+	}
+
+	if sr != nil {
+		// The report superimposes every program run above (virtual clocks
+		// all start at zero); it exercises the analyzer under stress rather
+		// than profiling one workload.
+		rep, err := span.Analyze(sr.Records(), sr.Makespan())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "argo-stress:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*critpath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "argo-stress:", err)
+			os.Exit(1)
+		}
+		werr := span.WriteReport(f, rep, 10)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "argo-stress:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("critical-path report written to %s\n", *critpath)
 	}
 }

@@ -41,6 +41,7 @@ import (
 	"argo/internal/fault"
 	"argo/internal/mem"
 	"argo/internal/sim"
+	"argo/internal/span"
 	"argo/internal/stats"
 	"argo/internal/trace"
 )
@@ -119,6 +120,10 @@ type Node struct {
 	// nil-check discipline as the tracer.
 	MX *Probes
 
+	// SR, when non-nil, receives Pictor lane spans for fence episodes
+	// (package span). Same nil-check discipline as the tracer.
+	SR *span.Recorder
+
 	// drain is the optional eager write-buffer drainer (fence.go). Set by
 	// StartDrainer before the workload threads start and cleared by
 	// StopDrainer after they finish, so the threads' reads of it never
@@ -143,6 +148,14 @@ func (n *Node) evDur(p *sim.Proc, k trace.Kind, page int, arg int64, dur sim.Tim
 		return
 	}
 	n.Trc.Record(trace.Event{T: p.Now(), Node: n.ID, Tid: trace.TidOf(p.Socket, p.Core), Kind: k, Page: page, Arg: arg, Dur: dur})
+}
+
+// spanFrom paints [t0, now] of the fencing thread's lane with cat.
+func (n *Node) spanFrom(p *sim.Proc, t0 sim.Time, cat span.Category, arg int64) {
+	if n.SR == nil {
+		return
+	}
+	n.SR.Span(n.ID, trace.TidOf(p.Socket, p.Core), int64(t0), int64(p.Now()), cat, arg)
 }
 
 // NewNode creates the coherence agent of node id.
@@ -301,6 +314,7 @@ func (n *Node) writeMissLocked(p *sim.Proc, s *cache.Slot) (victim int, evict bo
 		case old.W.Empty():
 			// NW→SW: every node caching the page believed it read-only
 			// and must learn there is now a writer.
+			n.ev(p, trace.EvClassTransition, page, trace.ClassNWtoSW)
 			old.R.ForEach(func(r int) {
 				if r != n.ID {
 					n.Dir.Notify(p, page, r)
@@ -313,6 +327,7 @@ func (n *Node) writeMissLocked(p *sim.Proc, s *cache.Slot) (victim int, evict bo
 		case old.W.Count() == 1 && !old.W.Has(n.ID):
 			// SW→MW: only the previous single writer cares; for everyone
 			// else SW (someone else) and MW are equivalent.
+			n.ev(p, trace.EvClassTransition, page, trace.ClassSWtoMW)
 			n.Dir.Notify(p, page, old.W.First())
 			n.ev(p, trace.EvNotify, page, int64(old.W.First()))
 			if n.MX != nil {
@@ -380,6 +395,7 @@ func (n *Node) fetchLineLocked(p *sim.Proc, l, page int) {
 			// P→S: the private owner must learn it now shares the page.
 			// Its own dirty data is already at the home (private pages
 			// self-downgrade in P/S3; in other modes everything does).
+			n.ev(p, trace.EvClassTransition, want, trace.ClassPtoS)
 			n.Dir.Notify(p, want, old.R.First())
 			n.ev(p, trace.EvNotify, want, int64(old.R.First()))
 			if n.MX != nil {

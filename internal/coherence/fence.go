@@ -38,6 +38,7 @@ import (
 	"argo/internal/directory"
 	"argo/internal/fabric"
 	"argo/internal/sim"
+	"argo/internal/span"
 	"argo/internal/trace"
 )
 
@@ -214,6 +215,7 @@ func (n *Node) SIFence(p *sim.Proc) {
 	if len(items) > 0 {
 		n.postBurst(p, items)
 	}
+	n.spanFrom(p, t0, span.SISweep, inv)
 	n.evDur(p, trace.EvSIFence, -1, inv, p.Now()-t0)
 	if n.MX != nil {
 		n.MX.SIFenceNs.Record(n.ID, p.Now()-t0)
@@ -264,6 +266,7 @@ func (n *Node) siSweepShard(wp *sim.Proc, lines []int, out *siShard) {
 			}
 			if !ShouldSelfInvalidate(n.Opt.Mode, entries[i], n.ID) {
 				n.St.SIFiltered.Add(1)
+				n.ev(wp, trace.EvKeep, s.Page, 0)
 				out.kept++
 				continue
 			}
@@ -315,6 +318,7 @@ func (n *Node) SDFence(p *sim.Proc) {
 		// completes (the flush that makes the writes globally visible).
 		p.Advance(n.Fab.P.RemoteLatency)
 	}
+	n.spanFrom(p, t0, span.SDBurst, int64(len(items)))
 	n.evDur(p, trace.EvSDFence, -1, int64(len(items)), p.Now()-t0)
 	if n.MX != nil {
 		n.MX.SDFenceNs.Record(n.ID, p.Now()-t0)

@@ -23,6 +23,7 @@ import (
 	"argo/internal/mem"
 	"argo/internal/metrics"
 	"argo/internal/sim"
+	"argo/internal/span"
 	"argo/internal/stats"
 	"argo/internal/trace"
 )
@@ -189,10 +190,17 @@ type Cluster struct {
 	// fault plan carries a crash rate or a crash was scripted.
 	Health *health.Detector
 
+	// SR, when non-nil, is the Pictor causal span recorder every layer of
+	// this cluster reports happens-before edges into (see AttachSpans).
+	// Locks and barriers built over this cluster read it at construction
+	// time.
+	SR *span.Recorder
+
 	runMu    sync.Mutex
 	hits     atomic.Int64
 	epochs   atomic.Int64 // default-barrier episodes (drives decay)
 	syncKeys atomic.Uint64
+	spanKeys atomic.Uint64
 }
 
 // NextSyncKey hands out a cluster-unique fault-identity key for a
@@ -201,6 +209,13 @@ type Cluster struct {
 // counter would shift identities between repeated runs and break
 // deterministic fault replay.
 func (c *Cluster) NextSyncKey() uint64 { return c.syncKeys.Add(1) }
+
+// NextSpanKey hands out a cluster-unique edge key for the Pictor span layer
+// (barrier instances and the like). It is deliberately a separate counter
+// from NextSyncKey: sharing the fault-identity counter would shift every
+// lock's Corvus identity whenever a barrier is built, breaking seeded
+// fault replay.
+func (c *Cluster) NextSpanKey() uint64 { return c.spanKeys.Add(1) }
 
 // FaultStats returns the injector's event counters (zero when fault-free).
 func (c *Cluster) FaultStats() fault.Snapshot { return c.FI.Snapshot() }
@@ -251,6 +266,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if MetricsHook != nil {
 		MetricsHook(cl)
 	}
+	if SpanHook != nil {
+		SpanHook(cl)
+	}
 	return cl, nil
 }
 
@@ -270,6 +288,12 @@ var TraceHook func(*Cluster)
 // suite to clusters that workload runners construct internally. Not for
 // concurrent mutation.
 var MetricsHook func(*Cluster)
+
+// SpanHook, when non-nil, is invoked with every newly built Cluster.
+// Tooling (cmd/argo-critpath, the -critpath flags) uses it to attach one
+// Pictor span recorder to clusters that workload runners construct
+// internally. Not for concurrent mutation.
+var SpanHook func(*Cluster)
 
 // DefaultFaultPlan, when non-nil, is the Corvus plan applied to every
 // cluster whose Config carries no explicit Faults plan. Tooling (-faults
@@ -355,6 +379,20 @@ func (c *Cluster) AttachMetrics(ms *metrics.Suite) {
 	for _, n := range c.Nodes {
 		n.MX = coherence.NewProbes(ms.Reg, ms.Pages)
 		n.Cache.MX = cache.NewProbes(ms.Reg)
+	}
+}
+
+// AttachSpans connects a Pictor span recorder to every layer of the
+// cluster: the fabric, the failure detector and each coherence agent get
+// the same recorder (pass nil to detach). Locks and barriers pick the
+// recorder up from Cluster.SR when constructed, so attach before building
+// them. Disabled cost is one nil check per probe site.
+func (c *Cluster) AttachSpans(r *span.Recorder) {
+	c.SR = r
+	c.Fab.SR = r
+	c.Health.SR = r
+	for _, n := range c.Nodes {
+		n.SR = r
 	}
 }
 
@@ -455,6 +493,7 @@ func (c *Cluster) RunSeeded(threadsPerNode int, seed int64, body func(t *Thread)
 	for _, p := range procs {
 		c.hits.Add(p.Hits)
 	}
+	c.SR.NoteMakespan(int64(makespan))
 	return makespan
 }
 

@@ -30,7 +30,9 @@ import (
 
 	"argo/internal/fault"
 	"argo/internal/sim"
+	"argo/internal/span"
 	"argo/internal/stats"
+	"argo/internal/trace"
 )
 
 // Params is the interconnect and memory-hierarchy cost model. All times are
@@ -123,8 +125,21 @@ type Fabric struct {
 	// injector is the fault-free fast path (one pointer test per op).
 	FI *fault.Injector
 
+	// SR, when non-nil, receives Pictor lane spans for every remote
+	// operation: a Remote span over the whole op and narrower NIC spans
+	// over target-NIC occupancy. Hot paths pay a nil check.
+	SR *span.Recorder
+
 	nics  []sim.Resource // per-node NIC DMA engines
 	nodes []*stats.Node
+}
+
+// spanFrom paints [t0, now] of the issuing thread's lane with cat.
+func (f *Fabric) spanFrom(p *sim.Proc, t0 sim.Time, cat span.Category, arg int64) {
+	if f.SR == nil {
+		return
+	}
+	f.SR.Span(p.Node, trace.TidOf(p.Socket, p.Core), int64(t0), int64(p.Now()), cat, arg)
 }
 
 // New creates a fabric for the given topology and cost model, with one
@@ -185,11 +200,13 @@ func (f *Fabric) ResetNICs() {
 // applying the degraded-node multiplier if n is the plan's slow node.
 func (f *Fabric) occupyNIC(p *sim.Proc, n int, wire sim.Time) {
 	wire = f.FI.Scale(n, wire)
+	t0 := p.Now()
 	if f.P.NICSerialize {
 		f.nics[n].Occupy(p, wire)
 	} else {
 		p.Advance(wire)
 	}
+	f.spanFrom(p, t0, span.NIC, int64(n))
 }
 
 // RemoteRead charges for an RDMA read of n bytes homed at node home, issued
@@ -223,6 +240,7 @@ func (f *Fabric) RemoteRead(p *sim.Proc, home, n int, key uint64) {
 	f.account(p.Node, home, n)
 	f.nodes[home].BytesSent.Add(int64(n))
 	f.nodes[p.Node].BytesReceived.Add(int64(n))
+	f.spanFrom(p, t0, span.Remote, int64(home))
 	if f.MX != nil {
 		f.MX.ReadNs.Record(p.Node, p.Now()-t0)
 		f.MX.ReadOps.Inc()
@@ -270,6 +288,7 @@ func (f *Fabric) TryRemoteWrite(p *sim.Proc, home, n int, key uint64, attempt in
 	f.account(p.Node, home, n)
 	f.nodes[p.Node].BytesSent.Add(int64(n))
 	f.nodes[home].BytesReceived.Add(int64(n))
+	f.spanFrom(p, t0, span.Remote, int64(home))
 	if f.MX != nil {
 		f.MX.WriteNs.Record(p.Node, p.Now()-t0)
 		f.MX.WriteOps.Inc()
@@ -329,6 +348,7 @@ func (f *Fabric) LineFetch(p *sim.Proc, pages map[int]int, bytesEach int, key ui
 		} else {
 			p.AdvanceTo(arrival + service)
 		}
+		f.spanFrom(p, arrival, span.NIC, int64(h))
 	}
 	for h, c := range pages {
 		if h == p.Node {
@@ -343,6 +363,7 @@ func (f *Fabric) LineFetch(p *sim.Proc, pages map[int]int, bytesEach int, key ui
 	if attempt > 0 {
 		f.recordRecovery(p, fault.ClassFetch, p.Now()-tRemote)
 	}
+	f.spanFrom(p, tRemote, span.Remote, int64(key))
 	if f.MX != nil {
 		f.MX.FetchNs.Record(p.Node, p.Now()-tRemote)
 		f.MX.FetchOps.Inc()
@@ -396,6 +417,7 @@ func (f *Fabric) PostWrite(p *sim.Proc, home, n int, key uint64, attempt int) bo
 	f.account(p.Node, home, n)
 	f.nodes[p.Node].BytesSent.Add(int64(n))
 	f.nodes[home].BytesReceived.Add(int64(n))
+	f.spanFrom(p, t0, span.Remote, int64(home))
 	if f.MX != nil {
 		f.MX.PostNs.Record(p.Node, p.Now()-t0)
 		f.MX.PostOps.Inc()
@@ -496,15 +518,20 @@ func (f *Fabric) PostWriteBurst(p *sim.Proc, items []PostItem) (failed []int) {
 		}
 		delivered += sent
 		service = f.FI.Scale(h, service)
+		nicFrom := tPost + delayMax
 		if f.P.NICSerialize {
-			f.nics[h].OccupyAt(p, tPost+delayMax, service)
+			f.nics[h].OccupyAt(p, nicFrom, service)
 		} else {
 			p.AdvanceTo(tPost + delayMax + service)
 		}
+		f.spanFrom(p, nicFrom, span.NIC, int64(h))
 	}
-	if f.MX != nil && delivered > 0 {
-		f.MX.BurstNs.Record(p.Node, p.Now()-t0)
-		f.MX.BurstOps.Inc()
+	if delivered > 0 {
+		f.spanFrom(p, t0, span.SDBurst, int64(delivered))
+		if f.MX != nil {
+			f.MX.BurstNs.Record(p.Node, p.Now()-t0)
+			f.MX.BurstOps.Inc()
+		}
 	}
 	return failed
 }
@@ -594,17 +621,22 @@ func (f *Fabric) AtomicBurst(p *sim.Proc, items []AtomicItem) (failed []int) {
 		}
 		if service > 0 {
 			service = f.FI.Scale(h, service)
+			nicFrom := tPost + delayMax
 			if f.P.NICSerialize {
-				f.nics[h].OccupyAt(p, tPost+delayMax, service)
+				f.nics[h].OccupyAt(p, nicFrom, service)
 			} else {
 				p.AdvanceTo(tPost + delayMax + service)
 			}
+			f.spanFrom(p, nicFrom, span.NIC, int64(h))
 		}
 		delivered += sent
 	}
-	if f.MX != nil && delivered > 0 {
-		f.MX.RegNs.Record(p.Node, p.Now()-t0)
-		f.MX.RegOps.Inc()
+	if delivered > 0 {
+		f.spanFrom(p, t0, span.Remote, int64(delivered))
+		if f.MX != nil {
+			f.MX.RegNs.Record(p.Node, p.Now()-t0)
+			f.MX.RegOps.Inc()
+		}
 	}
 	return failed
 }
@@ -652,6 +684,7 @@ func (f *Fabric) TryRemoteAtomic(p *sim.Proc, home int, key uint64, attempt int)
 	p.Advance(f.P.RemoteLatency)
 	f.account(p.Node, home, 16)
 	f.nodes[p.Node].DirOps.Add(1)
+	f.spanFrom(p, t0, span.Remote, int64(home))
 	if f.MX != nil {
 		f.MX.AtomicNs.Record(p.Node, p.Now()-t0)
 		f.MX.AtomicOps.Inc()

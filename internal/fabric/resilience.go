@@ -5,6 +5,7 @@ import (
 
 	"argo/internal/fault"
 	"argo/internal/sim"
+	"argo/internal/span"
 )
 
 // This file holds the requester-side recovery machinery shared by the
@@ -17,7 +18,9 @@ import (
 // dead NIC — so that their waiting shows up in the same counters.
 func (f *Fabric) Backoff(p *sim.Proc, attempt int) {
 	b := f.backoffDelay(attempt)
+	t0 := p.Now()
 	p.Advance(b)
+	f.spanFrom(p, t0, span.Backoff, int64(attempt))
 	f.nodes[p.Node].FaultBackoffNs.Add(int64(b))
 }
 
@@ -49,7 +52,9 @@ func (f *Fabric) DetectTimeout() sim.Time { return f.FI.Plan().Timeout }
 // vanished in flight and counts the injected drop plus the forthcoming
 // reissue (the injector's escalation guarantee means one always follows).
 func (f *Fabric) lost(p *sim.Proc, cl fault.Class) {
+	t0 := p.Now()
 	p.Advance(f.FI.Plan().Timeout)
+	f.spanFrom(p, t0, span.Backoff, int64(cl))
 	st := f.nodes[p.Node]
 	st.FaultsInjected.Add(1)
 	st.FaultRetries.Add(1)

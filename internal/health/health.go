@@ -42,6 +42,7 @@ import (
 	"argo/internal/fault"
 	"argo/internal/metrics"
 	"argo/internal/sim"
+	"argo/internal/span"
 )
 
 // CrashSignal is the panic value a simulated thread raises when its node
@@ -131,6 +132,11 @@ type Detector struct {
 
 	// MX, when non-nil, receives event counts and the epoch gauge.
 	MX *Probes
+
+	// SR, when non-nil, receives one Crash pub per kill: the source
+	// endpoint of the causal edge from a node's death to the survivors'
+	// reconfiguration wait (package span).
+	SR *span.Recorder
 
 	armedScript atomic.Bool // true once a crash has been scripted
 
@@ -304,6 +310,7 @@ func (d *Detector) Kill(node int, at sim.Time, ep int64) bool {
 	cbs := append([]func(int, sim.Time){}, d.onDeath...)
 	d.mu.Unlock()
 	d.fi.NoteCrash()
+	d.SR.Pub(node, 0, int64(at), span.Crash, uint64(ep), int64(node))
 	if d.MX != nil {
 		d.MX.Crashes.Inc()
 		d.MX.LiveNodes.Set(d.live.Load())

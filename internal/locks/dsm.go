@@ -8,8 +8,12 @@ import (
 	"argo/internal/health"
 	"argo/internal/metrics"
 	"argo/internal/sim"
+	"argo/internal/span"
 	"argo/internal/trace"
 )
+
+// spanTid returns the Pictor lane id of a thread's proc.
+func spanTid(p *sim.Proc) int { return trace.TidOf(p.Socket, p.Core) }
 
 // dsmLockMX bundles the Argoscope instruments of one DSM lock instance:
 // the acquire-latency histogram (ticket + handover + SI fence — the full
@@ -19,6 +23,7 @@ import (
 // nil check per operation.
 type dsmLockMX struct {
 	acquireNs *metrics.Histogram
+	waitNs    *metrics.Histogram
 	acquires  *metrics.Counter
 	stat      *metrics.LockStat
 }
@@ -31,10 +36,22 @@ func newDSMLockMX(c *core.Cluster, kind string) *dsmLockMX {
 		acquireNs: c.MX.Reg.Histogram("argo_lock_acquire_ns",
 			"Virtual latency from lock call to critical-section entry (incl. acquire fence)",
 			metrics.L("lock", kind)),
+		waitNs: c.MX.Reg.Histogram("argo_lock_wait_ns",
+			"Virtual wait from lock call to lock-word ownership (ticket + queue, excl. acquire fence)",
+			metrics.L("lock", kind)),
 		acquires: c.MX.Reg.Counter("argo_lock_acquires_total",
 			"Lock acquisitions", metrics.L("lock", kind)),
 		stat: c.MX.Locks.Register(kind),
 	}
+}
+
+// waited records the pure lock-word wait of one acquisition that started at
+// t0, before the acquire fence runs; called once lock ownership is won.
+func (m *dsmLockMX) waited(t *core.Thread, t0 sim.Time) {
+	if m == nil {
+		return
+	}
+	m.waitNs.Record(t.Node, t.P.Now()-t0)
 }
 
 // acquired records one acquisition that started at t0; called while the
@@ -151,6 +168,11 @@ func (l *GlobalTicketLock) onExcise(node int, at sim.Time) {
 		if at > l.freeAt {
 			l.freeAt = at
 		}
+		if sr := l.c.SR; sr != nil {
+			// The expired lease is the causal source of the excision grant:
+			// publish it on the corpse's lane at the moment the lock frees.
+			sr.Pub(node, 0, int64(l.freeAt), span.Excise, l.key, int64(node))
+		}
 		l.holder = -1
 		if len(l.waiters) > 0 {
 			grant = l.waiters[0]
@@ -191,6 +213,18 @@ func (l *GlobalTicketLock) countRetries(n int) {
 	}
 }
 
+// noteWait paints [t0, now] of the acquirer's lane with cat and records the
+// causal edge (kind, l.key) that ended the wait. Nil-recorder safe.
+func (l *GlobalTicketLock) noteWait(t *core.Thread, t0 sim.Time, kind span.EdgeKind, cat span.Category) {
+	sr := l.c.SR
+	if sr == nil {
+		return
+	}
+	tid := spanTid(t.P)
+	sr.Span(t.Node, tid, int64(t0), int64(t.P.Now()), cat, int64(l.key))
+	sr.Sub(t.Node, tid, int64(t.P.Now()), kind, l.key, cat)
+}
+
 // Lock takes a ticket (one remote atomic) and waits for the grant. The
 // handover is observed by polling the remote grant word, which costs a
 // round trip after the previous holder releases. When the ticket atomic is
@@ -199,6 +233,7 @@ func (l *GlobalTicketLock) countRetries(n int) {
 // a reissued fetch-and-increment is safe because the transient fails before
 // taking effect, so no ticket is ever burned.
 func (l *GlobalTicketLock) Lock(t *core.Thread) {
+	t0 := t.P.Now()
 	attempt := 0
 	for !l.c.Fab.TryRemoteAtomic(t.P, l.home, l.key, attempt) {
 		l.c.Fab.Backoff(t.P, attempt)
@@ -211,10 +246,15 @@ func (l *GlobalTicketLock) Lock(t *core.Thread) {
 		l.holder = t.Node
 		excise, dead := l.pendingExcise, l.pendingDead
 		l.pendingExcise = false
+		waited := l.freeAt > t.P.Now()
 		t.P.AdvanceTo(l.freeAt)
 		l.mu.Unlock()
-		if excise {
+		switch {
+		case excise:
 			l.payExcision(t, dead)
+			l.noteWait(t, t0, span.Excise, span.Recovery)
+		case waited:
+			l.noteWait(t, t0, span.Handoff, span.LockWait)
 		}
 		// Yield so contenders arrive and queue while the section runs
 		// (interleaving aid for few-CPU hosts; no semantic effect).
@@ -238,6 +278,11 @@ func (l *GlobalTicketLock) Lock(t *core.Thread) {
 	}
 	// The winning poll that observes the grant.
 	l.c.Fab.RemoteRead(t.P, l.home, 8, l.key)
+	if w.excise {
+		l.noteWait(t, t0, span.Excise, span.Recovery)
+	} else {
+		l.noteWait(t, t0, span.Handoff, span.LockWait)
+	}
 	runtime.Gosched()
 }
 
@@ -251,6 +296,9 @@ func (l *GlobalTicketLock) Unlock(t *core.Thread) {
 		attempt++
 	}
 	l.countRetries(attempt)
+	if sr := l.c.SR; sr != nil {
+		sr.Pub(t.Node, spanTid(t.P), int64(t.P.Now()), span.Handoff, l.key, 0)
+	}
 	l.mu.Lock()
 	l.freeAt = t.P.Now()
 	l.holder = -1
@@ -290,6 +338,7 @@ var _ DSMLock = (*DSMMutex)(nil)
 func (l *DSMMutex) Lock(t *core.Thread) {
 	t0 := t.P.Now()
 	l.g.Lock(t)
+	l.mx.waited(t, t0)
 	t.Coh.SIFence(t.P)
 	if l.mx != nil {
 		l.mx.acquired(t, t0)
@@ -351,6 +400,7 @@ func (l *DSMCohortLock) Lock(t *core.Thread) {
 		s.ownsGlobal = true
 		s.batch = 0
 	}
+	l.mx.waited(t, t0)
 	t.Coh.SIFence(t.P)
 	if l.mx != nil {
 		l.mx.acquired(t, t0)

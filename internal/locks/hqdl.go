@@ -3,10 +3,12 @@ package locks
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"argo/internal/core"
 	"argo/internal/metrics"
 	"argo/internal/sim"
+	"argo/internal/span"
 )
 
 // HQDLock is Vela's hierarchical queue delegation lock (§4.2 of the paper).
@@ -33,6 +35,12 @@ type HQDLock struct {
 	// that amortizes the two fences. Nil when metrics are off.
 	batchSections *metrics.Histogram
 
+	// seq numbers delegation entries for Pictor's Delegate/DelegateDone
+	// edges. Per-entry keys are needed because concurrent delegators share
+	// one queue; the counter is span-only so it never shifts the fault
+	// identities NextSyncKey hands out.
+	seq atomic.Uint64
+
 	// BatchLimit caps how many sections one queue opening accepts.
 	BatchLimit int
 	// EnqueueCost is the intra-node delegation cost.
@@ -53,6 +61,7 @@ type hqEntry struct {
 	section func(h *core.Thread)
 	enqAt   sim.Time
 	done    chan sim.Time
+	key     uint64 // Pictor edge key; zero when spans are off
 }
 
 // Delegating is the DSM delegation interface (HQDLock implements it).
@@ -121,6 +130,10 @@ func (l *HQDLock) delegate(t *core.Thread, section func(h *core.Thread), wait bo
 		}
 		if nq.qOpen && len(nq.queue) < l.BatchLimit {
 			e := hqEntry{section: section, enqAt: t.P.Now() + l.EnqueueCost}
+			if sr := l.c.SR; sr != nil {
+				e.key = l.global.key<<32 | l.seq.Add(1)
+				sr.Pub(t.Node, spanTid(t.P), int64(e.enqAt), span.Delegate, e.key, 0)
+			}
 			if wait {
 				e.done = make(chan sim.Time, 1)
 			}
@@ -128,7 +141,15 @@ func (l *HQDLock) delegate(t *core.Thread, section func(h *core.Thread), wait bo
 			nq.mu.Unlock()
 			t.P.Advance(l.EnqueueCost)
 			if wait {
-				return func(t *core.Thread) { t.P.AdvanceTo(<-e.done) }
+				return func(t *core.Thread) {
+					t0 := t.P.Now()
+					t.P.AdvanceTo(<-e.done)
+					if sr := l.c.SR; sr != nil {
+						tid := spanTid(t.P)
+						sr.Span(t.Node, tid, int64(t0), int64(t.P.Now()), span.LockWait, int64(e.key))
+						sr.Sub(t.Node, tid, int64(t.P.Now()), span.DelegateDone, e.key, span.LockWait)
+					}
+				}
 			}
 			return nil
 		}
@@ -142,6 +163,7 @@ func (l *HQDLock) runHelper(t *core.Thread, nq *nodeQueue, own func(h *core.Thre
 	// self-invalidate once for the whole batch.
 	t0 := t.P.Now()
 	l.global.Lock(t)
+	l.mx.waited(t, t0)
 	t.Coh.SIFence(t.P)
 	l.mx.acquired(t, t0)
 	heldAt := t.P.Now()
@@ -191,10 +213,16 @@ func (l *HQDLock) runHelper(t *core.Thread, nq *nodeQueue, own func(h *core.Thre
 func (l *HQDLock) execute(t *core.Thread, e hqEntry) {
 	t.P.Advance(l.DequeueCost)
 	t.P.AdvanceTo(e.enqAt)
+	if sr := l.c.SR; sr != nil {
+		sr.Sub(t.Node, spanTid(t.P), int64(t.P.Now()), span.Delegate, e.key, span.LockWait)
+	}
 	e.section(t)
 	l.c.Fab.NodeStats(t.Node).DelegatedSections.Add(1)
 	if l.mx != nil {
 		l.mx.stat.Delegated.Add(1)
+	}
+	if sr := l.c.SR; sr != nil {
+		sr.Pub(t.Node, spanTid(t.P), int64(t.P.Now()), span.DelegateDone, e.key, 0)
 	}
 	if e.done != nil {
 		e.done <- t.P.Now()

@@ -1,0 +1,34 @@
+package span
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Log is the serialized form of a recorder's contents: the run's makespan
+// plus every record in canonical order.
+type Log struct {
+	Makespan int64    `json:"makespan"`
+	Records  []Record `json:"records"`
+}
+
+// WriteJSON dumps the recorder's records (canonical order) and makespan.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	lg := Log{Makespan: r.Makespan(), Records: r.Records()}
+	enc := json.NewEncoder(w)
+	return enc.Encode(lg)
+}
+
+// WriteLog dumps an already-assembled Log (e.g. one round-tripped through
+// ReadJSON) in the same encoding as WriteJSON.
+func WriteLog(w io.Writer, lg Log) error {
+	return json.NewEncoder(w).Encode(lg)
+}
+
+// ReadJSON parses a Log previously written by WriteJSON.
+func ReadJSON(rd io.Reader) (Log, error) {
+	var lg Log
+	dec := json.NewDecoder(rd)
+	err := dec.Decode(&lg)
+	return lg, err
+}

@@ -1,0 +1,143 @@
+// Integration tests: Pictor's replay determinism over real workloads, and
+// the Argoscope wait histograms that ride along with the span probes.
+package span_test
+
+import (
+	"testing"
+
+	"argo/internal/core"
+	"argo/internal/fault"
+	"argo/internal/locks"
+	"argo/internal/metrics"
+	"argo/internal/span"
+	"argo/internal/vela"
+	"argo/internal/workloads/drf"
+)
+
+// ringReport runs the schedule-independent ring workload once with a fresh
+// span recorder attached and returns the critical-path report.
+func ringReport(t *testing.T, plan *fault.Plan) *span.Report {
+	t.Helper()
+	sr := span.NewRecorder(0)
+	core.SpanHook = func(c *core.Cluster) { c.AttachSpans(sr) }
+	defer func() { core.SpanHook = nil }()
+	pr := drf.DefaultRing(4)
+	pr.Faults = plan
+	if _, err := drf.RunRing(pr); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := span.Analyze(sr.Records(), sr.Makespan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MatchedEdges == 0 {
+		t.Fatal("ring run produced no matched edges")
+	}
+	return rep
+}
+
+func TestReplayDeterminismFaultFree(t *testing.T) {
+	a := ringReport(t, nil)
+	b := ringReport(t, nil)
+	if a.Digest() != b.Digest() {
+		t.Fatalf("fault-free critical paths diverged: %016x vs %016x", a.Digest(), b.Digest())
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("makespans diverged: %d vs %d", a.Makespan, b.Makespan)
+	}
+	if a.Attribution[span.BarrierWait] == 0 {
+		t.Fatal("ring with barriers attributed no barrier-wait time")
+	}
+}
+
+func TestReplayDeterminismFaults(t *testing.T) {
+	plan, err := fault.ParsePlan("drop=0.01,stall=5us,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ringReport(t, &plan)
+	b := ringReport(t, &plan)
+	if a.Digest() != b.Digest() {
+		t.Fatalf("faulty critical paths diverged: %016x vs %016x", a.Digest(), b.Digest())
+	}
+	free := ringReport(t, nil)
+	if a.Digest() == free.Digest() {
+		t.Fatal("fault injection left the critical path untouched (suspicious)")
+	}
+}
+
+// crashReport runs the crash-tolerant ring with a Cygnus crash plan and a
+// fresh recorder, returning the report and the death count.
+func crashReport(t *testing.T) (*span.Report, int) {
+	t.Helper()
+	sr := span.NewRecorder(0)
+	core.SpanHook = func(c *core.Cluster) { c.AttachSpans(sr) }
+	defer func() { core.SpanHook = nil }()
+	plan := fault.DefaultPlan(7)
+	plan.Crash = 0.2
+	plan.CrashRestart = true
+	pr := drf.DefaultRing(6)
+	pr.Faults = &plan
+	crep, err := drf.RunRingCrash(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := span.Analyze(sr.Records(), sr.Makespan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, crep.Deaths
+}
+
+func TestReplayDeterminismCrash(t *testing.T) {
+	a, deathsA := crashReport(t)
+	b, deathsB := crashReport(t)
+	if deathsA != deathsB {
+		t.Fatalf("crash schedules diverged: %d vs %d deaths", deathsA, deathsB)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("crash-run critical paths diverged: %016x vs %016x", a.Digest(), b.Digest())
+	}
+	if deathsA > 0 && a.Attribution[span.Recovery] == 0 {
+		t.Fatalf("%d deaths but no recovery time attributed: %+v", deathsA, a.Attribution)
+	}
+}
+
+func histCount(d metrics.DumpJSON, name string) int64 {
+	var n int64
+	for _, h := range d.Histograms {
+		if h.Name == name {
+			n += h.Count
+		}
+	}
+	return n
+}
+
+func TestWaitHistogramsRecorded(t *testing.T) {
+	cfg := core.DefaultConfig(3)
+	cfg.MemoryBytes = 4 << 20
+	c := core.MustNewCluster(cfg)
+	ms := metrics.NewSuite()
+	c.AttachMetrics(ms)
+	c.BarrierFactory = func(c *core.Cluster, tpn int) core.BarrierWaiter {
+		return vela.NewHierBarrier(c, tpn)
+	}
+	slot := c.AllocI64(1)
+	l := locks.NewDSMMutex(c, 0)
+	c.Run(2, func(th *core.Thread) {
+		for k := 0; k < 20; k++ {
+			l.Lock(th)
+			th.SetI64(slot, 0, th.GetI64(slot, 0)+1)
+			th.P.Advance(20)
+			l.Unlock(th)
+		}
+		th.Barrier()
+	})
+	d := ms.Reg.Dump()
+	if n := histCount(d, "argo_lock_wait_ns"); n == 0 {
+		t.Fatal("argo_lock_wait_ns recorded no samples")
+	}
+	if n := histCount(d, "argo_barrier_wait_ns"); n == 0 {
+		t.Fatal("argo_barrier_wait_ns recorded no samples")
+	}
+}

@@ -1,0 +1,350 @@
+// Package span is Pictor, the Argo simulator's causal tracing layer: it
+// records happens-before edges alongside the flat protocol events of
+// package trace, and turns them into a virtual-time critical path with
+// every nanosecond of the makespan attributed to a cost category.
+//
+// Three record types cover the model:
+//
+//   - Span paints an interval of one thread lane — a (node, tid) virtual
+//     timeline — with a category: remote latency, NIC occupancy, lock wait,
+//     SI sweep, SD/writeback burst, backoff, crash recovery. Lane time not
+//     covered by any span is compute. Overlapping spans resolve by "the
+//     narrowest paint wins", so a NIC-occupancy span recorded inside a
+//     remote operation refines it rather than fighting it.
+//   - Pub marks the source endpoint of a causal edge (a lock release, a
+//     barrier arrival, a delegation enqueue, a crash).
+//   - Sub marks the sink endpoint: the thread that resumed because of the
+//     matching Pub. A Sub joins to the latest Pub of the same (kind, key)
+//     not after it, which at a barrier selects exactly the serialization
+//     point (the last arrival).
+//
+// Probes follow the Argoscope discipline: every layer holds a *Recorder
+// that is nil unless attached, and a nil Recorder ignores all calls, so
+// runs without a recorder stay bit-identical. Records are buffered per
+// node; analysis canonically re-sorts them, so the record multiset — not
+// the host interleaving — determines the result.
+package span
+
+import (
+	"sort"
+	"sync"
+)
+
+// Category classifies where a nanosecond of lane time went.
+type Category uint8
+
+// Attribution categories, the critical-path analyzer's output vocabulary.
+const (
+	// Compute is the default: lane time no probe claimed.
+	Compute Category = iota
+	// Remote is requester-paid network latency (round trips, post chains).
+	Remote
+	// NIC is occupancy at a target NIC, including queueing behind other
+	// clients (the narrow refinement inside a Remote span).
+	NIC
+	// LockWait is time blocked acquiring a lock or awaiting a delegation.
+	LockWait
+	// SISweep is the self-invalidation fence (sweep + filter decisions).
+	SISweep
+	// SDBurst is self-downgrade work: diff/writeback sweeps and the
+	// home-grouped post bursts (also the burst phase inside an SI fence).
+	SDBurst
+	// Backoff is capped-exponential retry waiting under injected faults.
+	Backoff
+	// Recovery is crash-recovery time: failure-detection timeouts at
+	// membership barriers and dead-holder lock excisions.
+	Recovery
+	// BarrierWait is rendezvous time at hierarchical-barrier phases.
+	BarrierWait
+	numCategories
+)
+
+var categoryNames = [numCategories]string{
+	"compute", "remote", "nic", "lock-wait", "si-sweep", "sd-burst",
+	"backoff", "recovery", "barrier-wait",
+}
+
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return "category?"
+}
+
+// NumCategories is the size of the category vocabulary (for report arrays).
+const NumCategories = int(numCategories)
+
+// EdgeKind classifies a causal edge's synchronization mechanism.
+type EdgeKind uint8
+
+// Edge kinds. Pub/Sub pairs match on (kind, key).
+const (
+	// Handoff: ticket-lock release → next holder's grant observation.
+	Handoff EdgeKind = iota
+	// Delegate: HQDL delegation enqueue → helper executing the section.
+	Delegate
+	// DelegateDone: helper finishing a section → delegator's wait return.
+	DelegateDone
+	// Barrier: global rendezvous arrival → departure (per episode).
+	Barrier
+	// BarrierLocal: node-local first rendezvous of a hierarchical barrier.
+	BarrierLocal
+	// BarrierFinal: node-local release rendezvous.
+	BarrierFinal
+	// Crash: a node's crash-stop → the survivors' reconfiguration wait.
+	Crash
+	// Excise: membership excision → a recovery action it unblocked
+	// (dead-holder lock lease expiry).
+	Excise
+	numEdgeKinds
+)
+
+var edgeKindNames = [numEdgeKinds]string{
+	"handoff", "delegate", "delegate-done", "barrier", "barrier-local",
+	"barrier-final", "crash", "excise",
+}
+
+func (k EdgeKind) String() string {
+	if int(k) < len(edgeKindNames) {
+		return edgeKindNames[k]
+	}
+	return "edge?"
+}
+
+// RecType discriminates the three record shapes.
+type RecType uint8
+
+// Record types.
+const (
+	RSpan RecType = iota
+	RPub
+	RSub
+)
+
+// Record is one span, pub or sub. One flat struct keeps the log trivially
+// serializable.
+type Record struct {
+	Type RecType `json:"y"`
+	Node int     `json:"n"`
+	Tid  int     `json:"i"`
+	// T is the span end, pub time or sub time (virtual ns).
+	T int64 `json:"t"`
+	// Start is the span start (RSpan only).
+	Start int64 `json:"s,omitempty"`
+	// Cat is the paint category (RSpan) or the wait category a matched
+	// edge's covered interval is attributed to (RSub).
+	Cat Category `json:"c,omitempty"`
+	// Kind and Key identify the edge (RPub/RSub); pubs and subs match on
+	// the pair.
+	Kind EdgeKind `json:"k,omitempty"`
+	Key  uint64   `json:"e,omitempty"`
+	// Arg is kind-specific context (episode, dead node, pages…).
+	Arg int64 `json:"a,omitempty"`
+}
+
+// Recorder collects records from all nodes of a cluster. The zero value is
+// not usable; a nil *Recorder ignores all calls (probes are nil-check-only).
+type Recorder struct {
+	mu       sync.Mutex
+	lanes    map[int]*rlane
+	limit    int
+	makespan int64
+}
+
+type rlane struct {
+	mu    sync.Mutex
+	recs  []Record
+	drops int
+}
+
+// NewRecorder creates a recorder keeping at most limit records per node
+// (0 means 1<<21).
+func NewRecorder(limit int) *Recorder {
+	if limit <= 0 {
+		limit = 1 << 21
+	}
+	return &Recorder{lanes: map[int]*rlane{}, limit: limit}
+}
+
+func (r *Recorder) lane(node int) *rlane {
+	r.mu.Lock()
+	l, ok := r.lanes[node]
+	if !ok {
+		l = &rlane{}
+		r.lanes[node] = l
+	}
+	r.mu.Unlock()
+	return l
+}
+
+func (r *Recorder) record(rec Record) {
+	l := r.lane(rec.Node)
+	l.mu.Lock()
+	if len(l.recs) < r.limit {
+		l.recs = append(l.recs, rec)
+	} else {
+		l.drops++
+	}
+	l.mu.Unlock()
+}
+
+// Span paints [start, end) of lane (node, tid) with cat. Empty or inverted
+// intervals are ignored.
+func (r *Recorder) Span(node, tid int, start, end int64, cat Category, arg int64) {
+	if r == nil || end <= start {
+		return
+	}
+	if start < 0 {
+		start = 0
+	}
+	r.record(Record{Type: RSpan, Node: node, Tid: tid, T: end, Start: start, Cat: cat, Arg: arg})
+}
+
+// Pub records the source endpoint of a (kind, key) edge at time t.
+func (r *Recorder) Pub(node, tid int, t int64, kind EdgeKind, key uint64, arg int64) {
+	if r == nil {
+		return
+	}
+	r.record(Record{Type: RPub, Node: node, Tid: tid, T: t, Kind: kind, Key: key, Arg: arg})
+}
+
+// Sub records the sink endpoint of a (kind, key) edge at time t. cat is the
+// wait category the edge's covered interval is attributed to when the
+// critical path takes this edge.
+func (r *Recorder) Sub(node, tid int, t int64, kind EdgeKind, key uint64, cat Category) {
+	if r == nil {
+		return
+	}
+	r.record(Record{Type: RSub, Node: node, Tid: tid, T: t, Kind: kind, Key: key, Cat: cat})
+}
+
+// NoteMakespan remembers the largest makespan reported for this recorder's
+// runs; analysis extends the critical path to it.
+func (r *Recorder) NoteMakespan(m int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if m > r.makespan {
+		r.makespan = m
+	}
+	r.mu.Unlock()
+}
+
+// Makespan returns the largest makespan noted so far.
+func (r *Recorder) Makespan() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.makespan
+}
+
+// Records returns all records in the canonical order: sorted by (T, Node,
+// Tid, Type, Kind, Key, Start, Cat, Arg). Within one thread the append
+// order is already virtual-time order; the canonical sort makes the result
+// independent of how the host interleaved different threads' appends.
+func (r *Recorder) Records() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	lanes := make([]*rlane, 0, len(r.lanes))
+	for _, l := range r.lanes {
+		lanes = append(lanes, l)
+	}
+	r.mu.Unlock()
+	var out []Record
+	for _, l := range lanes {
+		l.mu.Lock()
+		out = append(out, l.recs...)
+		l.mu.Unlock()
+	}
+	SortRecords(out)
+	return out
+}
+
+// SortRecords sorts recs into the canonical order used by Records.
+func SortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Cat != b.Cat {
+			return a.Cat < b.Cat
+		}
+		return a.Arg < b.Arg
+	})
+}
+
+// Len reports the total number of buffered records.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	lanes := make([]*rlane, 0, len(r.lanes))
+	for _, l := range r.lanes {
+		lanes = append(lanes, l)
+	}
+	r.mu.Unlock()
+	n := 0
+	for _, l := range lanes {
+		l.mu.Lock()
+		n += len(l.recs)
+		l.mu.Unlock()
+	}
+	return n
+}
+
+// Dropped reports how many records were discarded due to the per-node limit.
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, l := range r.lanes {
+		l.mu.Lock()
+		n += l.drops
+		l.mu.Unlock()
+	}
+	return n
+}
+
+// Reset discards all records and the noted makespan.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for _, l := range r.lanes {
+		l.mu.Lock()
+		l.recs = nil
+		l.drops = 0
+		l.mu.Unlock()
+	}
+	r.makespan = 0
+	r.mu.Unlock()
+}

@@ -22,13 +22,36 @@ type perfettoEvent struct {
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`    // instant scope
+	ID   string         `json:"id,omitempty"`   // flow binding (ph s/f)
+	BP   string         `json:"bp,omitempty"`   // flow binding point
 	Args map[string]any `json:"args,omitempty"` // page, arg, thread names
 }
 
 func usOf(ns int64) float64 { return float64(ns) / 1e3 }
 
+// Flow is one causal edge rendered as a Perfetto flow arrow: a ph:"s"
+// (start) event at the source endpoint linked by ID to a ph:"f" (finish)
+// event at the sink. The span package derives these from matched pub/sub
+// pairs; callers may also build them by hand.
+type Flow struct {
+	Name     string // edge kind, e.g. "handoff", "barrier"
+	ID       uint64 // unique per flow within the export
+	FromNode int
+	FromTid  int
+	FromT    int64 // virtual ns at the source
+	ToNode   int
+	ToTid    int
+	ToT      int64 // virtual ns at the sink
+}
+
 // WritePerfetto dumps the merged trace as Chrome trace-event JSON.
 func (t *Tracer) WritePerfetto(w io.Writer) error {
+	return t.WritePerfettoFlows(w, nil)
+}
+
+// WritePerfettoFlows dumps the merged trace as Chrome trace-event JSON with
+// the given causal edges rendered as flow arrows between thread tracks.
+func (t *Tracer) WritePerfettoFlows(w io.Writer, flows []Flow) error {
 	events := t.Events()
 
 	// Metadata: name every (node) process and every (node, tid) thread
@@ -39,6 +62,14 @@ func (t *Tracer) WritePerfetto(w io.Writer) error {
 	for _, e := range events {
 		nodes[e.Node] = true
 		tracks[track{e.Node, e.Tid}] = true
+	}
+	// Flow endpoints need named tracks too, or the arrows land on
+	// anonymous rows.
+	for _, f := range flows {
+		nodes[f.FromNode] = true
+		nodes[f.ToNode] = true
+		tracks[track{f.FromNode, f.FromTid}] = true
+		tracks[track{f.ToNode, f.ToTid}] = true
 	}
 	var out []perfettoEvent
 	nodeIDs := make([]int, 0, len(nodes))
@@ -90,6 +121,19 @@ func (t *Tracer) WritePerfetto(w io.Writer) error {
 			pe.S = "t"
 		}
 		out = append(out, pe)
+	}
+
+	for _, f := range flows {
+		id := fmt.Sprintf("0x%x", f.ID)
+		out = append(out,
+			perfettoEvent{
+				Name: f.Name, Ph: "s", Ts: usOf(f.FromT),
+				Pid: f.FromNode, Tid: f.FromTid, ID: id,
+			},
+			perfettoEvent{
+				Name: f.Name, Ph: "f", Ts: usOf(f.ToT),
+				Pid: f.ToNode, Tid: f.ToTid, ID: id, BP: "e",
+			})
 	}
 
 	doc := struct {

@@ -58,6 +58,14 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
+// Arg codes for EvClassTransition, naming the Pyxis classification step a
+// page took.
+const (
+	ClassNWtoSW int64 = 1 // first writer: not-written → single-writer
+	ClassSWtoMW int64 = 2 // second writer: single-writer → multiple-writer
+	ClassPtoS   int64 = 3 // second reader: private → shared
+)
+
 // Event is one protocol action.
 type Event struct {
 	T    int64 // virtual time (ns); for events with Dur > 0 this is the end
@@ -77,10 +85,14 @@ func TidOf(socket, core int) int { return socket<<16 | core&0xffff }
 func DecodeTid(tid int) (socket, core int) { return tid >> 16, tid & 0xffff }
 
 func (e Event) String() string {
-	if e.Page >= 0 {
-		return fmt.Sprintf("%12d n%-3d %-16s page=%-6d arg=%d", e.T, e.Node, e.Kind, e.Page, e.Arg)
+	var dur string
+	if e.Dur > 0 {
+		dur = fmt.Sprintf(" dur=%d", e.Dur)
 	}
-	return fmt.Sprintf("%12d n%-3d %-16s arg=%d", e.T, e.Node, e.Kind, e.Arg)
+	if e.Page >= 0 {
+		return fmt.Sprintf("%12d n%-3d %-16s page=%-6d arg=%d%s", e.T, e.Node, e.Kind, e.Page, e.Arg, dur)
+	}
+	return fmt.Sprintf("%12d n%-3d %-16s arg=%d%s", e.T, e.Node, e.Kind, e.Arg, dur)
 }
 
 // Tracer collects events from all nodes of a cluster.
@@ -249,13 +261,13 @@ func (t *Tracer) WriteText(w io.Writer) error {
 
 // WriteCSV dumps the merged trace as CSV with a header row.
 func (t *Tracer) WriteCSV(w io.Writer) error {
-	if _, err := io.WriteString(w, "t_ns,node,kind,page,arg\n"); err != nil {
+	if _, err := io.WriteString(w, "t_ns,node,kind,page,arg,dur_ns\n"); err != nil {
 		return err
 	}
 	var b strings.Builder
 	for _, e := range t.Events() {
 		b.Reset()
-		fmt.Fprintf(&b, "%d,%d,%s,%d,%d\n", e.T, e.Node, e.Kind, e.Page, e.Arg)
+		fmt.Fprintf(&b, "%d,%d,%s,%d,%d,%d\n", e.T, e.Node, e.Kind, e.Page, e.Arg, e.Dur)
 		if _, err := io.WriteString(w, b.String()); err != nil {
 			return err
 		}

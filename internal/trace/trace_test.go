@@ -77,7 +77,8 @@ func TestSummary(t *testing.T) {
 
 func TestWriters(t *testing.T) {
 	tr := New(0)
-	tr.Record(Event{T: 5, Node: 2, Kind: EvWriteback, Page: 9, Arg: 64})
+	tr.Record(Event{T: 5, Node: 2, Kind: EvWriteback, Page: 9, Arg: 64, Dur: 120})
+	tr.Record(Event{T: 8, Node: 1, Kind: EvReadMiss, Page: 3})
 	var txt, csv strings.Builder
 	if err := tr.WriteText(&txt); err != nil {
 		t.Fatal(err)
@@ -85,12 +86,31 @@ func TestWriters(t *testing.T) {
 	if !strings.Contains(txt.String(), "writeback") || !strings.Contains(txt.String(), "page=9") {
 		t.Fatalf("text output: %q", txt.String())
 	}
+	// Durations ride along in the text stream, but only for timed events.
+	if !strings.Contains(txt.String(), "dur=120") {
+		t.Fatalf("text output lost the duration: %q", txt.String())
+	}
+	if strings.Count(txt.String(), "dur=") != 1 {
+		t.Fatalf("zero-duration event grew a dur field: %q", txt.String())
+	}
 	if err := tr.WriteCSV(&csv); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(csv.String(), "t_ns,node,kind,page,arg\n") ||
-		!strings.Contains(csv.String(), "5,2,writeback,9,64") {
+	if !strings.HasPrefix(csv.String(), "t_ns,node,kind,page,arg,dur_ns\n") ||
+		!strings.Contains(csv.String(), "5,2,writeback,9,64,120") ||
+		!strings.Contains(csv.String(), "8,1,read-miss,3,0,0") {
 		t.Fatalf("csv output: %q", csv.String())
+	}
+}
+
+func TestEventStringDur(t *testing.T) {
+	e := Event{T: 7, Node: 0, Kind: EvSIFence, Page: -1, Dur: 42}
+	if s := e.String(); !strings.Contains(s, "dur=42") {
+		t.Fatalf("String() lost the duration: %q", s)
+	}
+	e.Dur = 0
+	if s := e.String(); strings.Contains(s, "dur=") {
+		t.Fatalf("zero duration should be omitted: %q", s)
 	}
 }
 

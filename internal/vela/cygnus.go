@@ -27,6 +27,7 @@ import (
 	"argo/internal/fault"
 	"argo/internal/health"
 	"argo/internal/sim"
+	"argo/internal/span"
 	"argo/internal/trace"
 )
 
@@ -54,6 +55,7 @@ type epState struct {
 
 	complete bool
 	release  sim.Time
+	recov    sim.Time // failure-detection tail folded into release (Pictor)
 	orOut    bool
 }
 
@@ -213,9 +215,18 @@ func (m *memberBarrier) rendezvous(p *sim.Proc, ep int64, sub int, vote bool) bo
 	for !st.complete {
 		m.cond.Wait()
 	}
-	rel, out := st.release, st.orOut
+	rel, out, recov := st.release, st.orOut, st.recov
 	m.mu.Unlock()
 	p.AdvanceTo(rel)
+	if recov > 0 {
+		if sr := m.c.SR; sr != nil {
+			// The detection tail of a crash episode: paint it Recovery and
+			// join it to the kill-time publish on the corpse's lane.
+			tid := tidOf(p)
+			sr.Span(p.Node, tid, int64(rel-recov), int64(rel), span.Recovery, ep)
+			sr.Sub(p.Node, tid, int64(rel), span.Crash, uint64(ep), span.Recovery)
+		}
+	}
 	return out
 }
 
@@ -232,6 +243,12 @@ func (m *memberBarrier) observe(p *sim.Proc, ep int64) {
 	rel := st.release
 	m.mu.Unlock()
 	p.AdvanceTo(rel + m.det.Timeout())
+	if sr := m.c.SR; sr != nil {
+		// Reboot downtime of a restarting node is pure recovery time.
+		tid := tidOf(p)
+		sr.Span(p.Node, tid, int64(rel), int64(p.Now()), span.Recovery, ep)
+		sr.Sub(p.Node, tid, int64(p.Now()), span.Crash, uint64(ep), span.Recovery)
+	}
 }
 
 // maybeComplete fires the episode's reconfiguration once every survivor has
@@ -249,7 +266,8 @@ func (m *memberBarrier) maybeComplete(ep int64, st *epState) {
 	if len(deaths) > 0 {
 		// Survivors wait out one failure-detection timeout before they
 		// reconfigure around the dead.
-		release += m.det.Timeout()
+		st.recov = m.det.Timeout()
+		release += st.recov
 	}
 	for _, dn := range deaths {
 		_, restart := m.det.DiesAt(dn, ep)

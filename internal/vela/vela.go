@@ -17,7 +17,12 @@ import (
 	"argo/internal/core"
 	"argo/internal/metrics"
 	"argo/internal/sim"
+	"argo/internal/span"
+	"argo/internal/trace"
 )
+
+// tidOf returns the Pictor lane id of a proc.
+func tidOf(p *sim.Proc) int { return trace.TidOf(p.Socket, p.Core) }
 
 // barrierMX holds the Argoscope instruments of a hierarchical barrier:
 // phase-latency histograms (the local rendezvous every thread pays, the
@@ -27,6 +32,7 @@ type barrierMX struct {
 	localNs   *metrics.Histogram
 	repNs     *metrics.Histogram
 	episodeNs *metrics.Histogram
+	waitNs    *metrics.Histogram
 	episodes  *metrics.Counter
 	resets    *metrics.Counter
 }
@@ -41,6 +47,8 @@ func newBarrierMX(c *core.Cluster) *barrierMX {
 		localNs:   r.Histogram("argo_barrier_phase_ns", phaseHelp, metrics.L("phase", "local")),
 		repNs:     r.Histogram("argo_barrier_phase_ns", phaseHelp, metrics.L("phase", "representative")),
 		episodeNs: r.Histogram("argo_barrier_phase_ns", phaseHelp, metrics.L("phase", "episode")),
+		waitNs: r.Histogram("argo_barrier_wait_ns",
+			"Virtual time a thread spends waiting at barrier rendezvous per episode (excl. fences)"),
 		episodes: r.Counter("argo_barrier_events_total",
 			"Barrier episodes completed and classification resets performed",
 			metrics.L("event", "episode")),
@@ -66,6 +74,10 @@ type HierBarrier struct {
 
 	mx *barrierMX
 
+	// inst is this barrier's Pictor key-space instance (span-only; does not
+	// consume sync keys, so fault identities are unchanged by tracing).
+	inst uint64
+
 	// mem replaces the fixed-count global barrier when crash faults are
 	// armed (Cygnus). Nil otherwise, keeping fault-free runs bit-identical.
 	mem *memberBarrier
@@ -82,6 +94,7 @@ func NewHierBarrier(c *core.Cluster, threadsPerNode int) *HierBarrier {
 		tpn:    threadsPerNode,
 		global: sim.NewBarrier(c.Cfg.Nodes),
 		mx:     newBarrierMX(c),
+		inst:   c.NextSpanKey(),
 	}
 	for n := 0; n < c.Cfg.Nodes; n++ {
 		b.local = append(b.local, sim.NewBarrier(threadsPerNode))
@@ -111,19 +124,50 @@ func (b *HierBarrier) Wait(t *core.Thread) { b.wait(t, false) }
 // classification.
 func (b *HierBarrier) WaitAndReset(t *core.Thread) { b.wait(t, true) }
 
+// bkey packs one rendezvous identity for Pictor's barrier edges: the
+// barrier instance, the meeting point (node-local barriers use node+1,
+// the global rendezvous 0, the reset re-rendezvous 255), and the episode.
+// Every participant publishes at arrival and subscribes at release, so a
+// release edge joins to the last arrival — the causal source of the wake.
+func (b *HierBarrier) bkey(point int, ep uint64) uint64 {
+	return b.inst<<32 | uint64(point)<<24 | ep&0xffffff
+}
+
+// meet runs one rendezvous leg with Pictor pub/sub bracketing and returns
+// the wait duration.
+func (b *HierBarrier) meet(t *core.Thread, kind span.EdgeKind, point int, ep uint64, wait func()) sim.Time {
+	sr := b.c.SR
+	a0 := t.P.Now()
+	if sr != nil {
+		sr.Pub(t.Node, tidOf(t.P), int64(a0), kind, b.bkey(point, ep), 0)
+	}
+	wait()
+	if sr != nil {
+		tid := tidOf(t.P)
+		sr.Span(t.Node, tid, int64(a0), int64(t.P.Now()), span.BarrierWait, int64(ep))
+		sr.Sub(t.Node, tid, int64(t.P.Now()), kind, b.bkey(point, ep), span.BarrierWait)
+	}
+	return t.P.Now() - a0
+}
+
 func (b *HierBarrier) wait(t *core.Thread, forceReset bool) {
+	// The episode counter keys Pictor's barrier edges and, under Cygnus,
+	// names the crash safe point; it advances whether or not faults are
+	// armed (nothing outside crash handling reads it, so fault-free runs
+	// stay bit-identical).
+	t.SyncEpoch++
 	if b.mem != nil {
 		// Cygnus: barrier entry is the crash safe point. Every thread of a
 		// crashing node is diverted here — restart observers return without
 		// running the episode, crash-stop threads unwind via CrashSignal.
-		t.SyncEpoch++
 		if b.mem.crashPoint(t, t.SyncEpoch) {
 			return
 		}
 	}
 	n := t.Node
+	ep := uint64(t.SyncEpoch)
 	t0 := t.P.Now()
-	b.local[n].Wait(t.P, b.localCost)
+	waited := b.meet(t, span.BarrierLocal, n+1, ep, func() { b.local[n].Wait(t.P, b.localCost) })
 	if b.mx != nil {
 		b.mx.localNs.Record(n, t.P.Now()-t0)
 	}
@@ -154,11 +198,13 @@ func (b *HierBarrier) wait(t *core.Thread, forceReset bool) {
 			}
 		}
 		var reset bool
-		if b.mem != nil {
-			reset = b.mem.rendezvous(t.P, t.SyncEpoch, 0, want)
-		} else {
-			reset = b.global.WaitOr(t.P, b.globalCost, want)
-		}
+		waited += b.meet(t, span.Barrier, 0, ep, func() {
+			if b.mem != nil {
+				reset = b.mem.rendezvous(t.P, t.SyncEpoch, 0, want)
+			} else {
+				reset = b.global.WaitOr(t.P, b.globalCost, want)
+			}
+		})
 		if reset {
 			t.Coh.ResetForPhase()
 			if leader {
@@ -170,11 +216,13 @@ func (b *HierBarrier) wait(t *core.Thread, forceReset bool) {
 			}
 			// Second rendezvous: nobody may re-register pages while the
 			// directory wipe is in progress on the leader.
-			if b.mem != nil {
-				b.mem.rendezvous(t.P, t.SyncEpoch, 1, false)
-			} else {
-				b.global.Wait(t.P, b.globalCost)
-			}
+			waited += b.meet(t, span.Barrier, 255, ep, func() {
+				if b.mem != nil {
+					b.mem.rendezvous(t.P, t.SyncEpoch, 1, false)
+				} else {
+					b.global.Wait(t.P, b.globalCost)
+				}
+			})
 		} else {
 			t.Coh.SIFence(t.P)
 		}
@@ -182,8 +230,9 @@ func (b *HierBarrier) wait(t *core.Thread, forceReset bool) {
 			b.mx.repNs.Record(n, t.P.Now()-r0)
 		}
 	}
-	b.final[n].Wait(t.P, b.localCost)
+	waited += b.meet(t, span.BarrierFinal, n+1, ep, func() { b.final[n].Wait(t.P, b.localCost) })
 	if b.mx != nil {
+		b.mx.waitNs.Record(n, waited)
 		b.mx.episodeNs.Record(n, t.P.Now()-t0)
 	}
 }
