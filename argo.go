@@ -104,6 +104,16 @@ func DefaultFaultPlan(seed int64) FaultPlan { return fault.DefaultPlan(seed) }
 // "drop=0.01,stall=5us,seed=42" (see fault.ParsePlan for the full syntax).
 func ParseFaultPlan(spec string) (FaultPlan, error) { return fault.ParsePlan(spec) }
 
+// ChaosBuilder is the fluent fault-plan builder (see fault.NewBuilder);
+// terminate a chain with Plan or MustPlan and pass the result to
+// WithFaultPlan, or skip the builder entirely with WithChaos(spec).
+type ChaosBuilder = fault.Builder
+
+// NewChaosPlan starts a fluent chaos-plan chain from the default plan:
+//
+//	plan := argo.NewChaosPlan(42).Crash(0.03).Partition(0.05, 2).MustPlan()
+func NewChaosPlan(seed int64) *ChaosBuilder { return fault.NewBuilder(seed) }
+
 // NewMetrics creates an empty Argoscope suite to pass to WithMetrics.
 func NewMetrics() *Metrics { return metrics.NewSuite() }
 
@@ -119,12 +129,13 @@ func NewSpanRecorder(limit int) *SpanRecorder { return span.NewRecorder(limit) }
 type Option func(*clusterOptions)
 
 type clusterOptions struct {
-	net     *FabricParams
-	tracer  *Tracer
-	metrics *Metrics
-	spans   *SpanRecorder
-	faults  *FaultPlan
-	barrier BarrierFactory
+	net      *FabricParams
+	tracer   *Tracer
+	metrics  *Metrics
+	spans    *SpanRecorder
+	faults   *FaultPlan
+	barrier  BarrierFactory
+	chaosErr error
 }
 
 // WithFabricParams overrides the interconnect cost model of the cluster
@@ -152,9 +163,41 @@ func WithSpans(sr *SpanRecorder) Option {
 	return func(o *clusterOptions) { o.spans = sr }
 }
 
+// WithChaos arms the whole chaos stack — transient Corvus faults, Cygnus
+// crash-stops, Cygnus II partial partitions and safe-point arming — from
+// one composable spec string:
+//
+//	argo.WithChaos("crash=0.03,partition=0.05,partdur=2,crashpoints=lock+flag,seed=42")
+//
+// The spec syntax is fault.ParsePlan's; an empty spec is a no-op. The
+// injected schedule is a pure function of the plan's seed and each
+// operation's coordinates, so the same spec replays bit-identically. A
+// malformed spec surfaces as an error from NewCluster (options cannot fail
+// in place). Programmatic callers can build the plan fluently instead:
+//
+//	plan := fault.NewBuilder(42).Crash(0.03).Partition(0.05, 2).MustPlan()
+//	argo.WithFaultPlan(plan)
+func WithChaos(spec string) Option {
+	return func(o *clusterOptions) {
+		if spec == "" {
+			return
+		}
+		p, err := fault.ParsePlan(spec)
+		if err != nil {
+			o.chaosErr = err
+			return
+		}
+		o.faults = &p
+	}
+}
+
 // WithFaultPlan arms the Corvus fault injector with plan. The injected
 // schedule is a pure function of the plan's seed and each operation's
 // coordinates, so the same plan replays identically.
+//
+// Deprecated: prefer WithChaos (spec string) or build plan with
+// fault.NewBuilder; this option remains as a thin programmatic escape
+// hatch and will not be removed.
 func WithFaultPlan(plan FaultPlan) Option {
 	return func(o *clusterOptions) { o.faults = &plan }
 }
@@ -172,6 +215,10 @@ func WithBarrier(f BarrierFactory) Option {
 // rejoins the membership at the same barrier. Composes with WithFaultPlan:
 // options apply in order, and this one only touches the plan's crash knobs
 // (starting from the default plan when none is set).
+//
+// Deprecated: prefer WithChaos("crash=RATE" or "crash=RATE,restart=true"),
+// which carries every chaos knob in one spec; this wrapper remains for
+// compatibility.
 func WithCrashFaults(rate float64, restart bool) Option {
 	return func(o *clusterOptions) {
 		if o.faults == nil {
@@ -192,6 +239,9 @@ func NewCluster(cfg Config, opts ...Option) (*Cluster, error) {
 	var o clusterOptions
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.chaosErr != nil {
+		return nil, o.chaosErr
 	}
 	if o.net != nil {
 		cfg.Net = *o.net

@@ -42,9 +42,10 @@ func main() {
 	promOut := flag.String("prom-out", "", "write the accumulated metrics as Prometheus exposition text to this file")
 	traceOut := flag.String("trace-out", "", "attach the protocol tracer and write a Perfetto JSON timeline to this file (with -critpath, causal flow arrows are included)")
 	critpath := flag.String("critpath", "", "attach the Pictor span recorder and write the critical-path report to this file (best with a single experiment)")
-	faults := flag.String("faults", "", "Corvus fault plan applied to every cluster, e.g. drop=0.01,stall=5us,seed=42")
-	crash := flag.Float64("crash", 0, "Cygnus per-(node,episode) crash rate merged into the fault plan (most experiments are not crash-tolerant; see the 'crash' experiment)")
-	crashRestart := flag.Bool("crash-restart", false, "crashed nodes rejoin after one detection timeout instead of staying dead (with -crash)")
+	chaos := flag.String("chaos", "", "unified chaos spec applied to every cluster, e.g. drop=0.01,crash=0.02,partition=0.1,seed=42 (most experiments are not crash/partition-tolerant; see the 'crash' experiment)")
+	faults := flag.String("faults", "", "deprecated alias for -chaos")
+	crash := flag.Float64("crash", 0, "deprecated: Cygnus crash rate merged into the chaos plan; prefer crash= inside -chaos")
+	crashRestart := flag.Bool("crash-restart", false, "deprecated: crashed nodes rejoin instead of staying dead (with -crash); prefer restart=true inside -chaos")
 	eagerDrain := flag.Int("eagerdrain", 0, "start an eager write-buffer drainer per node with this low-water mark in pages (0 = off)")
 	flag.Parse()
 
@@ -55,11 +56,15 @@ func main() {
 		return
 	}
 
-	if *faults != "" || *crash > 0 {
+	spec := *chaos
+	if spec == "" {
+		spec = *faults // deprecated alias
+	}
+	if spec != "" || *crash > 0 {
 		plan := fault.DefaultPlan(0)
-		if *faults != "" {
+		if spec != "" {
 			var err error
-			if plan, err = fault.ParsePlan(*faults); err != nil {
+			if plan, err = fault.ParsePlan(spec); err != nil {
 				fmt.Fprintln(os.Stderr, "argo-bench:", err)
 				os.Exit(2)
 			}

@@ -7,20 +7,29 @@
 //
 //	argo-stress -n 200 -seed 42
 //
-// Chaos mode arms the Corvus fault injector and re-runs every program
-// under a sweep of fault rates, asserting that answers stay bit-identical
-// to the fault-free run, and that the deterministic ring workload replays
-// the same injected schedule and makespan on back-to-back runs:
+// Chaos mode (-chaos) arms the whole fault stack from one spec — transient
+// Corvus rates, Cygnus crash-stops, Cygnus II partial partitions and
+// safe-point arming — and re-runs every program under a sweep of transient
+// rates, asserting that answers stay bit-identical to the fault-free run
+// and that the deterministic workloads replay bit-exactly:
 //
-//	argo-stress -n 50 -seed 42 -faults drop=0.01,stall=5us,seed=42
+//	argo-stress -n 50 -seed 42 -chaos drop=0.01,stall=5us,seed=42
 //
-// Crash mode (-crash) additionally sweeps Cygnus crash-stop and
-// crash-restart node failures over the crash-tolerant ring workload,
-// asserting that survivors repair the dead nodes' shards to the bit-exact
-// fault-free answer and that crash schedules, membership-epoch histories
-// and makespans replay identically:
+// A crash rate in the spec (or the deprecated -crash flag) additionally
+// sweeps Cygnus crash-stop and crash-restart node failures over the
+// crash-tolerant ring workload, asserting that survivors repair the dead
+// nodes' shards to the bit-exact fault-free answer and that crash
+// schedules, membership-epoch histories and makespans replay identically:
 //
-//	argo-stress -seed 42 -crash 0.02
+//	argo-stress -seed 42 -chaos crash=0.02
+//
+// A crash or partition rate also runs the crash-tolerant LU factorization
+// under the full spec, asserting the same recovery guarantee with
+// mid-factorization deaths and healing partial partitions; LU replays
+// compare membership decisions and digests rather than makespans (its NIC
+// contention makes virtual times scheduling-dependent, see DESIGN.md §13):
+//
+//	argo-stress -n 0 -seed 42 -chaos crash=0.03,partition=0.1,partdur=2
 //
 // -digests prints one "answers-digest:" line per program (the final home
 // memory's FNV-64a). At a fixed -seed these lines are comparable across
@@ -39,6 +48,7 @@ import (
 	"argo/internal/fault"
 	"argo/internal/span"
 	"argo/internal/workloads/drf"
+	"argo/internal/workloads/lu"
 )
 
 // scaled multiplies the plan's fault rates by s (capped at 1), leaving the
@@ -62,8 +72,9 @@ func main() {
 	n := flag.Int("n", 100, "number of random programs")
 	seed := flag.Int64("seed", 0, "base seed (0: derive from time)")
 	verbose := flag.Bool("v", false, "print every program's parameters")
-	faults := flag.String("faults", "", "Corvus fault plan, e.g. drop=0.01,stall=5us,seed=42 (enables chaos mode)")
-	crash := flag.Float64("crash", 0, "Cygnus per-(node,episode) crash rate; sweeps crash-stop and crash-restart recovery on the crash-tolerant ring")
+	chaosSpec := flag.String("chaos", "", "unified chaos spec, e.g. drop=0.01,crash=0.02,partition=0.1,partdur=2,crashpoints=lock+flag,seed=42 (enables chaos mode)")
+	faults := flag.String("faults", "", "deprecated alias for -chaos (transient rates only by convention)")
+	crash := flag.Float64("crash", 0, "deprecated: Cygnus crash rate; prefer crash= inside -chaos")
 	digests := flag.Bool("digests", false, "print one answers-digest line per program")
 	critpath := flag.String("critpath", "", "attach the Pictor span recorder to every program and write the accumulated critical-path report to this file")
 	flag.Parse()
@@ -77,31 +88,45 @@ func main() {
 		core.SpanHook = func(c *core.Cluster) { c.AttachSpans(sr) }
 		defer func() { core.SpanHook = nil }()
 	}
+	spec := *chaosSpec
+	if spec == "" {
+		spec = *faults // deprecated alias
+	}
 	var plan fault.Plan
-	chaos := *faults != ""
+	chaos := spec != ""
 	if chaos {
 		var err error
-		if plan, err = fault.ParsePlan(*faults); err != nil {
+		if plan, err = fault.ParsePlan(spec); err != nil {
 			fmt.Fprintln(os.Stderr, "argo-stress:", err)
 			os.Exit(2)
 		}
-		// Random DRF programs are not crash-tolerant (a dead writer's epoch
-		// is simply gone); crash faults only run on the repairing ring below.
-		plan.Crash = 0
 	}
-
+	// The crash rate comes from the spec, with the deprecated flag taking
+	// precedence when set. The full plan (crash, partition, safe points)
+	// runs only on the crash-tolerant planner workloads below: random DRF
+	// programs are neither crash- nor partition-tolerant (a dead writer's
+	// epoch is simply gone), so their sweeps see the transient rates alone.
+	crashRate := plan.Crash
 	if *crash > 0 {
+		crashRate = *crash
+	}
+	luPlan := plan
+	plan.Crash = 0
+	plan.Partition = 0
+	plan.CrashPoints = 0
+
+	if crashRate > 0 {
 		// Crash sweep: the crash-tolerant ring under crash-stop and
 		// crash-restart, at fractions and multiples of the requested rate,
 		// stacked on top of whatever transient plan -faults requested.
-		fmt.Printf("argo-stress: crash mode, ring sweep at base rate %g (seed %d)\n", *crash, *seed)
+		fmt.Printf("argo-stress: crash mode, ring sweep at base rate %g (seed %d)\n", crashRate, *seed)
 		for _, s := range []float64{0.5, 1, 2} {
 			for _, restart := range []bool{false, true} {
 				p := plan
 				if !chaos {
 					p = fault.DefaultPlan(*seed)
 				}
-				p.Crash = *crash * s
+				p.Crash = crashRate * s
 				if p.Crash > 1 {
 					p.Crash = 1
 				}
@@ -109,13 +134,34 @@ func main() {
 				rep, err := drf.ReplayCrashCheck(drf.DefaultRing(6), p)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "\nCRASH FAIL at rate x%g restart=%v: %v\n", s, restart, err)
-					fmt.Fprintf(os.Stderr, "reproduce with: argo-stress -seed %d -crash %g\n", *seed, *crash)
+					fmt.Fprintf(os.Stderr, "reproduce with: argo-stress -seed %d -chaos crash=%g\n", *seed, crashRate)
 					os.Exit(1)
 				}
 				fmt.Printf("  crash x%-4g restart=%-5v ok: deaths=%d epochs=%d makespan=%d\n",
 					s, restart, rep.Deaths, rep.Epoch, rep.Makespan)
 			}
 		}
+	}
+
+	if crashRate > 0 || luPlan.Partition > 0 {
+		// Chaos LU: mid-factorization crash-stops and healing partial
+		// partitions under the full spec, on the repair-planner LU.
+		p := luPlan
+		if !chaos {
+			p = fault.DefaultPlan(*seed)
+		}
+		p.Crash = crashRate
+		p.CrashRestart = false // the LU planner rejects restart plans
+		fmt.Printf("argo-stress: chaos LU, crash=%g partition=%g partdur=%d (seed %d)\n",
+			p.Crash, p.Partition, p.PartitionDur, *seed)
+		rep, err := lu.ReplayCrashCheck(lu.DefaultCrashParams(), p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "\nCHAOS LU FAIL: %v\n", err)
+			fmt.Fprintf(os.Stderr, "reproduce with: argo-stress -n 0 -seed %d -chaos %s\n", *seed, p.String())
+			os.Exit(1)
+		}
+		fmt.Printf("  chaos-lu ok: deaths=%d suspects=%d epochs=%d makespan=%d digest=%016x\n",
+			rep.Deaths, rep.Partitions, rep.Epoch, rep.Makespan, rep.Digest)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -166,13 +212,13 @@ func main() {
 				frep, err := run(pr)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "\nFAIL at program %d under %s: %v\n", i, p.String(), err)
-					fmt.Fprintf(os.Stderr, "reproduce with: argo-stress -n %d -seed %d -faults %s\n", i+1, *seed, *faults)
+					fmt.Fprintf(os.Stderr, "reproduce with: argo-stress -n %d -seed %d -chaos %s\n", i+1, *seed, spec)
 					os.Exit(1)
 				}
 				if frep.Digest != rep.Digest {
 					fmt.Fprintf(os.Stderr, "\nFAIL at program %d: answers diverged under %s: digest %016x, fault-free %016x\n",
 						i, p.String(), frep.Digest, rep.Digest)
-					fmt.Fprintf(os.Stderr, "reproduce with: argo-stress -n %d -seed %d -faults %s\n", i+1, *seed, *faults)
+					fmt.Fprintf(os.Stderr, "reproduce with: argo-stress -n %d -seed %d -chaos %s\n", i+1, *seed, spec)
 					os.Exit(1)
 				}
 			}

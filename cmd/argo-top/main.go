@@ -79,7 +79,8 @@ func main() {
 	top := flag.Int("top", 10, "rows per hot-spot table")
 	jsonOut := flag.String("json", "", "write the full metrics dump (metrics.json) to this file")
 	promOut := flag.String("prom", "", "write the Prometheus exposition to this file")
-	faults := flag.String("faults", "", "Corvus fault plan, e.g. drop=0.01,stall=5us,seed=42")
+	chaos := flag.String("chaos", "", "unified chaos spec, e.g. drop=0.01,stall=5us,seed=42")
+	faults := flag.String("faults", "", "deprecated alias for -chaos")
 	flag.Parse()
 
 	run, ok := benches[*bench]
@@ -92,8 +93,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *faults != "" {
-		plan, err := fault.ParsePlan(*faults)
+	spec := *chaos
+	if spec == "" {
+		spec = *faults // deprecated alias
+	}
+	if spec != "" {
+		plan, err := fault.ParsePlan(spec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "argo-top:", err)
 			os.Exit(2)

@@ -321,6 +321,7 @@ func (c *Cluster) AllocPages(size int64) mem.Addr { return c.Space.AllocPageAlig
 // cold. Home memory contents are preserved.
 func (c *Cluster) ResetVirtualState() {
 	c.Fab.ResetNICs()
+	c.Fab.ClearCut()
 	for _, n := range c.Nodes {
 		n.ResetForPhase()
 		n.Cache.Reset()
@@ -553,6 +554,25 @@ func (t *Thread) Barrier() {
 // classification reset (Vela's hierarchical barrier does).
 type PhaseResetter interface {
 	WaitAndReset(t *Thread)
+}
+
+// SafePointer is implemented by barriers that arm crash safe points beyond
+// barrier entry (Vela's member-aware barrier does). Sync layers call it at
+// their own safe points — lock acquire/release, flag wait/signal — so a
+// pending crash verdict can fire mid-interval instead of waiting for the
+// barrier backstop.
+type SafePointer interface {
+	SafePoint(t *Thread, pt fault.SafePoint)
+}
+
+// CrashSafePoint offers the pending crash verdict (if any) a chance to fire
+// at a non-barrier safe point. A no-op unless the launch barrier implements
+// SafePointer and the fault plan arms the point; when the verdict fires,
+// the call panics with health.CrashSignal and never returns.
+func (t *Thread) CrashSafePoint(pt fault.SafePoint) {
+	if sp, ok := t.Bar.(SafePointer); ok {
+		sp.SafePoint(t, pt)
+	}
 }
 
 // InitDone marks the end of the program's initialization phase: a collective

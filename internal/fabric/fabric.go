@@ -27,6 +27,7 @@ package fabric
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"argo/internal/fault"
 	"argo/internal/sim"
@@ -132,6 +133,40 @@ type Fabric struct {
 
 	nics  []sim.Resource // per-node NIC DMA engines
 	nodes []*stats.Node
+
+	// cut, when non-nil, is the active partial partition: cut[n] marks node
+	// n as isolated on the minority side, and any operation crossing the
+	// cut (isolated↔majority in either direction) is severed — it behaves
+	// exactly like an injected drop, except that no retry budget escalates
+	// it; it cannot deliver until the cut clears. Installed and cleared only
+	// at member-barrier episode completions (package vela), so every issue
+	// site observes a deterministic cut state. Fault-free runs never touch
+	// it: the fast path is one atomic nil load.
+	cut atomic.Pointer[[]bool]
+}
+
+// SetCut installs a partition cut: isolated[n] puts node n on the minority
+// side. A nil or all-false slice is equivalent to ClearCut.
+func (f *Fabric) SetCut(isolated []bool) {
+	if isolated == nil {
+		f.cut.Store(nil)
+		return
+	}
+	c := append([]bool{}, isolated...)
+	f.cut.Store(&c)
+}
+
+// ClearCut heals the partition: full reachability is restored.
+func (f *Fabric) ClearCut() { f.cut.Store(nil) }
+
+// Severed reports whether nodes a and b are on opposite sides of the
+// active cut.
+func (f *Fabric) Severed(a, b int) bool {
+	c := f.cut.Load()
+	if c == nil {
+		return false
+	}
+	return (*c)[a] != (*c)[b]
 }
 
 // spanFrom paints [t0, now] of the issuing thread's lane with cat.
@@ -222,6 +257,12 @@ func (f *Fabric) RemoteRead(p *sim.Proc, home, n int, key uint64) {
 	t0 := p.Now()
 	attempt := 0
 	for {
+		if f.Severed(p.Node, home) {
+			f.lost(p, fault.ClassRead)
+			f.Backoff(p, attempt)
+			attempt++
+			continue
+		}
 		v := f.FI.Draw(p.Node, fault.ClassRead, home, key, attempt)
 		if v.Deliver {
 			f.noteInjected(p, v)
@@ -276,6 +317,10 @@ func (f *Fabric) TryRemoteWrite(p *sim.Proc, home, n int, key uint64, attempt in
 		p.Advance(f.P.DRAMLatency + f.P.CopyCost(n))
 		return true
 	}
+	if f.Severed(p.Node, home) {
+		f.lost(p, fault.ClassWrite)
+		return false
+	}
 	v := f.FI.Draw(p.Node, fault.ClassWrite, home, key, attempt)
 	if !v.Deliver {
 		f.lost(p, fault.ClassWrite)
@@ -324,6 +369,12 @@ func (f *Fabric) LineFetch(p *sim.Proc, pages map[int]int, bytesEach int, key ui
 	attempt := 0
 	var v fault.Verdict
 	for {
+		if f.Severed(p.Node, target) {
+			f.lost(p, fault.ClassFetch)
+			f.Backoff(p, attempt)
+			attempt++
+			continue
+		}
 		v = f.FI.Draw(p.Node, fault.ClassFetch, target, key, attempt)
 		if v.Deliver {
 			break
@@ -399,6 +450,15 @@ func (f *Fabric) PostWrite(p *sim.Proc, home, n int, key uint64, attempt int) bo
 	if home == p.Node {
 		p.Advance(f.P.DRAMLatency + f.P.CopyCost(n))
 		return true
+	}
+	if f.Severed(p.Node, home) {
+		// The descriptor posts but the write cannot cross the cut.
+		p.Advance(f.P.PostOverhead)
+		f.nodes[p.Node].FaultsInjected.Add(1)
+		if f.MX != nil {
+			f.MX.InjectedDrops.Inc()
+		}
+		return false
 	}
 	t0 := p.Now()
 	v := f.FI.Draw(p.Node, fault.ClassPost, home, key, attempt)
@@ -490,8 +550,17 @@ func (f *Fabric) PostWriteBurst(p *sim.Proc, items []PostItem) (failed []int) {
 		}
 		var service, delayMax sim.Time
 		sent := 0
+		severed := f.Severed(p.Node, h)
 		for ; i < len(items) && items[i].Home == h; i++ {
 			it := items[i]
+			if severed {
+				f.nodes[p.Node].FaultsInjected.Add(1)
+				if f.MX != nil {
+					f.MX.InjectedDrops.Inc()
+				}
+				failed = append(failed, i)
+				continue
+			}
 			v := f.FI.Draw(p.Node, fault.ClassPost, h, it.Key, it.Attempt)
 			if !v.Deliver {
 				// The write vanished in flight: no NIC occupancy at the
@@ -594,8 +663,17 @@ func (f *Fabric) AtomicBurst(p *sim.Proc, items []AtomicItem) (failed []int) {
 		}
 		var service, delayMax sim.Time
 		sent := 0
+		severed := f.Severed(p.Node, h)
 		for ; i < len(items) && items[i].Home == h; i++ {
 			it := items[i]
+			if severed {
+				f.nodes[p.Node].FaultsInjected.Add(1)
+				if f.MX != nil {
+					f.MX.InjectedDrops.Inc()
+				}
+				failed = append(failed, i)
+				continue
+			}
 			v := f.FI.Draw(p.Node, fault.ClassAtomic, h, it.Key, it.Attempt)
 			if !v.Deliver {
 				f.nodes[p.Node].FaultsInjected.Add(1)
@@ -671,6 +749,10 @@ func (f *Fabric) TryRemoteAtomic(p *sim.Proc, home int, key uint64, attempt int)
 	if home == p.Node {
 		p.Advance(f.P.DRAMLatency)
 		return true
+	}
+	if f.Severed(p.Node, home) {
+		f.lost(p, fault.ClassAtomic)
+		return false
 	}
 	v := f.FI.Draw(p.Node, fault.ClassAtomic, home, key, attempt)
 	if !v.Deliver {

@@ -1,0 +1,140 @@
+package fault
+
+import (
+	"argo/internal/sim"
+)
+
+// Builder composes a Plan fluently, as an alternative to the ParsePlan
+// spec syntax:
+//
+//	p, err := fault.NewBuilder(42).
+//		Drop(0.01).
+//		Crash(0.05).Restart().At(fault.SafeLock | fault.SafeFlag).
+//		Partition(0.02, 3).Cut(2).
+//		Plan()
+//
+// Every method returns the builder, so chains read as one sentence; Plan
+// validates once at the end. The zero rates inject nothing, matching
+// DefaultPlan.
+type Builder struct {
+	p Plan
+}
+
+// NewBuilder starts a plan with DefaultPlan(seed)'s recovery knobs and no
+// injected faults.
+func NewBuilder(seed int64) *Builder {
+	return &Builder{p: DefaultPlan(seed)}
+}
+
+// Drop sets the in-flight loss probability.
+func (b *Builder) Drop(rate float64) *Builder {
+	b.p.Drop = rate
+	return b
+}
+
+// Delay sets the late-delivery probability and the maximum injected
+// jitter. A zero jitter keeps ParsePlan's default of one remote latency.
+func (b *Builder) Delay(rate float64, jitter sim.Time) *Builder {
+	b.p.Delay = rate
+	if jitter == 0 {
+		jitter = 2_500
+	}
+	b.p.Jitter = jitter
+	return b
+}
+
+// Stall sets the target-NIC stall probability and duration.
+func (b *Builder) Stall(rate float64, dur sim.Time) *Builder {
+	b.p.StallP = rate
+	b.p.Stall = dur
+	return b
+}
+
+// AtomicFail sets the transient remote-atomic failure probability.
+func (b *Builder) AtomicFail(rate float64) *Builder {
+	b.p.AtomicFail = rate
+	return b
+}
+
+// SlowNode marks one node as degraded by the given service-time factor.
+func (b *Builder) SlowNode(node int, factor float64) *Builder {
+	b.p.SlowNode = node
+	b.p.SlowFactor = factor
+	return b
+}
+
+// Crash sets the per-(node, episode) crash-stop probability.
+func (b *Builder) Crash(rate float64) *Builder {
+	b.p.Crash = rate
+	return b
+}
+
+// Restart makes crashed nodes rejoin after one detection timeout.
+func (b *Builder) Restart() *Builder {
+	b.p.CrashRestart = true
+	return b
+}
+
+// MinEpoch suppresses crashes before the given barrier episode.
+func (b *Builder) MinEpoch(episode int) *Builder {
+	b.p.CrashMinEpoch = episode
+	return b
+}
+
+// At arms additional crash safe points (barrier entry is always armed).
+func (b *Builder) At(points SafePoint) *Builder {
+	b.p.CrashPoints |= points
+	return b
+}
+
+// Partition sets the per-episode partition start probability and the
+// partition duration in episodes (0 means the default of 1).
+func (b *Builder) Partition(rate float64, dur int) *Builder {
+	b.p.Partition = rate
+	b.p.PartitionDur = dur
+	return b
+}
+
+// Cut sets how many nodes each partition isolates on the minority side.
+func (b *Builder) Cut(nodes int) *Builder {
+	b.p.PartitionCut = nodes
+	return b
+}
+
+// Timeout sets the requester-side loss-detection time.
+func (b *Builder) Timeout(d sim.Time) *Builder {
+	b.p.Timeout = d
+	return b
+}
+
+// Retries caps the reissue budget per operation identity.
+func (b *Builder) Retries(n int) *Builder {
+	b.p.MaxRetries = n
+	return b
+}
+
+// Backoff sets the base and cap of the exponential retry backoff.
+func (b *Builder) Backoff(base, cap sim.Time) *Builder {
+	b.p.Backoff = base
+	b.p.BackoffCap = cap
+	return b
+}
+
+// Plan normalizes and validates the composed plan.
+func (b *Builder) Plan() (Plan, error) {
+	p := b.p.Normalized()
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// MustPlan is Plan for static chains known to be valid; it panics on a
+// validation error.
+func (b *Builder) MustPlan() Plan {
+	p, err := b.Plan()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -70,9 +70,15 @@ const (
 	// is a pure hash of (seed, node, barrier episode) evaluated at safe
 	// points only (see Plan.CrashAt).
 	ClassCrash
+	// ClassPartition is a partial network partition: fabric reachability
+	// between two node subsets is severed for a span of barrier episodes
+	// while both sides stay alive. Like ClassCrash the verdict is a pure
+	// hash of (seed, episode) — see Plan.PartitionSpan and
+	// Plan.PartitionCutAt.
+	ClassPartition
 
 	// NumClasses is the number of operation classes.
-	NumClasses = 6
+	NumClasses = 7
 )
 
 func (c Class) String() string {
@@ -89,9 +95,69 @@ func (c Class) String() string {
 		return "remote_atomic"
 	case ClassCrash:
 		return "crash"
+	case ClassPartition:
+		return "partition"
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
 	}
+}
+
+// SafePoint identifies a synchronization operation class at which a
+// pending crash verdict may be delivered. Crashes only ever fire at safe
+// points: the victim's write buffer is wiped whole, never half-drained, so
+// home memory stays DRF-consistent for the survivors.
+type SafePoint int
+
+const (
+	// SafeBarrier is barrier entry — always armed; the backstop that
+	// guarantees a crash verdict for episode e lands by barrier e.
+	SafeBarrier SafePoint = 1 << iota
+	// SafeLock is GlobalTicketLock (and thus HQDL/DSMMutex/cohort)
+	// acquire and release.
+	SafeLock
+	// SafeFlag is Flag wait entry and signal exit.
+	SafeFlag
+)
+
+// safePointNames orders the renderable plan bits for specs ("lock+flag").
+var safePointNames = []struct {
+	bit  SafePoint
+	name string
+}{{SafeBarrier, "barrier"}, {SafeLock, "lock"}, {SafeFlag, "flag"}}
+
+// String renders the set as a '+'-joined spec list ("lock+flag").
+func (s SafePoint) String() string {
+	var parts []string
+	for _, e := range safePointNames {
+		if s&e.bit != 0 {
+			parts = append(parts, e.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "barrier"
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParseSafePoints parses a '+'-joined safe-point list. "barrier" is
+// accepted and ignored (barrier entry is always armed).
+func ParseSafePoints(s string) (SafePoint, error) {
+	var out SafePoint
+	for _, tok := range strings.Split(s, "+") {
+		tok = strings.ToLower(strings.TrimSpace(tok))
+		switch tok {
+		case "", "barrier":
+			// Barriers are always armed; the bit only matters for trace
+			// tagging, never as a plan knob.
+		case "lock":
+			out |= SafeLock
+		case "flag":
+			out |= SafeFlag
+		default:
+			return 0, fmt.Errorf("unknown safe point %q (want barrier, lock, flag)", tok)
+		}
+	}
+	return out, nil
 }
 
 // Plan describes what Corvus injects and how the requester recovers.
@@ -136,6 +202,24 @@ type Plan struct {
 	// CrashMinEpoch suppresses crashes before the given barrier episode
 	// (episodes count from 1), letting programs survive initialization.
 	CrashMinEpoch int
+	// CrashPoints arms additional safe points for crash delivery beyond
+	// barrier entry (which is always armed): SafeLock fires the verdict at
+	// ticket-lock acquire/release, SafeFlag at flag wait/signal. An early
+	// delivery uses the same per-(node, episode) schedule — the node that
+	// would have died at barrier e instead dies at its first armed sync op
+	// inside interval e-1 — so the crash schedule is identical either way.
+	CrashPoints SafePoint
+	// Partition is the per-episode probability that a partial network
+	// partition begins (at most one partition is active at a time; a new
+	// one can only start once the previous has healed).
+	Partition float64
+	// PartitionDur is how many barrier episodes a partition lasts
+	// (default 1).
+	PartitionDur int
+	// PartitionCut is how many nodes the cut isolates on the minority
+	// side (default 1, clamped to nodes-1). The isolated set is a hash-
+	// chosen run of consecutive node ids — see PartitionCutAt.
+	PartitionCut int
 
 	// Timeout is the requester-side detection time for a lost operation.
 	Timeout sim.Time
@@ -184,6 +268,14 @@ func (p *Plan) normalize() {
 	if p.SlowFactor == 0 {
 		p.SlowFactor = 1
 	}
+	if p.Partition > 0 {
+		if p.PartitionDur == 0 {
+			p.PartitionDur = 1
+		}
+		if p.PartitionCut == 0 {
+			p.PartitionCut = 1
+		}
+	}
 }
 
 // Validate reports whether the plan is usable.
@@ -191,7 +283,7 @@ func (p Plan) Validate() error {
 	for _, r := range []struct {
 		name string
 		v    float64
-	}{{"drop", p.Drop}, {"delay", p.Delay}, {"stallp", p.StallP}, {"atomicfail", p.AtomicFail}, {"crash", p.Crash}} {
+	}{{"drop", p.Drop}, {"delay", p.Delay}, {"stallp", p.StallP}, {"atomicfail", p.AtomicFail}, {"crash", p.Crash}, {"partition", p.Partition}} {
 		if r.v < 0 || r.v > 1 {
 			return fmt.Errorf("fault: %s rate %g outside [0,1]", r.name, r.v)
 		}
@@ -211,13 +303,22 @@ func (p Plan) Validate() error {
 	if p.CrashMinEpoch < 0 {
 		return fmt.Errorf("fault: negative crashminepoch %d", p.CrashMinEpoch)
 	}
+	if p.CrashPoints&^(SafeBarrier|SafeLock|SafeFlag) != 0 {
+		return fmt.Errorf("fault: unknown crashpoints bits %#x", int(p.CrashPoints))
+	}
+	if p.PartitionDur < 0 {
+		return fmt.Errorf("fault: negative partdur %d", p.PartitionDur)
+	}
+	if p.PartitionCut < 0 {
+		return fmt.Errorf("fault: negative partcut %d", p.PartitionCut)
+	}
 	return nil
 }
 
 // Enabled reports whether the plan injects anything at all.
 func (p Plan) Enabled() bool {
 	return p.Drop > 0 || p.Delay > 0 || (p.StallP > 0 && p.Stall > 0) ||
-		p.AtomicFail > 0 || p.SlowFactor > 1 || p.Crash > 0
+		p.AtomicFail > 0 || p.SlowFactor > 1 || p.Crash > 0 || p.Partition > 0
 }
 
 // Normalized returns a copy of the plan with zero-valued recovery knobs
@@ -239,6 +340,76 @@ func (p Plan) CrashAt(node int, episode int64) bool {
 	}
 	id := identity(p.Seed, node, ClassCrash, node, uint64(episode), 0)
 	return unit(id^saltCrash) < p.Crash
+}
+
+// ArmsPoint reports whether crash verdicts may be delivered early at the
+// given safe point. Barrier entry is always armed (it is the backstop that
+// keeps the schedule episode-exact); lock and flag points fire only when
+// the plan opts in via CrashPoints.
+func (p Plan) ArmsPoint(pt SafePoint) bool {
+	return pt == SafeBarrier || p.CrashPoints&pt != 0
+}
+
+// partitionStarts reports whether a fresh partition would begin at the
+// given episode, ignoring any partition already in flight.
+func (p Plan) partitionStarts(episode int64) bool {
+	id := identity(p.Seed, 0, ClassPartition, 0, uint64(episode), 0)
+	return unit(id^saltPartition) < p.Partition
+}
+
+// PartitionSpan reports whether a partition is active at the given barrier
+// episode and, if so, at which episode it started. At most one partition
+// is in flight at a time: while episodes [s, s+dur-1] are partitioned, the
+// per-episode start draws are ignored, and a new partition can begin no
+// earlier than s+dur. Like CrashAt this is a pure function of (Seed,
+// episode), so host-side planners and the runtime detector agree
+// bit-exactly on the schedule.
+func (p Plan) PartitionSpan(episode int64) (start int64, active bool) {
+	if p.Partition <= 0 || episode < 1 {
+		return 0, false
+	}
+	dur := int64(p.PartitionDur)
+	if dur < 1 {
+		dur = 1
+	}
+	var s int64 // start of the partition currently in flight; 0 = none
+	for e := int64(1); e <= episode; e++ {
+		if s > 0 && e >= s+dur {
+			s = 0
+		}
+		if s == 0 && p.partitionStarts(e) {
+			s = e
+		}
+	}
+	if s > 0 {
+		return s, true
+	}
+	return 0, false
+}
+
+// PartitionCutAt returns the isolated (minority-side) node set of the
+// partition that started at the given episode: PartitionCut consecutive
+// node ids beginning at a hash-chosen base, clamped to leave at least one
+// node on the majority side. Sorted ascending; nil when the cluster is
+// too small to cut.
+func (p Plan) PartitionCutAt(start int64, nodes int) []int {
+	k := p.PartitionCut
+	if k < 1 {
+		k = 1
+	}
+	if k > nodes-1 {
+		k = nodes - 1
+	}
+	if k < 1 {
+		return nil
+	}
+	base := int(mix(identity(p.Seed, 0, ClassPartition, 0, uint64(start), 1)^saltPartition) % uint64(nodes))
+	out := make([]int, k)
+	for i := range out {
+		out[i] = (base + i) % nodes
+	}
+	sort.Ints(out)
+	return out
 }
 
 // String renders the plan in ParsePlan's spec syntax.
@@ -272,6 +443,18 @@ func (p Plan) String() string {
 			add("crashminepoch", strconv.Itoa(p.CrashMinEpoch))
 		}
 	}
+	if p.CrashPoints != 0 {
+		add("crashpoints", p.CrashPoints.String())
+	}
+	if p.Partition > 0 {
+		add("partition", strconv.FormatFloat(p.Partition, 'g', -1, 64))
+		if p.PartitionDur > 0 {
+			add("partdur", strconv.Itoa(p.PartitionDur))
+		}
+		if p.PartitionCut > 0 {
+			add("partcut", strconv.Itoa(p.PartitionCut))
+		}
+	}
 	add("seed", strconv.FormatInt(p.Seed, 10))
 	sort.Strings(parts[:len(parts)-1]) // keep seed last for readability
 	return strings.Join(parts, ",")
@@ -293,10 +476,13 @@ func fmtDur(t sim.Time) string {
 //	drop=0.01,stall=5us,stallp=0.02,seed=42
 //
 // Keys: drop, delay, jitter, stall, stallp, atomicfail, slownode,
-// slowfactor, seed, timeout, retries, backoff, backoffcap. Durations take
-// an optional ns/us/ms/s suffix (bare numbers are virtual nanoseconds).
-// Unset recovery knobs get DefaultPlan values; stall without stallp
-// defaults stallp to the drop rate or 0.01, whichever is larger.
+// slowfactor, crash, crashrestart, crashminepoch, crashpoints, partition,
+// partdur, partcut, seed, timeout, retries, backoff, backoffcap.
+// Durations take an optional ns/us/ms/s suffix (bare numbers are virtual
+// nanoseconds); crashpoints takes a '+'-joined safe-point list
+// ("crashpoints=lock+flag"). Unset recovery knobs get DefaultPlan values;
+// stall without stallp defaults stallp to the drop rate or 0.01, whichever
+// is larger; partition without partdur/partcut defaults both to 1.
 func ParsePlan(spec string) (Plan, error) {
 	p := DefaultPlan(0)
 	stallPSet := false
@@ -336,6 +522,14 @@ func ParsePlan(spec string) (Plan, error) {
 			p.CrashRestart, err = parseBool(v)
 		case "crashminepoch":
 			p.CrashMinEpoch, err = strconv.Atoi(v)
+		case "crashpoints":
+			p.CrashPoints, err = ParseSafePoints(v)
+		case "partition":
+			p.Partition, err = parseRate(v)
+		case "partdur":
+			p.PartitionDur, err = strconv.Atoi(v)
+		case "partcut":
+			p.PartitionCut, err = strconv.Atoi(v)
 		case "seed":
 			p.Seed, err = strconv.ParseInt(v, 10, 64)
 		case "timeout":
@@ -347,7 +541,7 @@ func ParsePlan(spec string) (Plan, error) {
 		case "backoffcap":
 			p.BackoffCap, err = parseDur(v)
 		default:
-			return Plan{}, fmt.Errorf("fault: unknown key %q (want drop, delay, jitter, stall, stallp, atomicfail, slownode, slowfactor, crash, crashrestart, crashminepoch, seed, timeout, retries, backoff, backoffcap)", k)
+			return Plan{}, fmt.Errorf("fault: unknown key %q (want drop, delay, jitter, stall, stallp, atomicfail, slownode, slowfactor, crash, crashrestart, crashminepoch, crashpoints, partition, partdur, partcut, seed, timeout, retries, backoff, backoffcap)", k)
 		}
 		if err != nil {
 			return Plan{}, fmt.Errorf("fault: bad value for %s: %v", k, err)
@@ -361,6 +555,14 @@ func ParsePlan(spec string) (Plan, error) {
 	}
 	if p.Delay > 0 && p.Jitter == 0 {
 		p.Jitter = 2_500 // one default remote latency of jitter
+	}
+	if p.Partition > 0 {
+		if p.PartitionDur == 0 {
+			p.PartitionDur = 1
+		}
+		if p.PartitionCut == 0 {
+			p.PartitionCut = 1
+		}
 	}
 	if err := p.Validate(); err != nil {
 		return Plan{}, err

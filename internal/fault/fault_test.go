@@ -2,6 +2,8 @@ package fault
 
 import (
 	"math"
+	"sort"
+	"strings"
 	"testing"
 )
 
@@ -334,5 +336,308 @@ func TestCrashAtMinEpoch(t *testing.T) {
 	}
 	if !p.CrashAt(0, 5) {
 		t.Fatal("rate-1 crash did not fire at crashminepoch")
+	}
+}
+
+func TestParsePartitionSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantErr bool
+		check   func(t *testing.T, p Plan)
+	}{
+		{spec: "partition=0.1", check: func(t *testing.T, p Plan) {
+			if p.Partition != 0.1 || p.PartitionDur != 1 || p.PartitionCut != 1 {
+				t.Fatalf("partition defaults not filled: %+v", p)
+			}
+			if !p.Enabled() {
+				t.Fatal("partition rate should enable the plan")
+			}
+		}},
+		{spec: "partition=0.2,partdur=3,partcut=2", check: func(t *testing.T, p Plan) {
+			if p.Partition != 0.2 || p.PartitionDur != 3 || p.PartitionCut != 2 {
+				t.Fatalf("got %+v", p)
+			}
+		}},
+		{spec: "partdur=5,partcut=2", check: func(t *testing.T, p Plan) {
+			// Duration/cut without a rate are inert knobs, not an error:
+			// the zero rate starts no partitions.
+			if p.Partition != 0 || p.Enabled() {
+				t.Fatalf("got %+v", p)
+			}
+			if _, active := p.PartitionSpan(10); active {
+				t.Fatal("rate-0 plan has an active partition")
+			}
+		}},
+		{spec: "crashpoints=lock", check: func(t *testing.T, p Plan) {
+			if p.CrashPoints != SafeLock {
+				t.Fatalf("got %+v", p)
+			}
+		}},
+		{spec: "crashpoints=lock+flag", check: func(t *testing.T, p Plan) {
+			if p.CrashPoints != SafeLock|SafeFlag {
+				t.Fatalf("got %+v", p)
+			}
+		}},
+		{spec: "crashpoints=barrier", check: func(t *testing.T, p Plan) {
+			// Barrier entry is always armed; the token parses to the zero
+			// set so the plan round-trips to its zero value.
+			if p.CrashPoints != 0 || p.Enabled() {
+				t.Fatalf("got %+v", p)
+			}
+		}},
+		{spec: "crash=0.05,crashpoints=Barrier+LOCK", check: func(t *testing.T, p Plan) {
+			if p.CrashPoints != SafeLock {
+				t.Fatalf("case-insensitive parse: got %+v", p)
+			}
+		}},
+		{spec: "partition=1.5", wantErr: true},
+		{spec: "partition=-0.1", wantErr: true},
+		{spec: "partition=0.1,partdur=-1", wantErr: true},
+		{spec: "partition=0.1,partcut=-2", wantErr: true},
+		{spec: "partdur=x", wantErr: true},
+		{spec: "crashpoints=bogus", wantErr: true},
+		{spec: "crashpoints=lock+bogus", wantErr: true},
+	}
+	for _, c := range cases {
+		p, err := ParsePlan(c.spec)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParsePlan(%q): want error, got %+v", c.spec, p)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", c.spec, err)
+			continue
+		}
+		if c.check != nil {
+			c.check(t, p)
+		}
+	}
+}
+
+func TestPartitionSpecStringRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"partition=0.1,seed=3",
+		"partition=0.2,partdur=3,partcut=2,seed=7",
+		"crash=0.05,crashpoints=lock+flag,seed=1",
+		"crash=0.03,crashpoints=flag,partition=0.1,partdur=2,seed=9",
+		"crash=0.02,crashrestart=on,crashpoints=lock,drop=0.01,partition=0.05,partcut=2,partdur=1,seed=11",
+	} {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", spec, err)
+		}
+		q, err := ParsePlan(p.String())
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", p.String(), err)
+		}
+		if p != q {
+			t.Fatalf("round trip mismatch for %q:\n  p=%+v\n  q=%+v", spec, p, q)
+		}
+	}
+	// The zero plan round-trips through its rendered form without growing
+	// spurious partition or safe-point keys.
+	var zero Plan
+	s := zero.Normalized().String()
+	for _, k := range []string{"partition", "partdur", "partcut", "crashpoints"} {
+		if strings.Contains(s, k) {
+			t.Fatalf("zero plan renders %q: %q", k, s)
+		}
+	}
+}
+
+func TestParseSafePoints(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    SafePoint
+		wantErr bool
+	}{
+		{in: "", want: 0},
+		{in: "barrier", want: 0},
+		{in: "lock", want: SafeLock},
+		{in: "flag", want: SafeFlag},
+		{in: "lock+flag", want: SafeLock | SafeFlag},
+		{in: "flag+lock", want: SafeLock | SafeFlag},
+		{in: "barrier+lock+flag", want: SafeLock | SafeFlag},
+		{in: " lock + flag ", want: SafeLock | SafeFlag},
+		{in: "LOCK", want: SafeLock},
+		{in: "mutex", wantErr: true},
+		{in: "lock+", want: SafeLock}, // trailing empty token = barrier
+	}
+	for _, c := range cases {
+		got, err := ParseSafePoints(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseSafePoints(%q): want error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSafePoints(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSafePoints(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// String of the zero set renders the always-armed backstop, and the
+	// rendered form of every set re-parses to itself.
+	if SafePoint(0).String() != "barrier" {
+		t.Fatalf("zero set renders %q", SafePoint(0).String())
+	}
+	for _, s := range []SafePoint{0, SafeLock, SafeFlag, SafeLock | SafeFlag} {
+		got, err := ParseSafePoints(s.String())
+		if err != nil || got != s {
+			t.Fatalf("String/Parse round trip for %v: got %v, err %v", s, got, err)
+		}
+	}
+}
+
+func TestArmsPoint(t *testing.T) {
+	var p Plan
+	if !p.ArmsPoint(SafeBarrier) {
+		t.Fatal("barrier entry must always be armed")
+	}
+	if p.ArmsPoint(SafeLock) || p.ArmsPoint(SafeFlag) {
+		t.Fatal("zero plan arms lock/flag points")
+	}
+	p.CrashPoints = SafeLock
+	if !p.ArmsPoint(SafeLock) || p.ArmsPoint(SafeFlag) {
+		t.Fatalf("CrashPoints=lock arms wrong set: %+v", p)
+	}
+}
+
+func TestPartitionSpanSchedule(t *testing.T) {
+	p, err := ParsePlan("partition=0.3,partdur=2,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 200
+	var starts, active int
+	prevStart := int64(0)
+	for e := int64(1); e <= horizon; e++ {
+		s, on := p.PartitionSpan(e)
+		s2, on2 := p.PartitionSpan(e)
+		if s != s2 || on != on2 {
+			t.Fatalf("PartitionSpan(%d) not deterministic", e)
+		}
+		if !on {
+			prevStart = 0
+			continue
+		}
+		active++
+		if e-s >= int64(p.PartitionDur) {
+			t.Fatalf("episode %d claims start %d beyond partdur=%d", e, s, p.PartitionDur)
+		}
+		if prevStart != 0 && s != prevStart {
+			// A new span may only begin once the previous has healed.
+			if s < prevStart+int64(p.PartitionDur) {
+				t.Fatalf("span starting %d overlaps span starting %d", s, prevStart)
+			}
+		}
+		if s != prevStart {
+			starts++
+		}
+		prevStart = s
+	}
+	if starts == 0 {
+		t.Fatal("rate-0.3 plan started no partitions in 200 episodes")
+	}
+	if active < starts*1 || active > starts*p.PartitionDur {
+		t.Fatalf("active episodes %d inconsistent with %d starts of duration %d", active, starts, p.PartitionDur)
+	}
+	// Seed sensitivity: a different seed yields a different schedule.
+	q := p
+	q.Seed = 43
+	same := true
+	for e := int64(1); e <= horizon; e++ {
+		_, a := p.PartitionSpan(e)
+		_, b := q.PartitionSpan(e)
+		if a != b {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("partition schedule insensitive to seed")
+	}
+}
+
+func TestPartitionCutAt(t *testing.T) {
+	p, _ := ParsePlan("partition=0.5,partcut=2,seed=5")
+	const nodes = 6
+	cut := p.PartitionCutAt(3, nodes)
+	if len(cut) != 2 {
+		t.Fatalf("cut size %d, want 2: %v", len(cut), cut)
+	}
+	if !sort.IntsAreSorted(cut) {
+		t.Fatalf("cut not sorted: %v", cut)
+	}
+	if got := p.PartitionCutAt(3, nodes); !slicesEqual(got, cut) {
+		t.Fatalf("PartitionCutAt not deterministic: %v vs %v", got, cut)
+	}
+	for _, n := range cut {
+		if n < 0 || n >= nodes {
+			t.Fatalf("cut node %d out of range: %v", n, cut)
+		}
+	}
+	// The cut is clamped to leave a majority-side survivor.
+	p.PartitionCut = 99
+	if got := p.PartitionCutAt(3, 4); len(got) != 3 {
+		t.Fatalf("oversized cut not clamped to nodes-1: %v", got)
+	}
+	// A one-node cluster cannot be cut at all.
+	if got := p.PartitionCutAt(3, 1); got != nil {
+		t.Fatalf("one-node cluster produced a cut: %v", got)
+	}
+	// Different start episodes move the cut around (hash-chosen base).
+	p.PartitionCut = 1
+	varies := false
+	first := p.PartitionCutAt(1, nodes)
+	for s := int64(2); s <= 20; s++ {
+		if !slicesEqual(p.PartitionCutAt(s, nodes), first) {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Fatal("cut base insensitive to the start episode")
+	}
+}
+
+func slicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuilderMatchesSpec(t *testing.T) {
+	got := NewBuilder(42).
+		Drop(0.01).
+		Crash(0.05).Restart().MinEpoch(2).At(SafeLock|SafeFlag).
+		Partition(0.02, 3).Cut(2).
+		MustPlan()
+	want, err := ParsePlan("drop=0.01,crash=0.05,crashrestart=on,crashminepoch=2,crashpoints=lock+flag,partition=0.02,partdur=3,partcut=2,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("builder and spec disagree:\n  builder=%+v\n  spec=%+v", got, want)
+	}
+	// Partition with dur 0 normalizes like the spec default.
+	p := NewBuilder(1).Partition(0.1, 0).MustPlan()
+	if p.PartitionDur != 1 || p.PartitionCut != 1 {
+		t.Fatalf("builder partition defaults not normalized: %+v", p)
+	}
+	// Invalid chains surface from Plan, not MustPlan-only panics.
+	if _, err := NewBuilder(1).Crash(2).Plan(); err == nil {
+		t.Fatal("rate-2 crash plan validated")
 	}
 }

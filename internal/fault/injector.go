@@ -106,6 +106,8 @@ const (
 	saltAtomic = 0xd6e8feb86659fd93
 	saltJitter = 0xa0761d6478bd642f
 	saltCrash  = 0x8ebc6af09c88c6e3
+
+	saltPartition = 0xe7037ed1a0b428db
 )
 
 // Draw decides the fate of one attempt of one operation. The decision is a

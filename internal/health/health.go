@@ -24,12 +24,21 @@
 // by any correct program, so discarding them cannot invalidate observed
 // history.
 //
-// Determinism: a crash verdict is fault.Plan.CrashAt(node, episode) — a
-// pure hash of (seed, node, episode). Scripted crashes (ScheduleCrash) are
-// equally schedule-independent. All detector state transitions are driven
-// by the virtual clocks of the threads that discover them, so two runs of
-// the same program produce identical crash schedules, membership-epoch
-// histories and makespans.
+// Cygnus II adds partial network partitions: a seed-hashed cut isolates a
+// minority node subset for a span of barrier episodes while both sides stay
+// alive. The detector distinguishes suspect-via-partition (state
+// Partitioned: heals, rejoins without excision, volatile state intact) from
+// suspect-via-crash (state Crashed: excised after one detection timeout) —
+// though from the majority side both render as "suspect" until the episode
+// barrier serializes the heal-vs-excise decision.
+//
+// Determinism: a crash verdict is fault.Plan.CrashAt(node, episode) and a
+// partition span is fault.Plan.PartitionSpan(episode) — pure hashes of
+// (seed, node, episode). Scripted crashes (ScheduleCrash) and partitions
+// (SchedulePartition) are equally schedule-independent. All detector state
+// transitions are driven by the virtual clocks of the threads that discover
+// them, so two runs of the same program produce identical crash schedules,
+// membership-epoch histories and makespans.
 package health
 
 import (
@@ -71,6 +80,11 @@ const (
 	// Excised: the membership view has dropped the node (epoch bumped,
 	// directory bits scheduled for scrubbing).
 	Excised
+	// Partitioned: the node is alive but unreachable across a network cut.
+	// Survivors classify it as suspect, exactly like an undetected crash —
+	// the two are indistinguishable from the majority side until the cut
+	// heals (rejoin without excision) or the node really dies (excise).
+	Partitioned
 )
 
 func (s State) String() string {
@@ -81,6 +95,8 @@ func (s State) String() string {
 		return "crashed"
 	case Excised:
 		return "excised"
+	case Partitioned:
+		return "partitioned"
 	default:
 		return fmt.Sprintf("State(%d)", int(s))
 	}
@@ -88,15 +104,24 @@ func (s State) String() string {
 
 // Transition is one membership event, recorded for replay comparison.
 type Transition struct {
-	Epoch   int64    // membership epoch after the transition
+	Epoch   int64 // membership epoch after the transition
 	Node    int
-	Kind    string   // "crash", "excise" or "rejoin"
+	Kind    string   // "crash", "excise", "rejoin", "suspect" or "heal"
 	Episode int64    // barrier episode at which it took effect
 	At      sim.Time // virtual time of the transition
 }
 
 func (t Transition) String() string {
 	return fmt.Sprintf("ep%d:%s(n%d)@e%d/t%d", t.Epoch, t.Kind, t.Node, t.Episode, t.At)
+}
+
+// Decision renders the transition without its virtual timestamp: which
+// membership decision was taken, for which node, at which episode, landing
+// on which epoch. Verdicts are pure functions of (seed, node, episode), so
+// decisions replay bit-exactly even in workloads whose NIC contention makes
+// virtual times scheduling-dependent (see the sim package comment).
+func (t Transition) Decision() string {
+	return fmt.Sprintf("ep%d:%s(n%d)@e%d", t.Epoch, t.Kind, t.Node, t.Episode)
 }
 
 // Probes holds the Argoscope instruments of the detector. Nil when the
@@ -108,11 +133,14 @@ type Probes struct {
 	Crashes    *metrics.Counter
 	Excisions  *metrics.Counter
 	Rejoins    *metrics.Counter
+	Suspects   *metrics.Counter
+	Heals      *metrics.Counter
 }
 
 // NewProbes registers the argo_health_* / argo_crash_* instruments.
 func NewProbes(r *metrics.Registry) *Probes {
 	const evHelp = "Cygnus crash, excision and rejoin events"
+	const partHelp = "Cygnus partition suspect and heal events"
 	return &Probes{
 		Epoch:      r.Gauge("argo_health_epoch", "Current membership epoch"),
 		LiveNodes:  r.Gauge("argo_health_live_nodes", "Nodes currently alive"),
@@ -120,6 +148,8 @@ func NewProbes(r *metrics.Registry) *Probes {
 		Crashes:    r.Counter("argo_crash_events_total", evHelp, metrics.L("event", "crash")),
 		Excisions:  r.Counter("argo_crash_events_total", evHelp, metrics.L("event", "excise")),
 		Rejoins:    r.Counter("argo_crash_events_total", evHelp, metrics.L("event", "rejoin")),
+		Suspects:   r.Counter("argo_partition_events_total", partHelp, metrics.L("event", "suspect")),
+		Heals:      r.Counter("argo_partition_events_total", partHelp, metrics.L("event", "heal")),
 	}
 }
 
@@ -140,23 +170,31 @@ type Detector struct {
 
 	armedScript atomic.Bool // true once a crash has been scripted
 
-	mu       sync.Mutex
-	state    []State
-	diedAt   []sim.Time
-	diedEp   []int64 // episode of the last Kill, for idempotence
-	epoch    atomic.Int64
-	live     atomic.Int64
-	history  []Transition
-	onDeath  []func(node int, at sim.Time)
-	onExcise []func(node int, at sim.Time)
-	scripted map[int]scriptedCrash
-	hb       []int64 // heartbeats published per node
-	fi       *fault.Injector
+	mu        sync.Mutex
+	state     []State
+	diedAt    []sim.Time
+	diedEp    []int64 // episode of the last Kill, for idempotence
+	epoch     atomic.Int64
+	live      atomic.Int64
+	history   []Transition
+	onDeath   []func(node int, at sim.Time)
+	onExcise  []func(node int, at sim.Time)
+	onSuspect []func(node int, at sim.Time)
+	onHeal    []func(node int, at sim.Time)
+	scripted  map[int]scriptedCrash
+	scriptedP []scriptedPartition
+	hb        []int64 // heartbeats published per node
+	fi        *fault.Injector
 }
 
 type scriptedCrash struct {
 	episode int64
 	restart bool
+}
+
+type scriptedPartition struct {
+	start, dur int64
+	nodes      []int
 }
 
 // New builds a detector for nodes members under plan. The injector, when
@@ -183,11 +221,15 @@ func New(nodes int, plan fault.Plan, fi *fault.Injector) *Detector {
 // Nodes returns the configured member count.
 func (d *Detector) Nodes() int { return d.nodes }
 
-// Armed reports whether crashes can occur at all. When false, sync layers
-// keep their exact fault-free fast paths (bit-identical timings).
+// Armed reports whether crashes or partitions can occur at all. When false,
+// sync layers keep their exact fault-free fast paths (bit-identical timings).
 func (d *Detector) Armed() bool {
-	return d.plan.Crash > 0 || d.armedScript.Load()
+	return d.plan.Crash > 0 || d.plan.Partition > 0 || d.armedScript.Load()
 }
+
+// ArmsPoint reports whether crash verdicts fire early at the given safe
+// point (barrier entry is always armed).
+func (d *Detector) ArmsPoint(pt fault.SafePoint) bool { return d.plan.ArmsPoint(pt) }
 
 // Timeout returns the detection timeout: how long after a crash survivors
 // take to classify the node as dead and reconfigure.
@@ -202,6 +244,53 @@ func (d *Detector) ScheduleCrash(node int, episode int64, restart bool) {
 	d.scripted[node] = scriptedCrash{episode: episode, restart: restart}
 	d.mu.Unlock()
 	d.armedScript.Store(true)
+}
+
+// SchedulePartition scripts a deterministic partition isolating the given
+// nodes for episodes [start, start+dur-1], overriding the plan's hash draw
+// while active. Call before the run starts; like scripted crashes it
+// survives Reset so replays repeat it.
+func (d *Detector) SchedulePartition(nodes []int, start, dur int64) {
+	if dur < 1 {
+		dur = 1
+	}
+	iso := append([]int{}, nodes...)
+	sort.Ints(iso)
+	d.mu.Lock()
+	d.scriptedP = append(d.scriptedP, scriptedPartition{start: start, dur: dur, nodes: iso})
+	d.mu.Unlock()
+	d.armedScript.Store(true)
+}
+
+// PartitionAt returns the sorted isolated (minority-side) node set of the
+// partition active at the given barrier episode, or nil when the fabric is
+// whole. Pure: scripted partitions first, then the plan's hash schedule —
+// host-side planners and the member barrier agree bit-exactly.
+func (d *Detector) PartitionAt(ep int64) []int {
+	d.mu.Lock()
+	for _, sp := range d.scriptedP {
+		if sp.start <= ep && ep < sp.start+sp.dur {
+			out := append([]int{}, sp.nodes...)
+			d.mu.Unlock()
+			return out
+		}
+	}
+	d.mu.Unlock()
+	if start, ok := d.plan.PartitionSpan(ep); ok {
+		return d.plan.PartitionCutAt(start, d.nodes)
+	}
+	return nil
+}
+
+// IsolatedAt reports whether node is on the minority side of the partition
+// active at the given episode.
+func (d *Detector) IsolatedAt(node int, ep int64) bool {
+	for _, n := range d.PartitionAt(ep) {
+		if n == node {
+			return true
+		}
+	}
+	return false
 }
 
 // DiesAt reports whether node crashes at the given barrier episode, and
@@ -259,6 +348,9 @@ func (d *Detector) StateAt(node int, t sim.Time) string {
 		return "alive"
 	case Excised:
 		return "excised"
+	case Partitioned:
+		// Indistinguishable from an undetected crash on the majority side.
+		return "suspect"
 	default:
 		if t < at+d.plan.Timeout {
 			return "suspect"
@@ -286,6 +378,23 @@ func (d *Detector) OnExcise(fn func(node int, at sim.Time)) {
 	d.mu.Unlock()
 }
 
+// OnSuspect registers a callback invoked (outside the detector lock) when a
+// node becomes suspect via partition. The lock layer hooks here to expire a
+// cut-off holder's lease, exactly as OnExcise does for a dead holder.
+func (d *Detector) OnSuspect(fn func(node int, at sim.Time)) {
+	d.mu.Lock()
+	d.onSuspect = append(d.onSuspect, fn)
+	d.mu.Unlock()
+}
+
+// OnHeal registers a callback invoked (outside the detector lock) when a
+// partitioned node rejoins after the cut heals.
+func (d *Detector) OnHeal(fn func(node int, at sim.Time)) {
+	d.mu.Lock()
+	d.onHeal = append(d.onHeal, fn)
+	d.mu.Unlock()
+}
+
 // Kill crash-stops node at virtual time at during barrier episode ep. It
 // returns true for the first kill of that (node, episode) — the caller that
 // wins performs the volatile-state wipe. Idempotent per episode so every
@@ -296,7 +405,7 @@ func (d *Detector) Kill(node int, at sim.Time, ep int64) bool {
 		d.mu.Unlock()
 		return false
 	}
-	if d.state[node] != Alive {
+	if d.state[node] != Alive && d.state[node] != Partitioned {
 		d.mu.Unlock()
 		return false
 	}
@@ -360,6 +469,55 @@ func (d *Detector) Rejoin(node int, at sim.Time, ep int64) {
 	}
 }
 
+// Suspect marks node as suspect-via-partition at virtual time at during
+// barrier episode ep: the node is alive but cut off, so the epoch is not
+// bumped and the live count is untouched — healing must not look like a
+// membership change. Idempotent while the node stays partitioned.
+func (d *Detector) Suspect(node int, at sim.Time, ep int64) {
+	d.mu.Lock()
+	if d.state[node] != Alive {
+		d.mu.Unlock()
+		return
+	}
+	d.state[node] = Partitioned
+	d.history = append(d.history, Transition{
+		Epoch: d.epoch.Load(), Node: node, Kind: "suspect", Episode: ep, At: at,
+	})
+	cbs := append([]func(int, sim.Time){}, d.onSuspect...)
+	d.mu.Unlock()
+	if d.MX != nil {
+		d.MX.Suspects.Inc()
+	}
+	for _, fn := range cbs {
+		fn(node, at)
+	}
+}
+
+// Heal readmits a partitioned node once the cut clears, bumping the epoch
+// (the survivors' membership view changed twice — out and back — but the
+// node was never excised, so its volatile state survives intact).
+func (d *Detector) Heal(node int, at sim.Time, ep int64) {
+	d.mu.Lock()
+	if d.state[node] != Partitioned {
+		d.mu.Unlock()
+		return
+	}
+	d.state[node] = Alive
+	e := d.epoch.Add(1)
+	d.history = append(d.history, Transition{
+		Epoch: e, Node: node, Kind: "heal", Episode: ep, At: at,
+	})
+	cbs := append([]func(int, sim.Time){}, d.onHeal...)
+	d.mu.Unlock()
+	if d.MX != nil {
+		d.MX.Heals.Inc()
+		d.MX.Epoch.Set(e)
+	}
+	for _, fn := range cbs {
+		fn(node, at)
+	}
+}
+
 // Heartbeat counts one published heartbeat for node.
 func (d *Detector) Heartbeat(node int) {
 	d.mu.Lock()
@@ -391,6 +549,19 @@ func (d *Detector) HistoryString() string {
 	parts := make([]string, len(h))
 	for i, t := range h {
 		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// DecisionHistoryString renders the transition history without virtual
+// timestamps. Replay checks for contended workloads compare this form:
+// the decision sequence is a pure function of the fault schedule, while
+// transition times inherit the scheduling jitter of saturated NICs.
+func (d *Detector) DecisionHistoryString() string {
+	h := d.History()
+	parts := make([]string, len(h))
+	for i, t := range h {
+		parts[i] = t.Decision()
 	}
 	return strings.Join(parts, " ")
 }

@@ -2,6 +2,7 @@ package locks
 
 import (
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"argo/internal/core"
 	"argo/internal/fault"
 	"argo/internal/metrics"
+	"argo/internal/trace"
 	"argo/internal/vela"
 )
 
@@ -164,5 +166,191 @@ func TestTicketLockDeadWaiterPruned(t *testing.T) {
 	defer l.mu.Unlock()
 	if l.locked || len(l.waiters) != 0 {
 		t.Fatalf("lock not clean after pruning: locked=%v waiters=%d", l.locked, len(l.waiters))
+	}
+}
+
+// TestTicketLockHolderCrashAtUnlockSafePoint: with crashpoints=lock armed,
+// a holder scheduled to die at episode 2 acquires in interval 1, carries the
+// lock through barrier 1, and dies at Unlock's safe point — mid-critical-
+// section, lease held. The recovery must not depend on the survivors'
+// barrier progress: the dying holder expires its own lease, the head waiter
+// pays the excision CAS, and every survivor still gets its critical section.
+func TestTicketLockHolderCrashAtUnlockSafePoint(t *testing.T) {
+	const nodes = 4
+	cfg := core.DefaultConfig(nodes)
+	cfg.MemoryBytes = 4 << 20
+	plan := fault.DefaultPlan(1)
+	plan.CrashPoints = fault.SafeLock
+	cfg.Faults = &plan
+	c := core.MustNewCluster(cfg)
+	c.BarrierFactory = func(c *core.Cluster, tpn int) core.BarrierWaiter {
+		return vela.NewHierBarrier(c, tpn)
+	}
+	c.Health.ScheduleCrash(1, 2, false)
+	ms := metrics.NewSuite()
+	c.AttachMetrics(ms)
+	tr := trace.New(0)
+	c.AttachTracer(tr)
+	l := NewGlobalTicketLock(c, 0)
+
+	var acquired atomic.Int64
+	var pastUnlock atomic.Bool
+	c.Run(1, func(th *core.Thread) {
+		if th.Node == 1 {
+			l.Lock(th) // interval 1: safe point passes (dies only at ep 2)
+			th.Barrier()
+			// Wait until every survivor is parked in the queue, then die at
+			// the release safe point.
+			for {
+				l.mu.Lock()
+				queued := len(l.waiters)
+				l.mu.Unlock()
+				if queued == nodes-1 {
+					break
+				}
+				runtime.Gosched()
+			}
+			l.Unlock(th) // unwinds with CrashSignal at the safe point
+			pastUnlock.Store(true)
+			return
+		}
+		th.Barrier()
+		l.Lock(th)
+		acquired.Add(1)
+		th.P.Advance(100)
+		l.Unlock(th)
+	})
+
+	if pastUnlock.Load() {
+		t.Fatal("dying holder survived its unlock safe point")
+	}
+	if got := acquired.Load(); got != nodes-1 {
+		t.Fatalf("%d survivors acquired the lock, want %d", got, nodes-1)
+	}
+	if c.Health.Alive(1) {
+		t.Fatal("node 1 still alive after its safe-point crash")
+	}
+	exc := ms.Reg.Counter("argo_crash_lock_excisions_total", "").Value()
+	if exc != 1 {
+		t.Fatalf("argo_crash_lock_excisions_total = %d, want 1", exc)
+	}
+	// The crash event is tagged with the lock safe point, not the barrier.
+	found := false
+	for _, ev := range tr.Events() {
+		if ev.Kind == trace.EvCrash {
+			found = true
+			if trace.CrashArgKind(ev.Arg) != trace.CrashAtLock {
+				t.Fatalf("EvCrash kind %s, want lock", trace.CrashKindName(trace.CrashArgKind(ev.Arg)))
+			}
+			if trace.CrashArgEpisode(ev.Arg) != 2 {
+				t.Fatalf("EvCrash episode %d, want 2", trace.CrashArgEpisode(ev.Arg))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no EvCrash event recorded")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.locked || l.holder != -1 || len(l.waiters) != 0 {
+		t.Fatalf("lock not clean after recovery: locked=%v holder=%d waiters=%d",
+			l.locked, l.holder, len(l.waiters))
+	}
+}
+
+// TestTicketLockPartitionedHolderFenced: a partition isolates the current
+// holder (suspect, not death). The lease expires and the head waiter takes
+// over with the excision CAS; the fenced holder's eventual release is a
+// stale no-op; healing the cut must not resurrect the lease, and the healed
+// node reacquires as a normal citizen afterwards.
+func TestTicketLockPartitionedHolderFenced(t *testing.T) {
+	const nodes = 3
+	c, ms := crashLockCluster(nodes)
+	l := NewGlobalTicketLock(c, 0)
+
+	var acquired, reacquired atomic.Int64
+	var fenced, healed atomic.Bool
+	// Host-side detector: once the holder has both survivors queued, fence
+	// it via a partition suspect; heal once the survivors have drained.
+	go func() {
+		for {
+			l.mu.Lock()
+			holder := l.holder
+			queued := len(l.waiters)
+			l.mu.Unlock()
+			if holder == 1 && queued == nodes-1 {
+				c.Health.Suspect(1, 20_000, 1)
+				fenced.Store(true)
+				break
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		for acquired.Load() != nodes-1 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		c.Health.Heal(1, 200_000, 2)
+		healed.Store(true)
+	}()
+
+	c.Run(1, func(th *core.Thread) {
+		if th.Node == 1 {
+			l.Lock(th)
+			// Long critical section on the minority side: by the time the
+			// release lands, the lease has been expired and re-granted.
+			for !fenced.Load() {
+				runtime.Gosched()
+			}
+			l.Unlock(th) // stale: rejected by the holder check
+			for !healed.Load() {
+				runtime.Gosched()
+			}
+			l.Lock(th)
+			reacquired.Add(1)
+			l.Unlock(th)
+			return
+		}
+		for {
+			l.mu.Lock()
+			h := l.holder
+			l.mu.Unlock()
+			if h == 1 {
+				break
+			}
+			runtime.Gosched()
+		}
+		l.Lock(th)
+		acquired.Add(1)
+		th.P.Advance(100)
+		l.Unlock(th)
+	})
+
+	if got := acquired.Load(); got != nodes-1 {
+		t.Fatalf("%d survivors acquired the lock, want %d", got, nodes-1)
+	}
+	if reacquired.Load() != 1 {
+		t.Fatal("healed node never reacquired the lock")
+	}
+	exc := ms.Reg.Counter("argo_crash_lock_excisions_total", "").Value()
+	if exc != 1 {
+		t.Fatalf("argo_crash_lock_excisions_total = %d, want 1", exc)
+	}
+	if !c.Health.Alive(1) || c.Health.LiveCount() != nodes {
+		t.Fatalf("suspect/heal changed liveness: alive=%v live=%d",
+			c.Health.Alive(1), c.Health.LiveCount())
+	}
+	h := c.Health.HistoryString()
+	for _, want := range []string{"suspect(n1)", "heal(n1)"} {
+		if !strings.Contains(h, want) {
+			t.Fatalf("history missing %q: %q", want, h)
+		}
+	}
+	if got := c.Health.Epoch(); got != 1 {
+		t.Fatalf("membership epoch %d, want 1 (heal bumps, suspect does not)", got)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.locked || l.holder != -1 || len(l.waiters) != 0 {
+		t.Fatalf("lock not clean after heal: locked=%v holder=%d waiters=%d",
+			l.locked, l.holder, len(l.waiters))
 	}
 }

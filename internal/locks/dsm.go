@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"argo/internal/core"
+	"argo/internal/fault"
 	"argo/internal/health"
 	"argo/internal/metrics"
 	"argo/internal/sim"
@@ -106,6 +107,15 @@ type glWaiter struct {
 // pays one extra remote CAS, the excision that swings the lock word past the
 // dead holder's stale ticket. Parked waiters of the excised node are pruned
 // and unwound.
+//
+// Cygnus II extends this two ways. With crashpoints=lock armed, acquire
+// entry and release entry are crash safe points: a node scheduled to die at
+// the episode its current interval ends at unwinds here instead of at the
+// next barrier (a holder dying at release expires its own lease — see
+// unlockSafePoint). And when a partial partition fences the holder's node
+// (suspect, not death), the lease is expired identically, except the fenced
+// node is alive: its eventual stale release is rejected by the holder
+// check, and healing the partition never resurrects the expired lease.
 type GlobalTicketLock struct {
 	c    *core.Cluster
 	home int
@@ -144,6 +154,7 @@ func NewGlobalTicketLock(c *core.Cluster, home int) *GlobalTicketLock {
 	}
 	if c.Health != nil && c.Health.Armed() {
 		c.Health.OnExcise(l.onExcise)
+		c.Health.OnSuspect(l.onSuspect)
 	}
 	return l
 }
@@ -163,6 +174,31 @@ func (l *GlobalTicketLock) onExcise(node int, at sim.Time) {
 		}
 	}
 	l.waiters = kept
+	l.mu.Unlock()
+	for _, w := range drop {
+		close(w.ch)
+	}
+	l.expireLease(node, at)
+}
+
+// onSuspect fences a partitioned lock holder: its lease is expired exactly
+// as for a crash, so the majority side keeps making progress while the cut
+// stands. The suspected node's parked waiters are NOT pruned — the node is
+// alive and its threads are granted normally once their turn comes. When
+// the stale holder's release finally lands (its grant write retries across
+// the cut until the heal), Unlock's holder check rejects it: a heal never
+// resurrects a fenced lease.
+func (l *GlobalTicketLock) onSuspect(node int, at sim.Time) {
+	l.expireLease(node, at)
+}
+
+// expireLease frees the lock from a holder that crashed or was fenced by a
+// partition: the lease expires at time at, and the head waiter (or, with
+// an empty queue, the next acquirer) recovers the lock by paying the
+// excision CAS that swings the lock word past the stale ticket. No-op when
+// node does not hold the lease.
+func (l *GlobalTicketLock) expireLease(node int, at sim.Time) {
+	l.mu.Lock()
 	var grant *glWaiter
 	if l.locked && l.holder == node {
 		if at > l.freeAt {
@@ -170,7 +206,8 @@ func (l *GlobalTicketLock) onExcise(node int, at sim.Time) {
 		}
 		if sr := l.c.SR; sr != nil {
 			// The expired lease is the causal source of the excision grant:
-			// publish it on the corpse's lane at the moment the lock frees.
+			// publish it on the stale holder's lane at the moment the lock
+			// frees.
 			sr.Pub(node, 0, int64(l.freeAt), span.Excise, l.key, int64(node))
 		}
 		l.holder = -1
@@ -185,9 +222,6 @@ func (l *GlobalTicketLock) onExcise(node int, at sim.Time) {
 		}
 	}
 	l.mu.Unlock()
-	for _, w := range drop {
-		close(w.ch)
-	}
 	if grant != nil {
 		close(grant.ch)
 	}
@@ -233,6 +267,9 @@ func (l *GlobalTicketLock) noteWait(t *core.Thread, t0 sim.Time, kind span.EdgeK
 // a reissued fetch-and-increment is safe because the transient fails before
 // taking effect, so no ticket is ever burned.
 func (l *GlobalTicketLock) Lock(t *core.Thread) {
+	// Safe point BEFORE the ticket atomic (crashpoints=lock): a dying
+	// acquirer unwinds while it holds nothing and owes nothing.
+	t.CrashSafePoint(fault.SafeLock)
 	t0 := t.P.Now()
 	attempt := 0
 	for !l.c.Fab.TryRemoteAtomic(t.P, l.home, l.key, attempt) {
@@ -286,20 +323,47 @@ func (l *GlobalTicketLock) Lock(t *core.Thread) {
 	runtime.Gosched()
 }
 
+// unlockSafePoint delivers a pending crash verdict at the release point
+// (crashpoints=lock). A holder that dies here dies mid-critical-section:
+// before unwinding, it expires its own lease one failure-detection timeout
+// out, so the head waiter recovers the lock with the excision CAS.
+// Survivors parked in the queue could otherwise never reach the membership
+// barrier whose reconfiguration would expire the lease — the recovery must
+// not depend on the progress of the threads it unblocks.
+func (l *GlobalTicketLock) unlockSafePoint(t *core.Thread) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(health.CrashSignal); ok {
+				l.expireLease(t.Node, t.P.Now()+l.c.Health.Timeout())
+			}
+			panic(r)
+		}
+	}()
+	t.CrashSafePoint(fault.SafeLock)
+}
+
 // Unlock bumps the grant counter (one remote write). A lost grant write
 // would wedge every waiter, so the release loops with backoff until the
 // write is delivered.
 func (l *GlobalTicketLock) Unlock(t *core.Thread) {
+	l.unlockSafePoint(t)
 	attempt := 0
 	for !l.c.Fab.TryRemoteWrite(t.P, l.home, 8, l.key, attempt) {
 		l.c.Fab.Backoff(t.P, attempt)
 		attempt++
 	}
 	l.countRetries(attempt)
+	l.mu.Lock()
+	if l.holder != t.Node {
+		// Stale release: our lease was expired while we were fenced
+		// (partition) or excised, and the lock has moved on. The write
+		// landed but the grant word's generation check rejects it.
+		l.mu.Unlock()
+		return
+	}
 	if sr := l.c.SR; sr != nil {
 		sr.Pub(t.Node, spanTid(t.P), int64(t.P.Now()), span.Handoff, l.key, 0)
 	}
-	l.mu.Lock()
 	l.freeAt = t.P.Now()
 	l.holder = -1
 	if len(l.waiters) == 0 {

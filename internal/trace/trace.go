@@ -39,8 +39,8 @@ const (
 	EvDelegate
 	EvWBRetry // a posted writeback was lost; Arg is the reissue count so far
 	EvWBBurst // a fence posted its downgrades as one burst; Arg packs pages<<8|homes
-	EvCrash   // a node crash-stopped at a safe point; Arg is the barrier episode
-	EvExcise  // membership dropped a dead node (or a lock excised its holder); Arg is the node
+	EvCrash   // a node crash-stopped at a safe point; Arg is CrashArg(episode, kind)
+	EvExcise  // membership dropped a dead node (or a lock excised/fenced its holder); Arg is the node
 	numKinds
 )
 
@@ -66,11 +66,42 @@ const (
 	ClassPtoS   int64 = 3 // second reader: private → shared
 )
 
+// Safe-point kinds for EvCrash, naming where the crash verdict fired.
+// EvCrash.Arg packs the barrier episode and the kind — use CrashArg to
+// build it and CrashArgEpisode/CrashArgKind to take it apart. (Before
+// Cygnus II the Arg was the bare episode; barrier crashes, kind 0, decode
+// identically either way.)
+const (
+	CrashAtBarrier int64 = iota // barrier entry (always armed)
+	CrashAtLock                 // ticket-lock acquire/release (crashpoints=lock)
+	CrashAtFlag                 // flag wait/signal (crashpoints=flag)
+)
+
+var crashKindNames = [...]string{"barrier", "lock", "flag"}
+
+// CrashKindName renders a safe-point kind ("barrier", "lock", "flag").
+func CrashKindName(kind int64) string {
+	if kind >= 0 && kind < int64(len(crashKindNames)) {
+		return crashKindNames[kind]
+	}
+	return fmt.Sprintf("kind(%d)", kind)
+}
+
+// CrashArg packs an EvCrash Arg from the barrier episode the crash is
+// charged to and the safe-point kind that delivered it.
+func CrashArg(episode, kind int64) int64 { return episode<<2 | kind }
+
+// CrashArgEpisode extracts the barrier episode from an EvCrash Arg.
+func CrashArgEpisode(arg int64) int64 { return arg >> 2 }
+
+// CrashArgKind extracts the safe-point kind from an EvCrash Arg.
+func CrashArgKind(arg int64) int64 { return arg & 3 }
+
 // Event is one protocol action.
 type Event struct {
 	T    int64 // virtual time (ns); for events with Dur > 0 this is the end
 	Node int
-	Tid  int   // recording thread's track id (TidOf), 0 if unknown
+	Tid  int // recording thread's track id (TidOf), 0 if unknown
 	Kind Kind
 	Page int   // page involved, or -1
 	Arg  int64 // kind-specific: bytes written back, pages invalidated, target node…
@@ -88,6 +119,10 @@ func (e Event) String() string {
 	var dur string
 	if e.Dur > 0 {
 		dur = fmt.Sprintf(" dur=%d", e.Dur)
+	}
+	if e.Kind == EvCrash {
+		return fmt.Sprintf("%12d n%-3d %-16s episode=%-4d point=%s%s",
+			e.T, e.Node, e.Kind, CrashArgEpisode(e.Arg), CrashKindName(CrashArgKind(e.Arg)), dur)
 	}
 	if e.Page >= 0 {
 		return fmt.Sprintf("%12d n%-3d %-16s page=%-6d arg=%d%s", e.T, e.Node, e.Kind, e.Page, e.Arg, dur)

@@ -49,6 +49,7 @@ type epState struct {
 	arrived  int      // surviving representatives that have arrived
 	observed int      // threads of restarting nodes parked for this episode
 	stopped  int      // threads of crash-stopping nodes that have checked in
+	parted   int      // threads of partition-isolated nodes parked for this episode
 	maxT     sim.Time // latest arrival clock seen
 	or       bool     // OR-combined reset vote
 	expected int      // sub=1 only: arrivals required (survivor count at sub=0)
@@ -90,7 +91,26 @@ func newMemberBarrier(c *core.Cluster, tpn int, cost sim.Time) *memberBarrier {
 		m.members[i] = true
 	}
 	m.cond = sync.NewCond(&m.mu)
+	// Bootstrap: if a partition already covers episode 1 there is no prior
+	// episode completion to install it, so the cut goes up at launch
+	// (RunSeeded builds the barrier single-threaded, before any thread
+	// starts, and ResetVirtualState has just cleared the previous cut).
+	if iso := m.det.PartitionAt(1); len(iso) > 0 {
+		m.installCut(iso)
+		for _, n := range iso {
+			m.det.Suspect(n, 0, 1)
+		}
+	}
 	return m
+}
+
+// installCut raises the fabric cut isolating the given nodes.
+func (m *memberBarrier) installCut(iso []int) {
+	mask := make([]bool, m.c.Cfg.Nodes)
+	for _, n := range iso {
+		mask[n] = true
+	}
+	m.c.Fab.SetCut(mask)
 }
 
 func (m *memberBarrier) state(k epKey) *epState {
@@ -113,8 +133,21 @@ func (m *memberBarrier) memberList() []int {
 	return out
 }
 
-// leaderAt returns the lowest member that survives episode ep. The leader
-// takes over node 0's duties (decay vote, directory reset) once node 0 dies.
+// isolatedMembers returns the current members on the minority side of the
+// partition active at episode ep, ascending. Caller holds mu.
+func (m *memberBarrier) isolatedMembers(ep int64) []int {
+	var out []int
+	for _, n := range m.det.PartitionAt(ep) {
+		if n < len(m.members) && m.members[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// leaderAt returns the lowest member that survives episode ep on the
+// majority side of any active cut. The leader takes over node 0's duties
+// (decay vote, directory reset) once node 0 dies or is isolated.
 func (m *memberBarrier) leaderAt(ep int64) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -122,47 +155,81 @@ func (m *memberBarrier) leaderAt(ep int64) int {
 		if !ok {
 			continue
 		}
-		if dies, _ := m.det.DiesAt(n, ep); !dies {
-			return n
+		if dies, _ := m.det.DiesAt(n, ep); dies {
+			continue
 		}
+		if m.det.IsolatedAt(n, ep) {
+			continue
+		}
+		return n
 	}
 	return -1
 }
 
 // expectations returns, for episode ep over the current membership, the
-// number of surviving representatives, restart observers, and crash-stop
-// check-ins required for completion. Caller holds mu.
-func (m *memberBarrier) expectations(ep int64) (arrive, observe, stop int) {
+// number of surviving representatives, restart observers, crash-stop
+// check-ins and partition observers required for completion. Caller holds
+// mu. A node that both dies and is isolated counts as dying — crash wins,
+// matching crashPoint's check order.
+func (m *memberBarrier) expectations(ep int64) (arrive, observe, stop, parted int) {
 	for n, ok := range m.members {
 		if !ok {
 			continue
 		}
 		dies, restart := m.det.DiesAt(n, ep)
 		switch {
-		case !dies:
-			arrive++
-		case restart:
+		case dies && restart:
 			observe += m.tpn
-		default:
+		case dies:
 			stop += m.tpn
+		case m.det.IsolatedAt(n, ep):
+			parted += m.tpn
+		default:
+			arrive++
 		}
 	}
-	return arrive, observe, stop
+	return arrive, observe, stop, parted
 }
 
 // crashPoint is every thread's episode entry. It returns true when the
-// thread's node dies-and-restarts this episode (the caller skips the episode
-// body); it panics with health.CrashSignal for a crash-stop; it returns
-// false for a live thread.
+// thread's node dies-and-restarts or is partition-isolated this episode
+// (the caller skips the episode body); it panics with health.CrashSignal
+// for a crash-stop; it returns false for a live, connected thread.
 func (m *memberBarrier) crashPoint(t *core.Thread, ep int64) bool {
 	dies, restart := m.det.DiesAt(t.Node, ep)
 	if !dies {
+		if m.det.IsolatedAt(t.Node, ep) {
+			// Minority side of the cut: alive but unreachable. Park until
+			// the majority completes the episode (checked before the Alive
+			// test — an isolated node is Partitioned, not dead).
+			m.observePartition(t.P, ep)
+			return true
+		}
 		if !m.det.Alive(t.Node) {
 			// Killed out-of-band (scripted mid-episode kill in tests).
 			panic(health.CrashSignal{Node: t.Node, Episode: ep})
 		}
 		return false
 	}
+	m.killCheckIn(t, ep, trace.CrashAtBarrier)
+	if restart {
+		m.observe(t.P, ep)
+		return true
+	}
+	// Crash-stop: check in so the episode can complete, then unwind.
+	m.mu.Lock()
+	st := m.state(epKey{ep, 0})
+	st.stopped++
+	m.maybeComplete(ep, st)
+	m.mu.Unlock()
+	panic(health.CrashSignal{Node: t.Node, Episode: ep})
+}
+
+// killCheckIn kills the thread's node for episode ep (idempotent) and
+// counts this thread's crash check-in. The node's last checking thread
+// performs the volatile-state wipe and records the EvCrash event, tagged
+// with the safe-point kind that delivered its own check-in.
+func (m *memberBarrier) killCheckIn(t *core.Thread, ep int64, kind int64) (last bool) {
 	m.det.Kill(t.Node, t.P.Now(), ep)
 	// The page cache is shared by the node's threads, so the wipe waits for
 	// the node's last thread: until then a sibling may still be running its
@@ -171,20 +238,40 @@ func (m *memberBarrier) crashPoint(t *core.Thread, ep int64) bool {
 	m.mu.Lock()
 	ck := crashKey{ep, t.Node}
 	m.crashed[ck]++
-	last := m.crashed[ck] == m.tpn
+	last = m.crashed[ck] == m.tpn
 	m.mu.Unlock()
 	if last {
 		t.Coh.CrashWipe()
 		t.Coh.Trc.Record(trace.Event{
 			T: t.P.Now(), Node: t.Node, Tid: trace.TidOf(t.P.Socket, t.P.Core),
-			Kind: trace.EvCrash, Page: -1, Arg: ep,
+			Kind: trace.EvCrash, Page: -1, Arg: trace.CrashArg(ep, kind),
 		})
 	}
-	if restart {
-		m.observe(t.P, ep)
-		return true
+	return last
+}
+
+// safePoint delivers a pending crash verdict at a non-barrier safe point
+// (lock acquire/release, flag wait/signal). The verdict is the same
+// per-(node, episode) hash the barrier backstop would fire — the node that
+// would die at barrier ep instead unwinds at its first armed sync op inside
+// the preceding interval, losing the same undrained writes — so arming
+// extra points never changes the crash schedule, only where each thread
+// stops. Restarting nodes always wait for the barrier: there is nothing to
+// resurrect an unwound goroutine mid-interval.
+func (m *memberBarrier) safePoint(t *core.Thread, pt fault.SafePoint) {
+	if !m.det.ArmsPoint(pt) {
+		return
 	}
-	// Crash-stop: check in so the episode can complete, then unwind.
+	ep := t.SyncEpoch + 1 // the episode the current interval ends at
+	dies, restart := m.det.DiesAt(t.Node, ep)
+	if !dies || restart {
+		return
+	}
+	kind := trace.CrashAtLock
+	if pt == fault.SafeFlag {
+		kind = trace.CrashAtFlag
+	}
+	m.killCheckIn(t, ep, kind)
 	m.mu.Lock()
 	st := m.state(epKey{ep, 0})
 	st.stopped++
@@ -251,21 +338,58 @@ func (m *memberBarrier) observe(p *sim.Proc, ep int64) {
 	}
 }
 
+// observePartition parks an isolated node's thread until the majority
+// completes the episode, then resynchronizes its clock to the release. No
+// reboot penalty and no volatile-state wipe: the node never died, its
+// caches and write buffer are intact.
+func (m *memberBarrier) observePartition(p *sim.Proc, ep int64) {
+	m.mu.Lock()
+	st := m.state(epKey{ep, 0})
+	if p.Now() > st.maxT {
+		st.maxT = p.Now()
+	}
+	st.parted++
+	m.maybeComplete(ep, st)
+	for !st.complete {
+		m.cond.Wait()
+	}
+	rel, recov := st.release, st.recov
+	m.mu.Unlock()
+	p.AdvanceTo(rel)
+	if recov > 0 {
+		if sr := m.c.SR; sr != nil {
+			// The minority waits out the same detection tail as the
+			// survivors; paint it Recovery on their lanes too.
+			tid := tidOf(p)
+			sr.Span(p.Node, tid, int64(rel-recov), int64(rel), span.Recovery, ep)
+		}
+	}
+}
+
 // maybeComplete fires the episode's reconfiguration once every survivor has
-// arrived and every dying thread has checked in. Caller holds mu.
+// arrived and every dying or isolated thread has checked in. Caller holds
+// mu.
+//
+// This is the single serialization point for heal-vs-excise decisions:
+// deaths at ep are excised (or rejoined) exactly once, the cut for episode
+// ep+1 is installed (with its minority suspected) or torn down (with its
+// minority healed) exactly once, and every live thread in the cluster is
+// parked while it happens — which is what keeps membership-epoch histories
+// bit-identical across same-seed runs.
 func (m *memberBarrier) maybeComplete(ep int64, st *epState) {
 	if st.complete || ep != m.done+1 {
 		return
 	}
-	arrive, observe, stop := m.expectations(ep)
-	if st.arrived != arrive || st.observed != observe || st.stopped != stop {
+	arrive, observe, stop, parted := m.expectations(ep)
+	if st.arrived != arrive || st.observed != observe || st.stopped != stop || st.parted != parted {
 		return
 	}
 	deaths := m.det.DeathsAt(m.memberList(), ep)
+	iso := m.isolatedMembers(ep)
 	release := st.maxT + m.cost
-	if len(deaths) > 0 {
+	if len(deaths) > 0 || len(iso) > 0 {
 		// Survivors wait out one failure-detection timeout before they
-		// reconfigure around the dead.
+		// reconfigure around the dead or the unreachable.
 		st.recov = m.det.Timeout()
 		release += st.recov
 	}
@@ -285,6 +409,31 @@ func (m *memberBarrier) maybeComplete(ep int64, st *epState) {
 		} else {
 			m.members[dn] = false
 		}
+	}
+	// Partition transitions for the next episode: heal members whose cut
+	// clears, suspect members newly isolated, and swap the fabric cut —
+	// all while everyone is parked, so episode ep+1 begins with a
+	// deterministic reachability view.
+	next := m.isolatedMembers(ep + 1)
+	for _, n := range iso {
+		healed := true
+		for _, nn := range next {
+			if nn == n {
+				healed = false
+				break
+			}
+		}
+		if healed {
+			m.det.Heal(n, release, ep)
+		}
+	}
+	for _, n := range next {
+		m.det.Suspect(n, release, ep+1)
+	}
+	if len(next) > 0 {
+		m.installCut(next)
+	} else if len(iso) > 0 {
+		m.c.Fab.ClearCut()
 	}
 	st.release = release
 	st.orOut = st.or
@@ -309,7 +458,7 @@ func (m *memberBarrier) maybeComplete(ep int64, st *epState) {
 // (a pure hash of the heartbeat's identity) still decides whether it lands.
 func (m *memberBarrier) heartbeat(t *core.Thread, ep int64) {
 	home := (t.Node + 1) % m.det.Nodes()
-	if home != t.Node {
+	if home != t.Node && !m.c.Fab.Severed(t.Node, home) {
 		key := hbKeyBase | uint64(t.Node)<<32 | uint64(ep)&0xffffffff
 		v := m.c.Fab.FI.Draw(t.Node, fault.ClassPost, home, key, 0)
 		t.P.Advance(m.c.Fab.P.PostOverhead + v.Delay)

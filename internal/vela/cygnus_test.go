@@ -9,6 +9,7 @@ import (
 	"argo/internal/fault"
 	"argo/internal/metrics"
 	"argo/internal/sim"
+	"argo/internal/trace"
 )
 
 // crashCluster builds a cluster whose default plan carries recovery knobs
@@ -207,5 +208,185 @@ func TestFaultFreeBarrierUnchangedWhenUnarmed(t *testing.T) {
 	b2 := NewHierBarrier(c2, 2)
 	if b2.mem == nil {
 		t.Fatal("member barrier not built after ScheduleCrash armed the detector")
+	}
+}
+
+// TestPartitionSuspectHealCycle: a scripted partition isolates node 2 for
+// episodes 2-3 of a barrier loop. The minority parks at its diverted
+// barriers, the majority waits out the detection timeout and carries on,
+// and the cut heals without excision: every thread finishes, the live count
+// never moves, and the epoch bumps exactly once (the heal).
+func TestPartitionSuspectHealCycle(t *testing.T) {
+	const nodes, tpn, episodes = 3, 2, 6
+	c := crashCluster(nodes)
+	c.Health.SchedulePartition([]int{2}, 2, 2)
+	ms := metrics.NewSuite()
+	c.AttachMetrics(ms)
+
+	var finished atomic.Int64
+	var clocks [nodes * tpn]sim.Time
+	c.Run(tpn, func(th *core.Thread) {
+		for e := 1; e <= episodes; e++ {
+			th.Compute(int64(100 * (th.Rank + 1)))
+			th.Barrier()
+		}
+		clocks[th.Rank] = th.P.Now()
+		finished.Add(1)
+	})
+
+	if got := finished.Load(); got != nodes*tpn {
+		t.Fatalf("%d threads finished, want all %d (partition kills nobody)", got, nodes*tpn)
+	}
+	if !c.Health.Alive(2) || c.Health.LiveCount() != nodes {
+		t.Fatalf("partition changed liveness: alive=%v live=%d",
+			c.Health.Alive(2), c.Health.LiveCount())
+	}
+	if got := c.Health.Epoch(); got != 1 {
+		t.Fatalf("membership epoch %d, want 1 (one heal, no excision)", got)
+	}
+	h := c.Health.HistoryString()
+	for _, want := range []string{"suspect(n2)", "heal(n2)"} {
+		if !strings.Contains(h, want) {
+			t.Fatalf("history missing %q: %q", want, h)
+		}
+	}
+	if strings.Contains(h, "excise") {
+		t.Fatalf("partition excised a live node: %q", h)
+	}
+	// The healed minority resynchronizes: every thread's final clock agrees.
+	for _, cl := range clocks {
+		if cl != clocks[0] {
+			t.Fatalf("final clocks diverge after heal: %v", clocks)
+		}
+	}
+	// The fabric cut is torn down with the heal.
+	if c.Fab.Severed(0, 2) || c.Fab.Severed(2, 0) {
+		t.Fatal("fabric cut still standing after heal")
+	}
+	for _, ev := range []string{"suspect", "heal"} {
+		got := ms.Reg.Counter("argo_partition_events_total", "", metrics.L("event", ev)).Value()
+		if got != 1 {
+			t.Fatalf("argo_crash_events_total{event=%s} = %d, want 1", ev, got)
+		}
+	}
+}
+
+// TestPartitionFromEpisodeOne: a partition already active at episode 1 has
+// no prior episode completion to install its cut, so the barrier bootstraps
+// it at construction. The run must still complete and heal.
+func TestPartitionFromEpisodeOne(t *testing.T) {
+	const nodes, tpn, episodes = 3, 1, 4
+	c := crashCluster(nodes)
+	c.Health.SchedulePartition([]int{1}, 1, 1)
+
+	var finished atomic.Int64
+	c.Run(tpn, func(th *core.Thread) {
+		for e := 1; e <= episodes; e++ {
+			th.Barrier()
+		}
+		finished.Add(1)
+	})
+	if got := finished.Load(); got != nodes*tpn {
+		t.Fatalf("%d threads finished, want all %d", got, nodes*tpn)
+	}
+	h := c.Health.HistoryString()
+	if !strings.Contains(h, "suspect(n1)") || !strings.Contains(h, "heal(n1)") {
+		t.Fatalf("episode-1 partition left no suspect/heal cycle: %q", h)
+	}
+}
+
+// TestPartitionScheduleDeterminism: under a hash-drawn partition plan, two
+// identical runs produce identical membership histories and makespans —
+// the heal-vs-excise serialization at the member barrier keeps same-seed
+// runs bit-exact.
+func TestPartitionScheduleDeterminism(t *testing.T) {
+	run := func() (sim.Time, string) {
+		cfg := core.DefaultConfig(5)
+		cfg.MemoryBytes = 4 << 20
+		plan := fault.DefaultPlan(321)
+		plan.Partition = 0.25
+		plan.PartitionDur = 2
+		plan.PartitionCut = 2
+		cfg.Faults = &plan
+		c := core.MustNewCluster(cfg)
+		c.BarrierFactory = func(c *core.Cluster, tpn int) core.BarrierWaiter {
+			return NewHierBarrier(c, tpn)
+		}
+		ms := c.Run(2, func(th *core.Thread) {
+			for e := 0; e < 8; e++ {
+				th.Compute(int64(100 * (th.Rank + 1)))
+				th.Barrier()
+			}
+		})
+		return ms, c.Health.HistoryString()
+	}
+	ms1, h1 := run()
+	ms2, h2 := run()
+	if !strings.Contains(h1, "suspect") {
+		t.Fatal("partition plan produced no suspects (rate too low for the test)")
+	}
+	if h1 != h2 {
+		t.Fatalf("membership history not deterministic:\n  run1 %q\n  run2 %q", h1, h2)
+	}
+	if ms1 != ms2 {
+		t.Fatalf("makespan not deterministic: %d vs %d", ms1, ms2)
+	}
+}
+
+// TestCrashAtFlagSafePoint: with crashpoints=flag armed, a dying waiter
+// unwinds at Wait entry — before parking — and the crash event is tagged
+// with the flag safe point.
+func TestCrashAtFlagSafePoint(t *testing.T) {
+	const nodes = 3
+	cfg := core.DefaultConfig(nodes)
+	cfg.MemoryBytes = 4 << 20
+	plan := fault.DefaultPlan(1)
+	plan.CrashPoints = fault.SafeFlag
+	cfg.Faults = &plan
+	c := core.MustNewCluster(cfg)
+	c.BarrierFactory = func(c *core.Cluster, tpn int) core.BarrierWaiter {
+		return NewHierBarrier(c, tpn)
+	}
+	c.Health.ScheduleCrash(2, 1, false)
+	tr := trace.New(0)
+	c.AttachTracer(tr)
+	f := NewFlag(c, 0)
+
+	var got atomic.Int64
+	var doomedPastWait atomic.Bool
+	c.Run(1, func(th *core.Thread) {
+		switch th.Node {
+		case 0:
+			th.Compute(1000)
+			f.Signal(th)
+		case 2:
+			f.Wait(th) // dies at the safe point before parking
+			doomedPastWait.Store(true)
+		default:
+			f.Wait(th)
+			got.Add(1)
+		}
+	})
+
+	if doomedPastWait.Load() {
+		t.Fatal("dying waiter survived its flag safe point")
+	}
+	if got.Load() != 1 {
+		t.Fatalf("%d live waiters observed the flag, want 1", got.Load())
+	}
+	if c.Health.Alive(2) {
+		t.Fatal("node 2 still alive after its safe-point crash")
+	}
+	found := false
+	for _, ev := range tr.Events() {
+		if ev.Kind == trace.EvCrash {
+			found = true
+			if trace.CrashArgKind(ev.Arg) != trace.CrashAtFlag {
+				t.Fatalf("EvCrash kind %s, want flag", trace.CrashKindName(trace.CrashArgKind(ev.Arg)))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no EvCrash event recorded")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"argo/internal/core"
+	"argo/internal/fault"
 	"argo/internal/metrics"
 	"argo/internal/sim"
 	"argo/internal/span"
@@ -258,6 +259,19 @@ func (b *HierBarrier) Resets() int64 { return b.resets.Load() }
 
 var _ core.PhaseResetter = (*HierBarrier)(nil)
 
+var _ core.SafePointer = (*HierBarrier)(nil)
+
+// SafePoint delivers a pending crash verdict at a non-barrier safe point
+// (core.SafePointer). Locks and flags call it through Thread.CrashSafePoint;
+// it is a no-op unless Cygnus is armed AND the plan's crashpoints spec arms
+// this kind of point. See memberBarrier.safePoint for the schedule-identity
+// argument.
+func (b *HierBarrier) SafePoint(t *core.Thread, pt fault.SafePoint) {
+	if b.mem != nil {
+		b.mem.safePoint(t, pt)
+	}
+}
+
 // Flag is a signal/wait synchronization flag homed at one node. Signal has
 // release semantics (SD fence before the flag becomes visible); Wait has
 // acquire semantics (SI fence after observing it). The flag word itself is a
@@ -276,12 +290,16 @@ type Flag struct {
 
 // NewFlag creates a flag whose word is homed at node home.
 //
-// Crash semantics (Cygnus): a crash takes effect only at barrier safe
-// points, so a thread of a dying node that is parked in Wait still receives
-// its signal (the signaler either survives or signals before its own crash
-// point), finishes the episode tail, and unwinds at its next barrier entry.
-// Flags therefore need no death handling of their own; programs must not
-// depend on a signal that only a node dying *before* the signal would send.
+// Crash semantics (Cygnus): by default a crash takes effect only at barrier
+// safe points, so a thread of a dying node that is parked in Wait still
+// receives its signal (the signaler either survives or signals before its
+// own crash point), finishes the episode tail, and unwinds at its next
+// barrier entry. With crashpoints=flag armed (Cygnus II), Wait entry and
+// Signal exit are additional safe points: a dying waiter unwinds before
+// parking, and a dying signaler unwinds after its publish lands — never
+// between, so arming flags cannot strand a waiter on a lost signal.
+// Programs must not depend on a signal that only a node dying *before* the
+// signal would send.
 func NewFlag(c *core.Cluster, home int) *Flag {
 	f := &Flag{c: c, home: home, key: c.NextSyncKey()}
 	f.cond = sync.NewCond(&f.mu)
@@ -303,11 +321,17 @@ func (f *Flag) Signal(t *core.Thread) {
 	}
 	f.cond.Broadcast()
 	f.mu.Unlock()
+	// Safe point AFTER the flag is raised and waiters woken: a dying
+	// signaler's flag still lands, so arming flags never strands a waiter.
+	t.CrashSafePoint(fault.SafeFlag)
 }
 
 // Wait blocks until the flag is raised, charges the polling round trip, and
 // self-invalidates the caller's node.
 func (f *Flag) Wait(t *core.Thread) {
+	// Safe point BEFORE parking: a dying waiter unwinds here instead of
+	// blocking an episode it will never finish.
+	t.CrashSafePoint(fault.SafeFlag)
 	f.mu.Lock()
 	for !f.set {
 		f.cond.Wait()

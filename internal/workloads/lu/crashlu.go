@@ -1,0 +1,394 @@
+package lu
+
+// Crash-tolerant LU (Cygnus II): the blocked factorization of lu.go,
+// restructured the way drf/crashring.go restructures the ring so that
+// crash-stop node failures and partial network partitions at barrier safe
+// points never cost an answer.
+//
+// The planner exploits the same property as planCrashRing: crash verdicts
+// and partition spans are pure functions of (fault seed, episode), so
+// health.Detector.DiesAt and Detector.PartitionAt can be evaluated
+// host-side before the run. planCrashLU walks the program's barrier
+// episodes in order, mirrors exactly the membership view the member-aware
+// barrier will hold at runtime, and emits one body per episode: a program
+// phase (diagonal, perimeter or interior of some step k), a repair phase
+// that re-runs the kernels a freshly dead owner lost, a classification
+// reset, or an idle body. Threads just execute their slice of each body;
+// the barrier after it is where crashes and partition transitions strike.
+//
+// Three rules keep the run both correct and bit-exact across replays:
+//
+//   - Lost kernels re-run from home truth. A node dying at the barrier
+//     after a phase never drained its write buffer (the crash wipes it
+//     before the SD fence), so home memory still holds every output block
+//     at its exact pre-phase value and every input block at its fenced,
+//     durable value. Re-running the kernel — even the non-idempotent
+//     in-place ones — reproduces bit-identical results. Repairers can
+//     themselves die, so repair loops until a round survives.
+//
+//   - Every crash is followed by a classification reset at the first
+//     fully-attended episode. A dead owner's blocks get new writers, and a
+//     writer handover under live co-holders would make Pyxis notify
+//     deliveries race host-side fence sweeps (the hazard crashring's
+//     static-collapse geometry avoids; LU's wide sharing cannot collapse).
+//     The reset — flush, drop, clear full-maps, performed while every
+//     thread is parked — reduces the handover to a first touch on virgin
+//     classification. It is deferred past partition windows because only a
+//     barrier every member attends resets every cache.
+//
+//   - Partitioned episodes idle, cluster-wide. The planner schedules no
+//     work for any body b with PartitionAt(b) non-empty: the minority
+//     diverts at the barrier (skipping its fences), and idling both sides
+//     makes the skipped fences vacuous — the minority's last work body was
+//     fenced at its last attended barrier, and nobody writes anything the
+//     other side could miss until after the heal.
+//
+// Crash-restart is not supported here: a rejoining node re-registers its
+// reads concurrently with the survivors' reset rendezvous, which the
+// planner cannot serialize. RunCrash rejects restart plans.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"argo/internal/core"
+	"argo/internal/fault"
+	"argo/internal/health"
+	"argo/internal/sim"
+	"argo/internal/workloads/wload"
+)
+
+// Kernel kinds of one LU task.
+const (
+	taskDiag  = iota // factor block (k,k)
+	taskRow          // solveRow on block (k,j)
+	taskCol          // solveCol on block (i,k)
+	taskInner        // mulSub on block (i,j)
+)
+
+// luTask names one block kernel of step k. Each task reads only blocks
+// fenced at earlier barriers plus its own output block, so any DRF subset
+// of one phase can run as a body.
+type luTask struct {
+	kind, k, i, j int
+}
+
+// luBody is one barrier-delimited body: per live node, the kernels it
+// runs. An empty assign is an idle body; reset marks the barrier ending
+// the body as a cluster-wide classification reset.
+type luBody struct {
+	reset  bool
+	assign map[int][]luTask
+}
+
+// CrashParams sizes the crash-tolerant factorization.
+type CrashParams struct {
+	Params
+	Nodes  int
+	Faults *fault.Plan // nil runs fault-free
+}
+
+// DefaultCrashParams is a small, CI-sized instance: 3×3 blocks over six
+// nodes leaves room for deaths and a cut while staying fast under -race.
+func DefaultCrashParams() CrashParams {
+	return CrashParams{Params: Params{N: 96, Block: 32}, Nodes: 6}
+}
+
+// CrashReport is the outcome of one crash-tolerant factorization.
+//
+// History is the time-free decision form (health.Transition.Decision): LU
+// saturates home NICs, so transition timestamps and the makespan carry the
+// scheduling jitter the sim package documents for contended resources,
+// while the decision sequence itself is a pure function of the fault
+// schedule and replays bit-exactly.
+type CrashReport struct {
+	Makespan   sim.Time
+	Digest     uint64 // FNV over the final matrix bits
+	Epoch      int64  // final membership epoch
+	Deaths     int    // crash transitions observed
+	Partitions int    // suspect transitions observed
+	History    string // membership decision history (no timestamps)
+}
+
+// program returns the 3·nb phase task lists of the factorization, in
+// episode order (diagonal, perimeter, interior per step).
+func program(nb int) [][]luTask {
+	var phases [][]luTask
+	for k := 0; k < nb; k++ {
+		phases = append(phases, []luTask{{kind: taskDiag, k: k, i: k, j: k}})
+		var perim []luTask
+		for j := k + 1; j < nb; j++ {
+			perim = append(perim, luTask{kind: taskRow, k: k, i: k, j: j})
+		}
+		for i := k + 1; i < nb; i++ {
+			perim = append(perim, luTask{kind: taskCol, k: k, i: i, j: k})
+		}
+		phases = append(phases, perim)
+		var inner []luTask
+		for i := k + 1; i < nb; i++ {
+			for j := k + 1; j < nb; j++ {
+				inner = append(inner, luTask{kind: taskInner, k: k, i: i, j: j})
+			}
+		}
+		phases = append(phases, inner)
+	}
+	return phases
+}
+
+// planCrashLU precomputes the body script for a detector's fault schedule.
+// It mirrors, episode by episode, the membership updates the member-aware
+// barrier performs at runtime, and fails if the live set ever empties or
+// the schedule never lets the program finish.
+func planCrashLU(det *health.Detector, nodes, nb int) ([]luBody, error) {
+	members := make([]bool, nodes)
+	for n := range members {
+		members[n] = true
+	}
+	liveCount := nodes
+	phases := program(nb)
+
+	var bodies []luBody
+	ep := int64(0)
+	var pending []luTask // kernels lost to a death, awaiting repair
+	pendingReset := false
+
+	// assign deals tasks round-robin over the live set, in task order — a
+	// pure function of (tasks, membership), so every run with the same
+	// fault schedule builds the same script.
+	assign := func(tasks []luTask) map[int][]luTask {
+		live := make([]int, 0, liveCount)
+		for n, ok := range members {
+			if ok {
+				live = append(live, n)
+			}
+		}
+		asg := map[int][]luTask{}
+		for idx, task := range tasks {
+			n := live[idx%len(live)]
+			asg[n] = append(asg[n], task)
+		}
+		return asg
+	}
+	// emit appends one body and advances past its barrier: kernels
+	// assigned to a node dying at that episode are returned to the repair
+	// queue (the crash wipes its write buffer before the SD fence), and
+	// crash-stop members leave the view.
+	emit := func(b luBody) {
+		bodies = append(bodies, b)
+		ep++
+		for n := 0; n < nodes; n++ {
+			if !members[n] {
+				continue
+			}
+			if dies, _ := det.DiesAt(n, ep); !dies {
+				continue
+			}
+			pending = append(pending, b.assign[n]...)
+			pendingReset = true
+			members[n] = false
+			liveCount--
+		}
+		sort.Slice(pending, func(a, b int) bool {
+			x, y := pending[a], pending[b]
+			if x.k != y.k {
+				return x.k < y.k
+			}
+			if x.i != y.i {
+				return x.i < y.i
+			}
+			return x.j < y.j
+		})
+	}
+
+	limit := 1000 + 10*len(phases)
+	for idx := 0; idx < len(phases) || len(pending) > 0 || pendingReset; {
+		if len(bodies) > limit {
+			return nil, fmt.Errorf("lu: crash plan not converging after %d bodies (episode %d)", len(bodies), ep)
+		}
+		if liveCount == 0 {
+			return nil, fmt.Errorf("lu: crash plan episode %d: every node is dead", ep)
+		}
+		switch {
+		case len(det.PartitionAt(ep+1)) > 0:
+			// Partition window: everyone idles so the minority's skipped
+			// fences have nothing to fence.
+			emit(luBody{})
+		case pendingReset:
+			pendingReset = false
+			emit(luBody{reset: true})
+		case len(pending) > 0:
+			tasks := pending
+			pending = nil
+			emit(luBody{assign: assign(tasks)})
+		default:
+			emit(luBody{assign: assign(phases[idx])})
+			idx++
+		}
+	}
+	return bodies, nil
+}
+
+// digestF64 folds a float64 image into an order-sensitive FNV-1a digest.
+func digestF64(xs []float64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range xs {
+		b := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// RunCrash executes the crash-tolerant factorization under p.Faults
+// (typically a plan with crash and/or partition rates; nil runs it
+// fault-free). The final matrix digest must match the fault-free run —
+// repairs rewrite exactly the values the dead owners lost, and home memory
+// survives both crashes and cuts.
+func RunCrash(p CrashParams) (CrashReport, error) {
+	n, b := p.N, p.Block
+	if n%b != 0 {
+		return CrashReport{}, fmt.Errorf("lu: N %d not a multiple of block %d", n, b)
+	}
+	if p.Nodes < 2 {
+		return CrashReport{}, fmt.Errorf("lu: crash run needs >= 2 nodes, got %d", p.Nodes)
+	}
+	if p.Faults != nil && p.Faults.Crash > 0 && p.Faults.CrashRestart {
+		return CrashReport{}, fmt.Errorf("lu: crash run does not support crash-restart plans")
+	}
+	nb := n / b
+	cfg := core.DefaultConfig(p.Nodes)
+	if need := int64(n*n*8) + 1<<20; cfg.MemoryBytes < need {
+		cfg.MemoryBytes = need
+	}
+	cfg.Net = wload.Net()
+	cfg.Faults = p.Faults
+	c := wload.MustCluster(cfg)
+	bodies, err := planCrashLU(c.Health, p.Nodes, nb)
+	if err != nil {
+		return CrashReport{}, err
+	}
+	ga := c.AllocF64(n * n)
+	c.InitF64(ga, Matrix(n))
+	blockCost := sim.Time(b) * sim.Time(b) * sim.Time(b) * FlopCost
+
+	makespan := c.Run(1, func(th *core.Thread) {
+		get := func(dst []float64, bi, bj int) {
+			for r := 0; r < b; r++ {
+				off := (bi*b+r)*n + bj*b
+				th.ReadF64s(ga, off, off+b, dst[r*b:(r+1)*b])
+			}
+		}
+		put := func(bi, bj int, blk []float64) {
+			for r := 0; r < b; r++ {
+				off := (bi*b+r)*n + bj*b
+				th.WriteF64s(ga, off, blk[r*b:(r+1)*b])
+			}
+		}
+		diag := make([]float64, b*b)
+		blk := make([]float64, b*b)
+		left := make([]float64, b*b)
+		for _, bd := range bodies {
+			for _, task := range bd.assign[th.Node] {
+				switch task.kind {
+				case taskDiag:
+					get(diag, task.k, task.k)
+					factorDiag(diag, b)
+					put(task.k, task.k, diag)
+					th.Compute(blockCost / 3)
+				case taskRow:
+					get(diag, task.k, task.k)
+					get(blk, task.i, task.j)
+					solveRow(diag, blk, b)
+					put(task.i, task.j, blk)
+					th.Compute(blockCost / 2)
+				case taskCol:
+					get(diag, task.k, task.k)
+					get(blk, task.i, task.j)
+					solveCol(diag, blk, b)
+					put(task.i, task.j, blk)
+					th.Compute(blockCost / 2)
+				case taskInner:
+					get(left, task.i, task.k)
+					get(diag, task.k, task.j)
+					get(blk, task.i, task.j)
+					mulSub(blk, left, diag, b)
+					put(task.i, task.j, blk)
+					th.Compute(blockCost)
+				}
+			}
+			// The barrier after each body is the safe point: crash-stops
+			// unwind here, partition transitions are decided here.
+			if bd.reset {
+				th.InitDone()
+			} else {
+				th.Barrier()
+			}
+		}
+	})
+	deaths, parts := 0, 0
+	for _, tr := range c.Health.History() {
+		switch tr.Kind {
+		case "crash":
+			deaths++
+		case "suspect":
+			parts++
+		}
+	}
+	rep := CrashReport{
+		Makespan:   makespan,
+		Digest:     digestF64(c.DumpF64(ga)),
+		Epoch:      c.Health.Epoch(),
+		Deaths:     deaths,
+		Partitions: parts,
+		History:    c.Health.DecisionHistoryString(),
+	}
+	if err := c.CheckInvariants(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// ReplayCrashCheck runs the crash-tolerant LU once fault-free and twice
+// under plan, asserting Cygnus II's guarantees: both chaotic runs produce
+// the fault-free matrix image (recovery across crashes AND partitions),
+// and they agree bit-exactly on membership epoch, death and suspect
+// counts, and the complete membership decision history (deterministic
+// replay of every heal-vs-excise verdict).
+//
+// Makespan is deliberately NOT part of the replay equality. Unlike the
+// DRF crash ring — whose collapse geometry gives every NIC at most one
+// client, making virtual times schedule-independent — LU's wide sharing
+// saturates home NICs, and sim.Resource arbitrates saturated servers in
+// host arrival order. Decisions stay exact because verdicts are pure
+// functions of (seed, node, episode) serialized at the member barrier.
+func ReplayCrashCheck(p CrashParams, plan fault.Plan) (CrashReport, error) {
+	p.Faults = nil
+	base, err := RunCrash(p)
+	if err != nil {
+		return base, fmt.Errorf("crash lu baseline: %w", err)
+	}
+	p.Faults = &plan
+	f1, err := RunCrash(p)
+	if err != nil {
+		return f1, fmt.Errorf("crash lu chaotic run (%s): %w", plan.String(), err)
+	}
+	if f1.Digest != base.Digest {
+		return f1, fmt.Errorf("crash lu run (%s) diverged from fault-free: digest %016x vs %016x",
+			plan.String(), f1.Digest, base.Digest)
+	}
+	f2, err := RunCrash(p)
+	if err != nil {
+		return f1, fmt.Errorf("crash lu chaotic replay (%s): %w", plan.String(), err)
+	}
+	if f1.Digest != f2.Digest || f1.Epoch != f2.Epoch ||
+		f1.Deaths != f2.Deaths || f1.Partitions != f2.Partitions ||
+		f1.History != f2.History {
+		return f1, fmt.Errorf("crash lu replay not deterministic under %s: run1 {digest %016x, epoch %d, deaths %d, suspects %d, history %q}, run2 {digest %016x, epoch %d, deaths %d, suspects %d, history %q}",
+			plan.String(), f1.Digest, f1.Epoch, f1.Deaths, f1.Partitions, f1.History,
+			f2.Digest, f2.Epoch, f2.Deaths, f2.Partitions, f2.History)
+	}
+	return f1, nil
+}

@@ -1,0 +1,83 @@
+package lu
+
+import (
+	"strings"
+	"testing"
+
+	"argo/internal/fault"
+)
+
+// The fault-free crash-tolerant program is still the factorization: its
+// final matrix must be bit-identical to the serial reference.
+func TestCrashLUFaultFreeMatchesSerial(t *testing.T) {
+	p := DefaultCrashParams()
+	rep, err := RunCrash(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := digestF64(Serial(p.Params)); rep.Digest != want {
+		t.Fatalf("fault-free crash LU digest %016x, serial reference %016x", rep.Digest, want)
+	}
+	if rep.Deaths != 0 || rep.Partitions != 0 || rep.Epoch != 0 {
+		t.Fatalf("fault-free run mutated membership: %+v", rep)
+	}
+}
+
+// Crash-stop deaths mid-factorization: repairs restore the bit-exact
+// fault-free matrix, and same-seed replays agree on everything.
+func TestCrashLUReplayCrashes(t *testing.T) {
+	plan := fault.NewBuilder(20150615).Crash(0.06).MinEpoch(1).MustPlan()
+	rep, err := ReplayCrashCheck(DefaultCrashParams(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deaths == 0 {
+		t.Fatal("plan injected no crashes — rate too low to exercise repair")
+	}
+	if !strings.Contains(rep.History, "crash") {
+		t.Fatalf("history records no crash: %q", rep.History)
+	}
+}
+
+// Partial partitions: both sides idle through the cut, the minority heals
+// without excision, and the matrix still matches fault-free bit for bit.
+func TestCrashLUReplayPartitions(t *testing.T) {
+	plan := fault.NewBuilder(7).Partition(0.15, 2).MustPlan()
+	rep, err := ReplayCrashCheck(DefaultCrashParams(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partitions == 0 {
+		t.Fatal("plan injected no partitions — rate too low to exercise heal")
+	}
+	if rep.Deaths != 0 {
+		t.Fatalf("partition-only plan recorded %d deaths", rep.Deaths)
+	}
+	if !strings.Contains(rep.History, "suspect") || !strings.Contains(rep.History, "heal") {
+		t.Fatalf("history records no suspect/heal cycle: %q", rep.History)
+	}
+}
+
+// Crashes and partitions under one plan: heal-vs-excise decisions serialize
+// at the membership barrier and stay bit-identical across replays.
+func TestCrashLUReplayMixed(t *testing.T) {
+	plan := fault.NewBuilder(11).Crash(0.05).MinEpoch(1).Partition(0.12, 1).MustPlan()
+	rep, err := ReplayCrashCheck(DefaultCrashParams(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deaths == 0 && rep.Partitions == 0 {
+		t.Fatal("mixed plan injected neither crashes nor partitions")
+	}
+}
+
+// Crash-restart plans are rejected up front (a rejoin races the planner's
+// reset rendezvous; see the package comment).
+func TestCrashLURejectsRestart(t *testing.T) {
+	plan := fault.NewBuilder(1).Crash(0.05).Restart().MustPlan()
+	p := DefaultCrashParams()
+	p.Faults = &plan
+	if _, err := RunCrash(p); err == nil {
+		t.Fatal("restart plan accepted")
+	}
+}

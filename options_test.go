@@ -87,6 +87,39 @@ type nopBarrier struct{}
 
 func (nopBarrier) Wait(t *argo.Thread) {}
 
+// WithChaos is the one-stop chaos option: a spec string arms the same
+// injector WithFaultPlan would, a bad spec surfaces as a NewCluster error
+// (not a panic), and the fluent builder produces plans identical to the
+// parsed spec form.
+func TestWithChaos(t *testing.T) {
+	cfg := argo.DefaultConfig(2)
+	cfg.MemoryBytes = 4 << 20
+	c, err := argo.NewCluster(cfg, argo.WithChaos("drop=0.01,stall=5us,stallp=0.02,seed=42"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FI == nil {
+		t.Fatal("WithChaos did not build an injector")
+	}
+	c.Run(1, func(th *argo.Thread) { th.Barrier() })
+
+	if _, err := argo.NewCluster(cfg, argo.WithChaos("partition=2")); err == nil {
+		t.Fatal("bad chaos spec accepted")
+	}
+
+	built := argo.NewChaosPlan(42).Crash(0.03).Partition(0.1, 2).Cut(2).MustPlan()
+	parsed, err := argo.ParseFaultPlan("crash=0.03,partition=0.1,partdur=2,partcut=2,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built != parsed {
+		t.Fatalf("builder plan %+v != parsed plan %+v", built, parsed)
+	}
+	if _, err := argo.NewCluster(cfg, argo.WithFaultPlan(built)); err != nil {
+		t.Fatalf("builder plan rejected by NewCluster: %v", err)
+	}
+}
+
 func TestParseFaultPlanRoundTrip(t *testing.T) {
 	plan, err := argo.ParseFaultPlan("drop=0.01,stall=5us,seed=42")
 	if err != nil {
