@@ -12,6 +12,7 @@ import (
 	"argo"
 	"argo/internal/harness"
 	"argo/internal/mem"
+	"argo/internal/microbench"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -48,22 +49,23 @@ func benchCluster(b *testing.B, nodes int) *argo.Cluster {
 	return argo.MustNewCluster(cfg)
 }
 
+// The hot-path micro-benchmarks below share their bodies with
+// `argo-bench -benchjson` (internal/microbench) so the interactive
+// `go test -bench` numbers and the CI BENCH_lynx.json artifact come from
+// the same code.
+
 // BenchmarkPageCacheHit measures the host-side cost of a cache-hitting
 // 8-byte DSM read (the per-access overhead this simulator adds over a real
 // mprotect-based DSM, where hits are free).
-func BenchmarkPageCacheHit(b *testing.B) {
-	c := benchCluster(b, 1)
-	xs := c.AllocF64(512)
-	b.ResetTimer()
-	c.Run(1, func(t *argo.Thread) {
-		if t.Rank != 0 {
-			return
-		}
-		for i := 0; i < b.N; i++ {
-			t.GetF64(xs, i&511)
-		}
-	})
-}
+func BenchmarkPageCacheHit(b *testing.B) { microbench.PageCacheHit(b) }
+
+// BenchmarkGetF64 measures scalar reads striding across a 64-page working
+// set (the access-TLB working-set case).
+func BenchmarkGetF64(b *testing.B) { microbench.GetF64Stride(b) }
+
+// BenchmarkSetF64 measures scalar writes striding across a 64-page working
+// set (dirty hits on the lock-free write path after one miss per page).
+func BenchmarkSetF64(b *testing.B) { microbench.SetF64Stride(b) }
 
 // BenchmarkPageFault measures a cold page fetch (miss, line fetch,
 // directory registration) end to end.
@@ -86,40 +88,10 @@ func BenchmarkPageFault(b *testing.B) {
 }
 
 // BenchmarkSIFence measures the fence sweep over a populated cache.
-func BenchmarkSIFence(b *testing.B) {
-	c := benchCluster(b, 2)
-	xs := c.AllocF64(1 << 16)
-	b.ResetTimer()
-	c.Run(1, func(t *argo.Thread) {
-		if t.Rank != 0 {
-			return
-		}
-		for i := 0; i < xs.Len; i += 512 {
-			t.GetF64(xs, i)
-		}
-		for i := 0; i < b.N; i++ {
-			t.AcquireFence()
-		}
-	})
-}
+func BenchmarkSIFence(b *testing.B) { microbench.SIFence(b) }
 
 // BenchmarkBulkRead measures streaming bulk reads through the page cache.
-func BenchmarkBulkRead(b *testing.B) {
-	c := benchCluster(b, 2)
-	const n = 1 << 15
-	xs := c.AllocF64(n)
-	buf := make([]float64, n)
-	b.SetBytes(n * 8)
-	b.ResetTimer()
-	c.Run(1, func(t *argo.Thread) {
-		if t.Rank != 0 {
-			return
-		}
-		for i := 0; i < b.N; i++ {
-			t.ReadF64s(xs, 0, n, buf)
-		}
-	})
-}
+func BenchmarkBulkRead(b *testing.B) { microbench.BulkRead(b) }
 
 // BenchmarkHierBarrier measures the full hierarchical barrier.
 func BenchmarkHierBarrier(b *testing.B) {
@@ -187,21 +159,7 @@ func BenchmarkDiff(b *testing.B) {
 // BenchmarkDiffApply measures diff application for a sparsely-changed page
 // (32-byte runs every 256 bytes — the word-wise scan's favourable case,
 // where most of the page is skipped 8 bytes at a time).
-func BenchmarkDiffApply(b *testing.B) {
-	base := make([]byte, 4096)
-	data := make([]byte, 4096)
-	for i := 0; i < len(data); i += 256 {
-		for j := i; j < i+32; j++ {
-			data[j] = byte(j + 1)
-		}
-	}
-	s := memSpaceForBench()
-	b.SetBytes(4096)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s.ApplyDiff(0, data, base)
-	}
-}
+func BenchmarkDiffApply(b *testing.B) { microbench.DiffApply(b) }
 
 // BenchmarkSDFence measures a release fence over a spread dirty set: one
 // dirty page per touched line, homes interleaved across 4 nodes — the case

@@ -18,6 +18,12 @@
 // -prom-out writes the same registry as Prometheus exposition text;
 // -trace-out attaches the protocol tracer and writes a Chrome trace-event
 // (Perfetto) JSON timeline.
+//
+// Host profiling: -cpuprofile/-memprofile write pprof profiles of the run
+// itself (the simulator's host-side cost, not virtual time). -benchjson runs
+// the hot-path micro-benchmark suite (page-cache hit, scalar get/set, bulk
+// read, SI fence, diff apply) and writes machine-readable rows; with no
+// experiment arguments it writes the file and exits.
 package main
 
 import (
@@ -25,12 +31,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"argo/internal/core"
 	"argo/internal/fault"
 	"argo/internal/harness"
 	"argo/internal/metrics"
+	"argo/internal/microbench"
 	"argo/internal/span"
 	"argo/internal/trace"
 )
@@ -47,6 +56,9 @@ func main() {
 	crash := flag.Float64("crash", 0, "deprecated: Cygnus crash rate merged into the chaos plan; prefer crash= inside -chaos")
 	crashRestart := flag.Bool("crash-restart", false, "deprecated: crashed nodes rejoin instead of staying dead (with -crash); prefer restart=true inside -chaos")
 	eagerDrain := flag.Int("eagerdrain", 0, "start an eager write-buffer drainer per node with this low-water mark in pages (0 = off)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file")
+	benchJSON := flag.String("benchjson", "", "run the hot-path micro-benchmark suite and write machine-readable rows to this file (with no experiment args, exit after writing)")
 	flag.Parse()
 
 	if *list {
@@ -54,6 +66,30 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "argo-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "argo-bench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("cpu profile written to %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			runtime.GC()
+			writeFile(*memProfile, pprof.WriteHeapProfile)
+			fmt.Printf("heap profile written to %s\n", *memProfile)
+		}()
 	}
 
 	spec := *chaos
@@ -107,7 +143,20 @@ func main() {
 		defer func() { core.SpanHook = nil }()
 	}
 
+	if *benchJSON != "" {
+		fmt.Printf("running hot-path micro-benchmarks...\n")
+		rows := microbench.Rows()
+		for _, r := range rows {
+			fmt.Printf("  %-24s %12d %12.2f ns/op\n", r.Name, r.Iters, r.NsPerOp)
+		}
+		writeFile(*benchJSON, func(w io.Writer) error { return microbench.WriteJSON(w, rows) })
+		fmt.Printf("benchmark rows written to %s\n", *benchJSON)
+	}
+
 	ids := flag.Args()
+	if len(ids) == 0 && *benchJSON != "" {
+		return // micro suite only; skip the full experiment sweep
+	}
 	if len(ids) == 0 {
 		for _, e := range harness.All() {
 			ids = append(ids, e.ID)

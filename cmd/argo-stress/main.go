@@ -42,6 +42,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"argo/internal/core"
@@ -77,10 +79,43 @@ func main() {
 	crash := flag.Float64("crash", 0, "deprecated: Cygnus crash rate; prefer crash= inside -chaos")
 	digests := flag.Bool("digests", false, "print one answers-digest line per program")
 	critpath := flag.String("critpath", "", "attach the Pictor span recorder to every program and write the accumulated critical-path report to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file")
 	flag.Parse()
 
 	if *seed == 0 {
 		*seed = time.Now().UnixNano()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "argo-stress:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "argo-stress:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("cpu profile written to %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			runtime.GC()
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "argo-stress:", err)
+				return
+			}
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "argo-stress:", err)
+			}
+			f.Close()
+			fmt.Printf("heap profile written to %s\n", *memProfile)
+		}()
 	}
 	var sr *span.Recorder
 	if *critpath != "" {

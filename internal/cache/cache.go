@@ -52,6 +52,14 @@ type Slot struct {
 	Twin    []byte   // pristine copy for diffing; non-nil only while Dirty
 	ReadyAt sim.Time // virtual time at which the content became available
 	WBTries int      // writeback attempts lost so far (Corvus fault identity)
+
+	// DataPage is the page whose bytes the Data buffer holds. It survives
+	// Invalidate (which keeps Data) so a conflict refill can tell whether it
+	// may refill in place or must allocate a fresh buffer: a Lynx fast-path
+	// reader validating a stale TLB entry may still issue speculative loads
+	// into the old buffer, so its bytes must never be rebound to a
+	// different page (see tlb.go).
+	DataPage int
 }
 
 // Cache is one node's page cache.
@@ -68,7 +76,8 @@ type Cache struct {
 	MX *Probes
 
 	lineLocks []sync.Mutex
-	slots     []Slot // Lines * PagesPerLine
+	lineSync  []LineSync // per-line seqlock state for the Lynx fast path
+	slots     []Slot     // Lines * PagesPerLine
 
 	// FetchGate serializes page fetches of this node in virtual time,
 	// modeling the prototype's MPI limitation that only one thread can use
@@ -102,11 +111,13 @@ func New(node, pageSize, lines, pagesPerLine, wbCapacity int) *Cache {
 		Lines:        lines,
 		PagesPerLine: pagesPerLine,
 		lineLocks:    make([]sync.Mutex, lines),
+		lineSync:     make([]LineSync, lines),
 		slots:        make([]Slot, lines*pagesPerLine),
 		wbCap:        wbCapacity,
 	}
 	for i := range c.slots {
 		c.slots[i].Page = -1
+		c.slots[i].DataPage = -1
 	}
 	c.usedSet = make([]bool, lines)
 	return c
@@ -328,10 +339,11 @@ func (c *Cache) ForEachLine(fn func(l int, slots []*Slot)) {
 }
 
 // Reset invalidates every slot and clears the write buffer (collective
-// reinitialization between measurement phases).
+// reinitialization between measurement phases, and Cygnus crash wipes).
 func (c *Cache) Reset() {
 	for l := 0; l < c.Lines; l++ {
 		c.lineLocks[l].Lock()
+		c.BumpLineGen(l)
 		for i := 0; i < c.PagesPerLine; i++ {
 			c.slots[l*c.PagesPerLine+i].Invalidate()
 			c.slots[l*c.PagesPerLine+i].ReadyAt = 0

@@ -31,9 +31,12 @@
 package coherence
 
 import (
+	"encoding/binary"
 	"fmt"
 	"runtime"
 	"sort"
+	"sync/atomic"
+	"unsafe"
 
 	"argo/internal/cache"
 	"argo/internal/directory"
@@ -93,11 +96,17 @@ type Options struct {
 	// derived from the host's CPU count, so virtual-time results are
 	// machine-independent. Values below 1 mean serial sweeps.
 	FenceWorkers int
+	// YieldEvery thins the host-scheduler yield at write-miss page opens
+	// to every Kth open per thread. Values of 1 or below yield at every
+	// open (the historical behaviour); larger values trade interleaving
+	// fidelity on few-CPU hosts for streaming-write throughput. Host-side
+	// only: no virtual-time effect.
+	YieldEvery int
 }
 
 // DefaultOptions returns Argo's default protocol configuration.
 func DefaultOptions() Options {
-	return Options{Mode: ModePS3, FencePerPage: 10, CheckpointPageCost: 3000, FenceWorkers: 4}
+	return Options{Mode: ModePS3, FencePerPage: 10, CheckpointPageCost: 3000, FenceWorkers: 4, YieldEvery: 1}
 }
 
 // Node is the per-node coherence agent: it owns the node's page cache and
@@ -178,38 +187,179 @@ func NewNode(id int, fab *fabric.Fabric, space *mem.Space, dir *directory.Direct
 // ReadAt copies len(dst) bytes at global address addr into dst through the
 // page cache, faulting pages in as needed.
 func (n *Node) ReadAt(p *sim.Proc, addr mem.Addr, dst []byte) {
-	ps := n.Space.PageSize
-	for len(dst) > 0 {
-		page := n.Space.PageOf(addr)
-		off := int(addr) % ps
-		seg := ps - off
-		if seg > len(dst) {
-			seg = len(dst)
-		}
-		n.readSegment(p, page, off, dst[:seg])
-		dst = dst[seg:]
-		addr += mem.Addr(seg)
-	}
+	n.ReadSegs(p, addr, len(dst), func(off int, data []byte) {
+		copy(dst[off:], data)
+	})
 }
 
 // WriteAt writes src to global address addr through the page cache,
 // faulting and write-missing pages as needed.
 func (n *Node) WriteAt(p *sim.Proc, addr mem.Addr, src []byte) {
+	n.WriteSegs(p, addr, len(src), func(off int, data []byte) {
+		copy(data, src[off:])
+	})
+}
+
+// ReadSegs walks the page segments of [addr, addr+nbytes) and hands each
+// segment's in-cache bytes to fn under the line lock, faulting pages in as
+// needed. off is the segment's offset into the logical range. fn must only
+// read the bytes and must not retain the slice. Accounting (hit counters,
+// ReadyAt and access-cost advances) is exactly that of ReadAt — ReadAt is
+// this with a copy — but callers that can decode in place skip the bounce
+// through an intermediate buffer.
+func (n *Node) ReadSegs(p *sim.Proc, addr mem.Addr, nbytes int, fn func(off int, data []byte)) {
 	ps := n.Space.PageSize
-	for len(src) > 0 {
+	for done := 0; done < nbytes; {
 		page := n.Space.PageOf(addr)
 		off := int(addr) % ps
 		seg := ps - off
-		if seg > len(src) {
-			seg = len(src)
+		if seg > nbytes-done {
+			seg = nbytes - done
 		}
-		n.writeSegment(p, page, off, src[:seg])
-		src = src[seg:]
+		l := n.Cache.LineOf(page)
+		n.Cache.LockLine(l)
+		s := n.Cache.SlotFor(page)
+		if s.Page != page || s.St == cache.Invalid {
+			n.St.ReadMisses.Add(1)
+			n.ev(p, trace.EvReadMiss, page, 0)
+			if n.MX != nil {
+				n.Cache.MX.Misses.Inc()
+				n.MX.Pages.ReadMiss(page)
+			}
+			n.fetchLineLocked(p, l, page)
+			s = n.Cache.SlotFor(page)
+		} else {
+			p.Hits++
+			if n.MX != nil {
+				n.Cache.MX.Hits.Inc()
+			}
+		}
+		p.AdvanceTo(s.ReadyAt)
+		p.Advance(n.accessCost(seg))
+		fn(done, s.Data[off:off+seg])
+		n.Cache.UnlockLine(l)
+		done += seg
 		addr += mem.Addr(seg)
 	}
 }
 
-func (n *Node) readSegment(p *sim.Proc, page, off int, dst []byte) {
+// WriteSegs walks the page segments of [addr, addr+nbytes) and hands each
+// segment's in-cache bytes to fn under the line lock for in-place encoding,
+// faulting and write-missing pages as needed. off is the segment's offset
+// into the logical range; fn must fill the whole slice. Accounting is
+// exactly that of WriteAt (which is this with a copy).
+func (n *Node) WriteSegs(p *sim.Proc, addr mem.Addr, nbytes int, fn func(off int, data []byte)) {
+	ps := n.Space.PageSize
+	for done := 0; done < nbytes; {
+		page := n.Space.PageOf(addr)
+		off := int(addr) % ps
+		seg := ps - off
+		if seg > nbytes-done {
+			seg = nbytes - done
+		}
+		l := n.Cache.LineOf(page)
+		n.Cache.LockLine(l)
+		s := n.Cache.SlotFor(page)
+		if s.Page != page || s.St == cache.Invalid {
+			n.St.ReadMisses.Add(1) // write-allocate: fetch the page first
+			if n.MX != nil {
+				n.Cache.MX.Misses.Inc()
+				n.MX.Pages.ReadMiss(page)
+			}
+			n.fetchLineLocked(p, l, page)
+			s = n.Cache.SlotFor(page)
+		} else {
+			p.Hits++
+			if n.MX != nil {
+				n.Cache.MX.Hits.Inc()
+			}
+		}
+		p.AdvanceTo(s.ReadyAt)
+
+		victim, evict := -1, false
+		miss := s.St == cache.Clean
+		if miss {
+			victim, evict = n.writeMissLocked(p, s)
+		}
+		p.Advance(n.accessCost(seg))
+		fn(done, s.Data[off:off+seg])
+		n.Cache.UnlockLine(l)
+
+		if evict {
+			// Write-buffer overflow: downgrade the oldest dirty page. Done
+			// after releasing the current line lock to keep lock order safe.
+			n.WritebackIfDirty(p, victim)
+		}
+		if miss {
+			n.maybeYield(p)
+		}
+		done += seg
+		addr += mem.Addr(seg)
+	}
+}
+
+// maybeYield yields the host scheduler at page-open points so the write
+// streams of a node's threads interleave as they would under preemptive
+// scheduling (on few-CPU hosts simulated threads otherwise run their whole
+// loops back to back and the write buffer never sees concurrent streams).
+// No semantic effect. Options.YieldEvery thins it to every Kth page open,
+// so streaming writes stop paying a scheduler yield per fresh page.
+func (n *Node) maybeYield(p *sim.Proc) {
+	if k := n.Opt.YieldEvery; k > 1 {
+		p.Opens++
+		if p.Opens%int64(k) != 0 {
+			return
+		}
+	}
+	runtime.Gosched()
+}
+
+// wordable reports whether word-granular access at addr can use the Lynx
+// fast path and the word-locked slow path: an aligned address, a TLB to
+// consult, and a page geometry that keeps whole words inside one page.
+func (n *Node) wordable(tb *cache.TLB, addr mem.Addr) bool {
+	return tb != nil && addr&7 == 0 && n.Cache.PageSize&7 == 0
+}
+
+// ReadWord reads the little-endian 64-bit word at addr through the page
+// cache. On a TLB hit it runs lock-free: two generation loads bracket one
+// atomic word load (seqlock), with the exact accounting of a locked hit —
+// anything else falls back to the line-locked path, which refills tb.
+func (n *Node) ReadWord(p *sim.Proc, tb *cache.TLB, addr mem.Addr) uint64 {
+	if !n.wordable(tb, addr) {
+		var b [8]byte
+		n.ReadAt(p, addr, b[:])
+		return binary.LittleEndian.Uint64(b[:])
+	}
+	page := n.Space.PageOf(addr)
+	e := tb.Entry(page)
+	if e.Page == page {
+		g := e.Sync.Gen.Load()
+		if g == e.G {
+			off := int(addr) & (n.Cache.PageSize - 1)
+			v := atomic.LoadUint64((*uint64)(unsafe.Pointer(&e.Data[off])))
+			if e.Sync.Gen.Load() == g {
+				// Validated hit: the generation was stable across the load,
+				// so v is the page content a locked hit would have copied.
+				p.Hits++
+				if n.MX != nil {
+					n.Cache.MX.Hits.Inc()
+				}
+				p.AdvanceTo(e.ReadyAt)
+				p.Advance(n.Fab.P.CacheHit)
+				return v
+			}
+		}
+	}
+	return n.readWordLocked(p, tb, addr)
+}
+
+// readWordLocked is the line-locked word read: the same protocol and
+// accounting as an 8-byte ReadAt (accessCost(8) is one CacheHit), plus a
+// TLB refill so the thread's next access to the page can go lock-free.
+func (n *Node) readWordLocked(p *sim.Proc, tb *cache.TLB, addr mem.Addr) uint64 {
+	page := n.Space.PageOf(addr)
+	off := int(addr) & (n.Cache.PageSize - 1)
 	l := n.Cache.LineOf(page)
 	n.Cache.LockLine(l)
 	s := n.Cache.SlotFor(page)
@@ -229,12 +379,57 @@ func (n *Node) readSegment(p *sim.Proc, page, off int, dst []byte) {
 		}
 	}
 	p.AdvanceTo(s.ReadyAt)
-	p.Advance(n.accessCost(len(dst)))
-	copy(dst, s.Data[off:off+len(dst)])
+	p.Advance(n.Fab.P.CacheHit)
+	v := binary.LittleEndian.Uint64(s.Data[off:])
+	n.Cache.FillTLB(tb, l, s)
 	n.Cache.UnlockLine(l)
+	return v
 }
 
-func (n *Node) writeSegment(p *sim.Proc, page, off int, src []byte) {
+// WriteWord writes the little-endian 64-bit word v at addr through the page
+// cache. A dirty-page TLB hit runs lock-free: the thread announces itself on
+// the line's active-writer counter, validates the generation, and stores the
+// word atomically — the write-miss protocol (twin, registration, write
+// buffer) was already paid when the page turned dirty, so a locked hit would
+// have done nothing more. Everything else falls back to the locked path.
+func (n *Node) WriteWord(p *sim.Proc, tb *cache.TLB, addr mem.Addr, v uint64) {
+	if !n.wordable(tb, addr) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		n.WriteAt(p, addr, b[:])
+		return
+	}
+	page := n.Space.PageOf(addr)
+	e := tb.Entry(page)
+	if e.Page == page && e.Dirty && e.Sync.Gen.Load() == e.G {
+		sy := e.Sync
+		sy.Act.Add(1)
+		if sy.Gen.Load() == e.G {
+			// Validated: any later downgrade bumps the generation and then
+			// drains Act, so this store is diffed before the page turns
+			// clean — the write cannot be lost.
+			off := int(addr) & (n.Cache.PageSize - 1)
+			atomic.StoreUint64((*uint64)(unsafe.Pointer(&e.Data[off])), v)
+			sy.Act.Add(-1)
+			p.Hits++
+			if n.MX != nil {
+				n.Cache.MX.Hits.Inc()
+			}
+			p.AdvanceTo(e.ReadyAt)
+			p.Advance(n.Fab.P.CacheHit)
+			return
+		}
+		sy.Act.Add(-1)
+	}
+	n.writeWordLocked(p, tb, addr, v)
+}
+
+// writeWordLocked is the line-locked word write: the same protocol and
+// accounting as an 8-byte WriteAt, plus a TLB refill (which, with the slot
+// now dirty, arms the write fast path for the thread's next store).
+func (n *Node) writeWordLocked(p *sim.Proc, tb *cache.TLB, addr mem.Addr, v uint64) {
+	page := n.Space.PageOf(addr)
+	off := int(addr) & (n.Cache.PageSize - 1)
 	l := n.Cache.LineOf(page)
 	n.Cache.LockLine(l)
 	s := n.Cache.SlotFor(page)
@@ -259,22 +454,16 @@ func (n *Node) writeSegment(p *sim.Proc, page, off int, src []byte) {
 	if miss {
 		victim, evict = n.writeMissLocked(p, s)
 	}
-	p.Advance(n.accessCost(len(src)))
-	copy(s.Data[off:off+len(src)], src)
+	p.Advance(n.Fab.P.CacheHit)
+	binary.LittleEndian.PutUint64(s.Data[off:], v)
+	n.Cache.FillTLB(tb, l, s)
 	n.Cache.UnlockLine(l)
 
 	if evict {
-		// Write-buffer overflow: downgrade the oldest dirty page. Done
-		// after releasing the current line lock to keep lock order safe.
 		n.WritebackIfDirty(p, victim)
 	}
 	if miss {
-		// Yield at page-open points so the write streams of a node's
-		// threads interleave as they would under preemptive scheduling
-		// (on few-CPU hosts simulated threads otherwise run their whole
-		// loops back to back and the write buffer never sees concurrent
-		// streams). No semantic effect.
-		runtime.Gosched()
+		n.maybeYield(p)
 	}
 }
 
@@ -356,6 +545,11 @@ func (n *Node) fetchLineLocked(p *sim.Proc, l, page int) {
 	base := n.Cache.LineBase(page)
 	slots := n.Cache.SlotsOfLine(l)
 
+	// The refill mutates slot state and (via conflict eviction) reads slot
+	// data for diffs: invalidate the line's TLB entries and drain fast-path
+	// writers before touching anything.
+	n.Cache.BumpLineGen(l)
+
 	t0 := p.Now()
 	var regs []fabric.AtomicItem
 	pages := make(map[int]int, 4)
@@ -380,7 +574,14 @@ func (n *Node) fetchLineLocked(p *sim.Proc, l, page int) {
 		}
 		s.Invalidate()
 		s.Page = want
+		if s.Data != nil && s.DataPage != want {
+			// Never rebind a buffer to a different page: a stale TLB entry
+			// of the old page may still issue speculative (discarded) loads
+			// into it, which must keep reading bytes of that page.
+			s.Data = nil
+		}
 		n.Cache.EnsureData(s)
+		s.DataPage = want
 
 		home := n.Space.HomeOf(want)
 		// The line's registrations and page transfers are independent
@@ -418,8 +619,17 @@ func (n *Node) fetchLineLocked(p *sim.Proc, l, page int) {
 	}
 	n.registerBurst(p, regs)
 	n.Fab.LineFetch(p, pages, n.Cache.PageSize, uint64(base))
+	words := n.Cache.PageSize&7 == 0
 	for _, s := range fetched {
-		n.Space.ReadPage(s.Page, s.Data)
+		if words && cache.WordAligned(s.Data) {
+			// Word-atomic refill: concurrent lock-free readers validating
+			// stale TLB entries may load from this buffer (and discard the
+			// value on the generation mismatch); atomic stores keep that
+			// overlap race-free.
+			n.Space.ReadPageWords(s.Page, s.Data)
+		} else {
+			n.Space.ReadPage(s.Page, s.Data)
+		}
 		s.St = cache.Clean
 		s.ReadyAt = p.Now()
 	}
@@ -511,6 +721,11 @@ func (n *Node) writebackSlotLocked(p *sim.Proc, s *cache.Slot) bool {
 	page := s.Page
 	home := n.Space.HomeOf(page)
 
+	// The page is about to turn clean and its data is about to be read for
+	// the diff: invalidate TLB entries and drain fast-path writers so every
+	// store that validated against the old generation is included.
+	n.Cache.BumpLineGen(n.Cache.LineOf(page))
+
 	var preferFull func() bool
 	if n.Opt.SWDiffSuppress && n.Opt.Mode == ModePS3 {
 		preferFull = func() bool {
@@ -569,6 +784,7 @@ func (n *Node) writebackUntilDelivered(p *sim.Proc, s *cache.Slot) {
 // paper's naive scheme the data would move only when a consumer pulls it,
 // and the consumer pays a full page fetch either way.
 func (n *Node) checkpointSlotLocked(p *sim.Proc, s *cache.Slot) {
+	n.Cache.BumpLineGen(n.Cache.LineOf(s.Page)) // Dirty→Clean: drain fast writers
 	p.Advance(n.Opt.CheckpointPageCost + n.Fab.P.CopyCost(n.Cache.PageSize))
 	n.St.Checkpoints.Add(1)
 	n.ev(p, trace.EvCheckpoint, s.Page, 0)
@@ -614,6 +830,7 @@ func ShouldSelfInvalidate(m Mode, e directory.Entry, self int) bool {
 // adaptive reclassification. The caller must have quiesced all threads.
 func (n *Node) ResetForPhase() {
 	n.Cache.ForEachUsedLine(func(l int, slots []*cache.Slot) {
+		n.Cache.BumpLineGen(l)
 		for _, s := range slots {
 			if s.Page >= 0 && s.St == cache.Dirty {
 				// Diff against the twin so concurrent dirty copies of the

@@ -115,6 +115,10 @@ type burstItem struct {
 // writebackSlotLocked with the posted write split off into the fence's burst.
 func (n *Node) downgradeSlotLocked(wp *sim.Proc, s *cache.Slot) burstItem {
 	page := s.Page
+	// Dirty→Clean: invalidate the line's TLB entries and drain lock-free
+	// writers before the diff reads the data, so no fast-path store that
+	// validated against the old generation can be missed (see cache/tlb.go).
+	n.Cache.BumpLineGen(n.Cache.LineOf(page))
 	var preferFull func() bool
 	if n.Opt.SWDiffSuppress && n.Opt.Mode == ModePS3 {
 		preferFull = func() bool {
@@ -258,6 +262,7 @@ func (n *Node) siSweepShard(wp *sim.Proc, lines []int, out *siShard) {
 	n.Dir.CachedMany(n.ID, pages, entries)
 	for i := 0; i < len(refs); {
 		l := refs[i].line
+		bumped := false
 		n.Cache.LockLine(l)
 		for ; i < len(refs) && refs[i].line == l; i++ {
 			s := refs[i].s
@@ -269,6 +274,13 @@ func (n *Node) siSweepShard(wp *sim.Proc, lines []int, out *siShard) {
 				n.ev(wp, trace.EvKeep, s.Page, 0)
 				out.kept++
 				continue
+			}
+			if !bumped {
+				// Lazy per-line TLB shoot-down: only lines that actually
+				// invalidate something pay the generation bump, so exempted
+				// (kept) pages keep their fast-path entries across the fence.
+				n.Cache.BumpLineGen(l)
+				bumped = true
 			}
 			if s.St == cache.Dirty {
 				out.items = append(out.items, n.downgradeSlotLocked(wp, s))

@@ -62,6 +62,18 @@ type Config struct {
 	// structural invariants on every node (tests and debugging; the sweep
 	// is host-time only).
 	Paranoia bool
+	// NoAccessTLB disables the Lynx per-thread access-translation cache:
+	// every scalar access takes the line-locked slow path. Results are
+	// bit-identical either way (the fast path reproduces the locked path's
+	// accounting exactly); the switch exists for A/B regression tests and
+	// for diagnosing suspected fast-path issues.
+	NoAccessTLB bool
+	// WriteYieldEvery thins the host-scheduler yield a thread pays at each
+	// write-miss page open to every Kth open (see coherence.Options
+	// YieldEvery). Zero or one yields at every open — the historical
+	// behaviour, which maximizes write-stream interleaving on few-CPU
+	// hosts. Host-side only: no virtual-time effect.
+	WriteYieldEvery int
 
 	// Interconnect cost model.
 	Net fabric.Params
@@ -117,6 +129,7 @@ func (c *Config) Validate() error {
 		{"WriteBufferPages", int64(c.WriteBufferPages)},
 		{"DecayEpochs", int64(c.DecayEpochs)},
 		{"EagerDrainPages", int64(c.EagerDrainPages)},
+		{"WriteYieldEvery", int64(c.WriteYieldEvery)},
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("core: %s must not be negative, got %d", f.name, f.v)
@@ -256,6 +269,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	opt := coherence.DefaultOptions()
 	opt.Mode = cfg.Mode
 	opt.SWDiffSuppress = cfg.SWDiffSuppress
+	if cfg.WriteYieldEvery > 0 {
+		opt.YieldEvery = cfg.WriteYieldEvery
+	}
 	for n := 0; n < cfg.Nodes; n++ {
 		pc := cache.New(n, cfg.PageSize, cfg.CacheLines, cfg.PagesPerLine, cfg.WriteBufferPages)
 		cl.Nodes = append(cl.Nodes, coherence.NewNode(n, fab, space, dir, pc, opt))
@@ -429,7 +445,10 @@ type Thread struct {
 	// episode a Cygnus crash verdict applies to.
 	SyncEpoch int64
 
-	buf [8]byte
+	// tlb is the Lynx per-thread access-translation cache (nil when
+	// Config.NoAccessTLB): scalar accesses that hit in it skip the line
+	// mutex entirely. Like the Thread itself it is single-goroutine.
+	tlb *cache.TLB
 }
 
 // Run launches threadsPerNode simulated threads on every node, runs body on
@@ -460,6 +479,9 @@ func (c *Cluster) RunSeeded(threadsPerNode int, seed int64, body func(t *Thread)
 				Rank: r, Node: node, Local: l, NT: nt, TPN: threadsPerNode,
 				P: p, C: c, Coh: c.Nodes[node], Bar: bar,
 				Rng: rand.New(rand.NewSource(seed + int64(r)*1_000_003)),
+			}
+			if !c.Cfg.NoAccessTLB {
+				threads[r].tlb = cache.NewTLB()
 			}
 			procs[r] = p
 		}
@@ -512,16 +534,17 @@ func (t *Thread) ReadBytes(a mem.Addr, dst []byte) { t.Coh.ReadAt(t.P, a, dst) }
 // WriteBytes writes src to global address a.
 func (t *Thread) WriteBytes(a mem.Addr, src []byte) { t.Coh.WriteAt(t.P, a, src) }
 
-// ReadU64 reads a little-endian 64-bit word at a.
+// ReadU64 reads a little-endian 64-bit word at a. Lynx hits (a valid TLB
+// entry for the page) load the word straight from the cached page without
+// taking the line lock or bouncing through a scratch buffer.
 func (t *Thread) ReadU64(a mem.Addr) uint64 {
-	t.Coh.ReadAt(t.P, a, t.buf[:])
-	return leU64(t.buf[:])
+	return t.Coh.ReadWord(t.P, t.tlb, a)
 }
 
-// WriteU64 writes a little-endian 64-bit word at a.
+// WriteU64 writes a little-endian 64-bit word at a (zero-copy on Lynx
+// dirty-page hits, see ReadU64).
 func (t *Thread) WriteU64(a mem.Addr, v uint64) {
-	putLeU64(t.buf[:], v)
-	t.Coh.WriteAt(t.P, a, t.buf[:])
+	t.Coh.WriteWord(t.P, t.tlb, a, v)
 }
 
 // ReadI64 reads an int64 at a.

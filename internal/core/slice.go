@@ -75,25 +75,50 @@ func Set[T Element](t *Thread, s Slice[T], i int, v T) {
 	t.WriteU64(s.At(i), toBits(v))
 }
 
-// ReadRange bulk-reads elements [lo,hi) into dst (len(dst) >= hi-lo).
+// ReadRange bulk-reads elements [lo,hi) into dst (len(dst) >= hi-lo),
+// decoding in place per page segment — no intermediate copy of the whole
+// range. Slices are 8-byte aligned (Alloc guarantees it), so page segments
+// land on element boundaries whenever the page size is a multiple of 8; the
+// rare degenerate geometry falls back to the scratch-buffer path.
 func ReadRange[T Element](t *Thread, s Slice[T], lo, hi int, dst []T) {
 	n := hi - lo
-	raw := scratch(n * 8)
-	t.Coh.ReadAt(t.P, s.At(lo), raw)
-	for i := 0; i < n; i++ {
-		dst[i] = fromBits[T](leU64(raw[i*8:]))
+	if t.Coh.Cache.PageSize&7 != 0 {
+		raw := scratch(n * 8)
+		t.Coh.ReadAt(t.P, s.At(lo), raw)
+		for i := 0; i < n; i++ {
+			dst[i] = fromBits[T](leU64(raw[i*8:]))
+		}
+		putScratch(raw)
+		return
 	}
-	putScratch(raw)
+	t.Coh.ReadSegs(t.P, s.At(lo), n*8, func(off int, data []byte) {
+		e := off / 8
+		for i := 0; i+8 <= len(data); i += 8 {
+			dst[e] = fromBits[T](leU64(data[i:]))
+			e++
+		}
+	})
 }
 
-// WriteRange bulk-writes src to elements [lo, lo+len(src)).
+// WriteRange bulk-writes src to elements [lo, lo+len(src)), encoding in
+// place per page segment (see ReadRange for the geometry fallback).
 func WriteRange[T Element](t *Thread, s Slice[T], lo int, src []T) {
-	raw := scratch(len(src) * 8)
-	for i, v := range src {
-		putLeU64(raw[i*8:], toBits(v))
+	if t.Coh.Cache.PageSize&7 != 0 {
+		raw := scratch(len(src) * 8)
+		for i, v := range src {
+			putLeU64(raw[i*8:], toBits(v))
+		}
+		t.Coh.WriteAt(t.P, s.At(lo), raw)
+		putScratch(raw)
+		return
 	}
-	t.Coh.WriteAt(t.P, s.At(lo), raw)
-	putScratch(raw)
+	t.Coh.WriteSegs(t.P, s.At(lo), len(src)*8, func(off int, data []byte) {
+		e := off / 8
+		for i := 0; i+8 <= len(data); i += 8 {
+			putLeU64(data[i:], toBits(src[e]))
+			e++
+		}
+	})
 }
 
 // InitSlice writes vals directly into home memory with no protocol activity

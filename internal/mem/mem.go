@@ -16,8 +16,10 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Addr is a byte offset into the global address space.
@@ -51,6 +53,8 @@ type Space struct {
 	Nodes    int
 	Policy   Policy
 
+	pageShift uint // log2(PageSize); PageSize is a power of two
+
 	pages    [][]byte       // per global page, backing storage
 	locks    []sync.RWMutex // per global page
 	cursor   atomic.Int64   // bump allocator
@@ -71,13 +75,14 @@ func NewSpace(nodes int, totalBytes int64, pageSize int, policy Policy) *Space {
 		np = 1
 	}
 	s := &Space{
-		PageSize: pageSize,
-		NPages:   np,
-		Nodes:    nodes,
-		Policy:   policy,
-		pages:    make([][]byte, np),
-		locks:    make([]sync.RWMutex, np),
-		capacity: int64(np) * int64(pageSize),
+		PageSize:  pageSize,
+		NPages:    np,
+		Nodes:     nodes,
+		Policy:    policy,
+		pageShift: uint(bits.TrailingZeros(uint(pageSize))),
+		pages:     make([][]byte, np),
+		locks:     make([]sync.RWMutex, np),
+		capacity:  int64(np) * int64(pageSize),
 	}
 	// One slab per node keeps each node's home pages contiguous in host
 	// memory, like the per-node contributions in the paper's prototype.
@@ -118,7 +123,11 @@ func (s *Space) HomeOf(p int) int {
 }
 
 // PageOf returns the global page containing address a.
-func (s *Space) PageOf(a Addr) int { return int(a) / s.PageSize }
+func (s *Space) PageOf(a Addr) int { return int(a >> s.pageShift) }
+
+// PageShift returns log2(PageSize) — page-number extraction by shift for
+// per-access hot paths (PageSize is validated to be a power of two).
+func (s *Space) PageShift() uint { return s.pageShift }
 
 // PageBase returns the first address of page p.
 func (s *Space) PageBase(p int) Addr { return Addr(p) * Addr(s.PageSize) }
@@ -163,6 +172,26 @@ func (s *Space) ResetAlloc() { s.cursor.Store(0) }
 func (s *Space) ReadPage(p int, dst []byte) {
 	s.locks[p].RLock()
 	copy(dst, s.pages[p])
+	s.locks[p].RUnlock()
+}
+
+// ReadPageWords is ReadPage with the destination stores performed as
+// aligned 8-byte atomics. Cache refills use it when the Lynx lock-free read
+// path is possible for the slot: a fast-path reader may load a word of the
+// destination buffer concurrently (it discards the value after its seqlock
+// generation check fails), and atomic stores keep that benign overlap
+// race-detector-clean. dst must be 8-byte aligned with len(dst)%8 == 0; the
+// caller falls back to ReadPage otherwise.
+func (s *Space) ReadPageWords(p int, dst []byte) {
+	s.locks[p].RLock()
+	src := s.pages[p]
+	n := len(src)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i+8 <= n; i += 8 {
+		atomic.StoreUint64((*uint64)(unsafe.Pointer(&dst[i])), binary.LittleEndian.Uint64(src[i:]))
+	}
 	s.locks[p].RUnlock()
 }
 

@@ -37,6 +37,10 @@ type Proc struct {
 	// Hits is a hot-path counter (page-cache hits) kept thread-local to
 	// avoid cache-line contention; aggregate it at the end of a run.
 	Hits int64
+
+	// Opens counts write-miss page opens (host-side only; the coherence
+	// layer uses it to pace its scheduler-yield cadence).
+	Opens int64
 }
 
 // Now returns the Proc's current virtual time.

@@ -1,0 +1,139 @@
+// Lynx regression tests: the per-thread access TLB is a host-side fast
+// path only — it must not change a single virtual-time or protocol
+// decision. These tests run the deterministic workloads twice, with the
+// TLB enabled (default) and disabled (Config.NoAccessTLB), and require
+// bit-identical reports; plus a zero-allocation guarantee on scalar hits.
+package argo_test
+
+import (
+	"testing"
+
+	"argo"
+	"argo/internal/core"
+	"argo/internal/fault"
+	"argo/internal/workloads/drf"
+	"argo/internal/workloads/lu"
+)
+
+// withTLBDisabled runs fn with every cluster forced onto the locked-only
+// access path, restoring the default afterwards.
+func withTLBDisabled(t *testing.T, fn func()) {
+	t.Helper()
+	prev := core.ConfigHook
+	core.ConfigHook = func(cfg *core.Config) {
+		if prev != nil {
+			prev(cfg)
+		}
+		cfg.NoAccessTLB = true
+	}
+	defer func() { core.ConfigHook = prev }()
+	fn()
+}
+
+func TestScalarHitZeroAlloc(t *testing.T) {
+	cfg := argo.DefaultConfig(1)
+	cfg.MemoryBytes = 1 << 20
+	c := argo.MustNewCluster(cfg)
+	xs := c.AllocF64(512)
+	var allocs float64
+	c.Run(1, func(th *argo.Thread) {
+		th.SetF64(xs, 0, 1) // warm: page resident and dirty, TLB filled
+		allocs = testing.AllocsPerRun(200, func() {
+			v := th.GetF64(xs, 0)
+			th.SetF64(xs, 1, v+1)
+		})
+	})
+	if allocs != 0 {
+		t.Fatalf("scalar hit allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestReplayIdenticalFaultFreeRing(t *testing.T) {
+	on, err := drf.RunRing(drf.DefaultRing(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off drf.Report
+	withTLBDisabled(t, func() {
+		off, err = drf.RunRing(drf.DefaultRing(4))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Makespan != off.Makespan || on.Digest != off.Digest {
+		t.Fatalf("TLB changed the fault-free ring: makespan %d vs %d, digest %016x vs %016x",
+			on.Makespan, off.Makespan, on.Digest, off.Digest)
+	}
+}
+
+func TestReplayIdenticalUnderCorvus(t *testing.T) {
+	plan, err := fault.ParsePlan("drop=0.01,stall=5us,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := drf.DefaultRing(4)
+	pr.Faults = &plan
+	on, err := drf.RunRing(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off drf.Report
+	withTLBDisabled(t, func() {
+		off, err = drf.RunRing(pr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Makespan != off.Makespan || on.Digest != off.Digest || on.Faults != off.Faults {
+		t.Fatalf("TLB changed the faulty ring: makespan %d vs %d, digest %016x vs %016x, faults %+v vs %+v",
+			on.Makespan, off.Makespan, on.Digest, off.Digest, on.Faults, off.Faults)
+	}
+}
+
+func TestReplayIdenticalUnderCrashes(t *testing.T) {
+	plan := fault.DefaultPlan(7)
+	plan.Crash = 0.05
+	plan.CrashRestart = true
+	pr := drf.DefaultRing(6)
+	pr.Faults = &plan
+	on, err := drf.RunRingCrash(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off drf.CrashReport
+	withTLBDisabled(t, func() {
+		off, err = drf.RunRingCrash(pr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on != off {
+		t.Fatalf("TLB changed the crash ring:\n on: %+v\noff: %+v", on, off)
+	}
+}
+
+func TestReplayIdenticalChaosLU(t *testing.T) {
+	plan := fault.DefaultPlan(11)
+	plan.Crash = 0.03
+	plan.Partition = 0.1
+	plan.PartitionDur = 2
+	p := lu.DefaultCrashParams()
+	p.Faults = &plan
+	on, err := lu.RunCrash(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off lu.CrashReport
+	withTLBDisabled(t, func() {
+		off, err = lu.RunCrash(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LU makespans are scheduling-dependent (contended home NICs, see
+	// DESIGN.md §13); the protocol decisions and the answer must match.
+	if on.Digest != off.Digest || on.Epoch != off.Epoch || on.Deaths != off.Deaths ||
+		on.Partitions != off.Partitions || on.History != off.History {
+		t.Fatalf("TLB changed chaos LU:\n on: %+v\noff: %+v", on, off)
+	}
+}
