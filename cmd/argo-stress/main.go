@@ -8,28 +8,32 @@
 //	argo-stress -n 200 -seed 42
 //
 // Chaos mode (-chaos) arms the whole fault stack from one spec — transient
-// Corvus rates, Cygnus crash-stops, Cygnus II partial partitions and
-// safe-point arming — and re-runs every program under a sweep of transient
-// rates, asserting that answers stay bit-identical to the fault-free run
-// and that the deterministic workloads replay bit-exactly:
+// Corvus rates, Cygnus crash-stops and crash-restarts, Cygnus II partial
+// partitions, Cygnus III one-way cuts and safe-point arming — and re-runs
+// every program under a sweep of transient rates, asserting that answers
+// stay bit-identical to the fault-free run and that the deterministic
+// workloads replay bit-exactly:
 //
 //	argo-stress -n 50 -seed 42 -chaos drop=0.01,stall=5us,seed=42
 //
-// A crash rate in the spec (or the deprecated -crash flag) additionally
-// sweeps Cygnus crash-stop and crash-restart node failures over the
-// crash-tolerant ring workload, asserting that survivors repair the dead
-// nodes' shards to the bit-exact fault-free answer and that crash
-// schedules, membership-epoch histories and makespans replay identically:
+// A crash or partition rate in the spec (or the deprecated -crash flag)
+// additionally sweeps Cygnus crash-stop and crash-restart node failures
+// over the crash-tolerant ring workload under the full spec, asserting that
+// survivors repair the dead nodes' shards to the bit-exact fault-free
+// answer and that crash schedules, membership-epoch histories and makespans
+// replay identically:
 //
 //	argo-stress -seed 42 -chaos crash=0.02
 //
-// A crash or partition rate also runs the crash-tolerant LU factorization
-// under the full spec, asserting the same recovery guarantee with
-// mid-factorization deaths and healing partial partitions; LU replays
-// compare membership decisions and digests rather than makespans (its NIC
-// contention makes virtual times scheduling-dependent, see DESIGN.md §13):
+// It also runs the crash-tolerant LU factorization under the full spec,
+// asserting the same recovery guarantee with mid-factorization deaths,
+// restarts and healing partitions — symmetric (partcut=K) or asymmetric
+// one-way (partcut=a>b; quote the spec, the shell wants the '>'); LU
+// replays compare membership decisions and digests rather than makespans
+// (its NIC contention makes virtual times scheduling-dependent, see
+// DESIGN.md §13):
 //
-//	argo-stress -n 0 -seed 42 -chaos crash=0.03,partition=0.1,partdur=2
+//	argo-stress -n 0 -seed 42 -chaos 'crash=0.03,crashrestart=on,partition=0.1,partdur=2,partcut=1>4'
 //
 // -digests prints one "answers-digest:" line per program (the final home
 // memory's FNV-64a). At a fixed -seed these lines are comparable across
@@ -148,16 +152,19 @@ func main() {
 	luPlan := plan
 	plan.Crash = 0
 	plan.Partition = 0
+	plan.PartitionOneWay = false
+	plan.PartitionFrom, plan.PartitionTo = 0, 0
 	plan.CrashPoints = 0
 
-	if crashRate > 0 {
+	if crashRate > 0 || luPlan.Partition > 0 {
 		// Crash sweep: the crash-tolerant ring under crash-stop and
 		// crash-restart, at fractions and multiples of the requested rate,
-		// stacked on top of whatever transient plan -faults requested.
+		// stacked on top of the full spec — transient rates, partitions
+		// (symmetric or one-way) and all.
 		fmt.Printf("argo-stress: crash mode, ring sweep at base rate %g (seed %d)\n", crashRate, *seed)
 		for _, s := range []float64{0.5, 1, 2} {
 			for _, restart := range []bool{false, true} {
-				p := plan
+				p := luPlan
 				if !chaos {
 					p = fault.DefaultPlan(*seed)
 				}
@@ -169,30 +176,29 @@ func main() {
 				rep, err := drf.ReplayCrashCheck(drf.DefaultRing(6), p)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "\nCRASH FAIL at rate x%g restart=%v: %v\n", s, restart, err)
-					fmt.Fprintf(os.Stderr, "reproduce with: argo-stress -seed %d -chaos crash=%g\n", *seed, crashRate)
+					fmt.Fprintf(os.Stderr, "reproduce with: argo-stress -seed %d -chaos '%s'\n", *seed, p.String())
 					os.Exit(1)
 				}
-				fmt.Printf("  crash x%-4g restart=%-5v ok: deaths=%d epochs=%d makespan=%d\n",
-					s, restart, rep.Deaths, rep.Epoch, rep.Makespan)
+				fmt.Printf("  crash x%-4g restart=%-5v ok: deaths=%d suspects=%d epochs=%d makespan=%d digest=%016x\n",
+					s, restart, rep.Deaths, rep.Suspects, rep.Epoch, rep.Makespan, rep.Digest)
 			}
 		}
 	}
 
 	if crashRate > 0 || luPlan.Partition > 0 {
-		// Chaos LU: mid-factorization crash-stops and healing partial
-		// partitions under the full spec, on the repair-planner LU.
+		// Chaos LU: mid-factorization crash-stops, crash-restarts and healing
+		// partial partitions under the full spec, on the repair-planner LU.
 		p := luPlan
 		if !chaos {
 			p = fault.DefaultPlan(*seed)
 		}
 		p.Crash = crashRate
-		p.CrashRestart = false // the LU planner rejects restart plans
-		fmt.Printf("argo-stress: chaos LU, crash=%g partition=%g partdur=%d (seed %d)\n",
-			p.Crash, p.Partition, p.PartitionDur, *seed)
+		fmt.Printf("argo-stress: chaos LU, crash=%g restart=%v partition=%g partdur=%d (seed %d)\n",
+			p.Crash, p.CrashRestart, p.Partition, p.PartitionDur, *seed)
 		rep, err := lu.ReplayCrashCheck(lu.DefaultCrashParams(), p)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "\nCHAOS LU FAIL: %v\n", err)
-			fmt.Fprintf(os.Stderr, "reproduce with: argo-stress -n 0 -seed %d -chaos %s\n", *seed, p.String())
+			fmt.Fprintf(os.Stderr, "reproduce with: argo-stress -n 0 -seed %d -chaos '%s'\n", *seed, p.String())
 			os.Exit(1)
 		}
 		fmt.Printf("  chaos-lu ok: deaths=%d suspects=%d epochs=%d makespan=%d digest=%016x\n",

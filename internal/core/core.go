@@ -163,6 +163,15 @@ func (c *Config) Validate() error {
 		if err := c.Faults.Validate(); err != nil {
 			return err
 		}
+		// One-way cut endpoints are node ids; the plan cannot check them
+		// against the cluster size, so the config does. A zero partition
+		// rate means the cut can never fire, so stale endpoints are fine.
+		if c.Faults.PartitionOneWay && c.Faults.Partition > 0 {
+			if c.Faults.PartitionFrom >= c.Nodes || c.Faults.PartitionTo >= c.Nodes {
+				return fmt.Errorf("core: one-way cut %d>%d names a node outside the %d-node cluster",
+					c.Faults.PartitionFrom, c.Faults.PartitionTo, c.Nodes)
+			}
+		}
 	}
 	return nil
 }

@@ -134,39 +134,61 @@ type Fabric struct {
 	nics  []sim.Resource // per-node NIC DMA engines
 	nodes []*stats.Node
 
-	// cut, when non-nil, is the active partial partition: cut[n] marks node
-	// n as isolated on the minority side, and any operation crossing the
-	// cut (isolated↔majority in either direction) is severed — it behaves
+	// cut, when non-nil, is the active partial partition. A symmetric cut
+	// isolates a minority mask: any operation crossing the cut
+	// (isolated↔majority in either direction) is severed. A one-way cut
+	// (Cygnus III) severs only the directed link from→to: the source's
+	// traffic toward the target is dropped while every other pair —
+	// including target→source — keeps flowing. A severed operation behaves
 	// exactly like an injected drop, except that no retry budget escalates
 	// it; it cannot deliver until the cut clears. Installed and cleared only
 	// at member-barrier episode completions (package vela), so every issue
 	// site observes a deterministic cut state. Fault-free runs never touch
 	// it: the fast path is one atomic nil load.
-	cut atomic.Pointer[[]bool]
+	cut atomic.Pointer[cutState]
 }
 
-// SetCut installs a partition cut: isolated[n] puts node n on the minority
-// side. A nil or all-false slice is equivalent to ClearCut.
+// cutState is one installed partition cut: either a symmetric minority
+// mask (iso) or a directed one-way pair (oneWay/from/to).
+type cutState struct {
+	iso      []bool
+	oneWay   bool
+	from, to int
+}
+
+// SetCut installs a symmetric partition cut: isolated[n] puts node n on
+// the minority side. A nil slice is equivalent to ClearCut.
 func (f *Fabric) SetCut(isolated []bool) {
 	if isolated == nil {
 		f.cut.Store(nil)
 		return
 	}
-	c := append([]bool{}, isolated...)
-	f.cut.Store(&c)
+	f.cut.Store(&cutState{iso: append([]bool{}, isolated...)})
+}
+
+// SetOneWayCut installs an asymmetric cut severing only the directed link
+// from→to. Every issue site already passes (issuer, target) to Severed, so
+// direction-awareness needs no per-path changes: ops issued by from toward
+// to are dropped, the reverse direction and every other pair flow.
+func (f *Fabric) SetOneWayCut(from, to int) {
+	f.cut.Store(&cutState{oneWay: true, from: from, to: to})
 }
 
 // ClearCut heals the partition: full reachability is restored.
 func (f *Fabric) ClearCut() { f.cut.Store(nil) }
 
-// Severed reports whether nodes a and b are on opposite sides of the
-// active cut.
+// Severed reports whether an operation issued by node a toward node b
+// crosses the active cut. Symmetric cuts sever both directions; a one-way
+// cut severs exactly (a, b) == (from, to).
 func (f *Fabric) Severed(a, b int) bool {
 	c := f.cut.Load()
 	if c == nil {
 		return false
 	}
-	return (*c)[a] != (*c)[b]
+	if c.oneWay {
+		return a == c.from && b == c.to
+	}
+	return c.iso[a] != c.iso[b]
 }
 
 // spanFrom paints [t0, now] of the issuing thread's lane with cat.

@@ -311,3 +311,52 @@ func TestPostWriteBurstMatchesSerialFaultIdentity(t *testing.T) {
 		post = next
 	}
 }
+
+func TestCutSeveredDirections(t *testing.T) {
+	f := MustNew(testTopo(), DefaultParams())
+	if f.Severed(0, 1) || f.Severed(1, 0) {
+		t.Fatal("fresh fabric reports severed links")
+	}
+
+	// Symmetric cut: isolated={1} severs every link crossing the mask, in
+	// both directions, and nothing inside either side.
+	f.SetCut([]bool{false, true, false, false})
+	for _, c := range []struct {
+		a, b int
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {1, 2, true}, {3, 1, true},
+		{0, 2, false}, {2, 3, false}, {1, 1, false},
+	} {
+		if got := f.Severed(c.a, c.b); got != c.want {
+			t.Fatalf("symmetric cut: Severed(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+
+	// One-way cut: exactly the directed link from→to is severed; the
+	// reverse direction and every other pair stay connected.
+	f.SetOneWayCut(2, 0)
+	for _, c := range []struct {
+		a, b int
+		want bool
+	}{
+		{2, 0, true},
+		{0, 2, false}, {2, 1, false}, {2, 3, false}, {1, 0, false}, {0, 1, false},
+	} {
+		if got := f.Severed(c.a, c.b); got != c.want {
+			t.Fatalf("one-way cut: Severed(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+
+	f.ClearCut()
+	if f.Severed(2, 0) {
+		t.Fatal("cut survives ClearCut")
+	}
+
+	// SetCut(nil) is the documented tear-down alias.
+	f.SetOneWayCut(1, 3)
+	f.SetCut(nil)
+	if f.Severed(1, 3) {
+		t.Fatal("cut survives SetCut(nil)")
+	}
+}

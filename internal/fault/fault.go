@@ -39,6 +39,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -220,6 +221,16 @@ type Plan struct {
 	// side (default 1, clamped to nodes-1). The isolated set is a hash-
 	// chosen run of consecutive node ids — see PartitionCutAt.
 	PartitionCut int
+	// PartitionOneWay selects the asymmetric cut shape (Cygnus III,
+	// spec "partcut=a>b"): instead of isolating a hash-chosen minority
+	// both ways, each partition span severs only the directed link
+	// PartitionFrom→PartitionTo. The reverse direction keeps flowing, so
+	// the target still hears the source's targets while the source's own
+	// traffic toward the target is dropped; the cluster conservatively
+	// parks the source node (the only node whose released writes could be
+	// lost across the cut) for the span — see PartitionCutAt.
+	PartitionOneWay            bool
+	PartitionFrom, PartitionTo int
 
 	// Timeout is the requester-side detection time for a lost operation.
 	Timeout sim.Time
@@ -272,7 +283,7 @@ func (p *Plan) normalize() {
 		if p.PartitionDur == 0 {
 			p.PartitionDur = 1
 		}
-		if p.PartitionCut == 0 {
+		if !p.PartitionOneWay && p.PartitionCut == 0 {
 			p.PartitionCut = 1
 		}
 	}
@@ -294,8 +305,8 @@ func (p Plan) Validate() error {
 	if p.MaxRetries < 0 || p.MaxRetries > 64 {
 		return fmt.Errorf("fault: retries %d outside [0,64]", p.MaxRetries)
 	}
-	if p.SlowFactor < 0 {
-		return fmt.Errorf("fault: negative slowfactor %g", p.SlowFactor)
+	if p.SlowFactor < 0 || math.IsNaN(p.SlowFactor) || math.IsInf(p.SlowFactor, 0) {
+		return fmt.Errorf("fault: slowfactor %g is not a finite non-negative factor", p.SlowFactor)
 	}
 	if p.SlowNode < 0 {
 		return fmt.Errorf("fault: negative slownode %d", p.SlowNode)
@@ -311,6 +322,14 @@ func (p Plan) Validate() error {
 	}
 	if p.PartitionCut < 0 {
 		return fmt.Errorf("fault: negative partcut %d", p.PartitionCut)
+	}
+	if p.PartitionOneWay {
+		if p.PartitionFrom < 0 || p.PartitionTo < 0 {
+			return fmt.Errorf("fault: negative node in one-way cut %d>%d", p.PartitionFrom, p.PartitionTo)
+		}
+		if p.PartitionFrom == p.PartitionTo {
+			return fmt.Errorf("fault: one-way cut %d>%d severs a node from itself", p.PartitionFrom, p.PartitionTo)
+		}
 	}
 	return nil
 }
@@ -392,7 +411,20 @@ func (p Plan) PartitionSpan(episode int64) (start int64, active bool) {
 // node ids beginning at a hash-chosen base, clamped to leave at least one
 // node on the majority side. Sorted ascending; nil when the cluster is
 // too small to cut.
+//
+// For a one-way plan (partcut=a>b) the "isolated" set is the cut's source
+// node alone: only a's traffic toward b is dropped, so a is the one node
+// whose released writes could be lost across the cut and the one the
+// cluster parks for the span, while b — which a still hears — stays a full
+// member. Nil when either endpoint is outside the cluster.
 func (p Plan) PartitionCutAt(start int64, nodes int) []int {
+	if p.PartitionOneWay {
+		if p.PartitionFrom >= nodes || p.PartitionTo >= nodes ||
+			p.PartitionFrom < 0 || p.PartitionTo < 0 || p.PartitionFrom == p.PartitionTo {
+			return nil
+		}
+		return []int{p.PartitionFrom}
+	}
 	k := p.PartitionCut
 	if k < 1 {
 		k = 1
@@ -451,7 +483,9 @@ func (p Plan) String() string {
 		if p.PartitionDur > 0 {
 			add("partdur", strconv.Itoa(p.PartitionDur))
 		}
-		if p.PartitionCut > 0 {
+		if p.PartitionOneWay {
+			add("partcut", strconv.Itoa(p.PartitionFrom)+">"+strconv.Itoa(p.PartitionTo))
+		} else if p.PartitionCut > 0 {
 			add("partcut", strconv.Itoa(p.PartitionCut))
 		}
 	}
@@ -480,9 +514,13 @@ func fmtDur(t sim.Time) string {
 // partdur, partcut, seed, timeout, retries, backoff, backoffcap.
 // Durations take an optional ns/us/ms/s suffix (bare numbers are virtual
 // nanoseconds); crashpoints takes a '+'-joined safe-point list
-// ("crashpoints=lock+flag"). Unset recovery knobs get DefaultPlan values;
-// stall without stallp defaults stallp to the drop rate or 0.01, whichever
-// is larger; partition without partdur/partcut defaults both to 1.
+// ("crashpoints=lock+flag"); partcut takes either a minority size
+// ("partcut=2", a symmetric cut) or a directed pair ("partcut=a>b", a
+// one-way cut severing only a's traffic toward b — Cygnus III). Unset
+// recovery knobs get DefaultPlan values; stall without stallp defaults
+// stallp to the drop rate or 0.01, whichever is larger; partition without
+// partdur/partcut defaults both to 1 (one-way cuts have no size to
+// default).
 func ParsePlan(spec string) (Plan, error) {
 	p := DefaultPlan(0)
 	stallPSet := false
@@ -529,7 +567,16 @@ func ParsePlan(spec string) (Plan, error) {
 		case "partdur":
 			p.PartitionDur, err = strconv.Atoi(v)
 		case "partcut":
-			p.PartitionCut, err = strconv.Atoi(v)
+			if from, to, oneWay := strings.Cut(v, ">"); oneWay {
+				p.PartitionOneWay = true
+				p.PartitionCut = 0
+				if p.PartitionFrom, err = strconv.Atoi(strings.TrimSpace(from)); err == nil {
+					p.PartitionTo, err = strconv.Atoi(strings.TrimSpace(to))
+				}
+			} else {
+				p.PartitionOneWay = false
+				p.PartitionCut, err = strconv.Atoi(v)
+			}
 		case "seed":
 			p.Seed, err = strconv.ParseInt(v, 10, 64)
 		case "timeout":
@@ -560,7 +607,7 @@ func ParsePlan(spec string) (Plan, error) {
 		if p.PartitionDur == 0 {
 			p.PartitionDur = 1
 		}
-		if p.PartitionCut == 0 {
+		if !p.PartitionOneWay && p.PartitionCut == 0 {
 			p.PartitionCut = 1
 		}
 	}
@@ -585,8 +632,10 @@ func parseRate(s string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if v < 0 || v > 1 {
-		return 0, fmt.Errorf("rate %g outside [0,1]", v)
+	// The negated-range form also rejects NaN, which compares false both
+	// ways and would otherwise slip through as a never-firing rate.
+	if !(v >= 0 && v <= 1) {
+		return 0, fmt.Errorf("rate %q outside [0,1]", s)
 	}
 	return v, nil
 }
@@ -607,8 +656,14 @@ func parseDur(s string) (sim.Time, error) {
 	if err != nil {
 		return 0, err
 	}
-	if v < 0 {
+	// !(v >= 0) also rejects NaN; the upper bound keeps the float→int64
+	// conversion below in range (an out-of-range conversion is
+	// implementation-defined, not an error, in Go).
+	if !(v >= 0) {
 		return 0, fmt.Errorf("negative duration %q", s)
+	}
+	if ns := v * float64(mult); ns >= float64(1)*(1<<62) {
+		return 0, fmt.Errorf("duration %q overflows the virtual clock", s)
 	}
 	return sim.Time(v * float64(mult)), nil
 }

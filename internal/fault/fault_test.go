@@ -641,3 +641,96 @@ func TestBuilderMatchesSpec(t *testing.T) {
 		t.Fatal("rate-2 crash plan validated")
 	}
 }
+
+func TestParseOneWayCutSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantErr bool
+		check   func(t *testing.T, p Plan)
+	}{
+		{spec: "partition=0.2,partcut=1>4", check: func(t *testing.T, p Plan) {
+			if !p.PartitionOneWay || p.PartitionFrom != 1 || p.PartitionTo != 4 {
+				t.Fatalf("one-way cut not parsed: %+v", p)
+			}
+			if p.PartitionCut != 0 {
+				t.Fatalf("one-way cut kept a symmetric width: %+v", p)
+			}
+			if !p.Enabled() {
+				t.Fatal("one-way partition should enable the plan")
+			}
+		}},
+		{spec: "partcut=2>0", check: func(t *testing.T, p Plan) {
+			// A one-way cut without a rate is an inert knob, like partdur.
+			if !p.PartitionOneWay || p.Enabled() {
+				t.Fatalf("got %+v", p)
+			}
+		}},
+		{spec: "partition=0.1,partcut=3", check: func(t *testing.T, p Plan) {
+			if p.PartitionOneWay {
+				t.Fatalf("symmetric cut parsed as one-way: %+v", p)
+			}
+		}},
+		{spec: "partcut=1>1", wantErr: true},  // a node cannot be severed from itself
+		{spec: "partcut=-1>2", wantErr: true}, // negative node id
+		{spec: "partcut=1>-2", wantErr: true},
+		{spec: "partcut=a>b", wantErr: true}, // non-numeric endpoints
+		{spec: "partcut=1>", wantErr: true},
+		{spec: "partcut=>2", wantErr: true},
+	}
+	for _, c := range cases {
+		p, err := ParsePlan(c.spec)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParsePlan(%q): want error, got %+v", c.spec, p)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", c.spec, err)
+			continue
+		}
+		if c.check != nil {
+			c.check(t, p)
+		}
+	}
+}
+
+func TestOneWayCutSpecStringRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"partition=0.2,partcut=1>4,seed=7",
+		"partition=0.1,partdur=3,partcut=0>5,seed=2",
+		"crash=0.04,crashrestart=on,partition=0.15,partdur=2,partcut=2>0,crashpoints=lock+flag,seed=11",
+	} {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", spec, err)
+		}
+		if !strings.Contains(p.String(), ">") {
+			t.Fatalf("rendered plan lost the one-way syntax: %q", p.String())
+		}
+		q, err := ParsePlan(p.String())
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", p.String(), err)
+		}
+		if p != q {
+			t.Fatalf("round trip mismatch for %q:\n  p=%+v\n  q=%+v", spec, p, q)
+		}
+	}
+}
+
+func TestPartitionCutAtOneWay(t *testing.T) {
+	p, err := ParsePlan("partition=0.5,partdur=2,partcut=1>4,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parked set of a one-way cut is the source node alone — the only
+	// node whose released writes could be lost across the cut.
+	if got := p.PartitionCutAt(5, 6); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("PartitionCutAt = %v, want [1]", got)
+	}
+	// Endpoints outside the cluster leave the fabric whole rather than
+	// parking a phantom node.
+	if got := p.PartitionCutAt(5, 3); got != nil {
+		t.Fatalf("PartitionCutAt on a 3-node cluster = %v, want nil", got)
+	}
+}

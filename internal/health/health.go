@@ -32,6 +32,12 @@
 // though from the majority side both render as "suspect" until the episode
 // barrier serializes the heal-vs-excise decision.
 //
+// Cygnus III adds asymmetric (one-way) cuts — only the directed link a→b
+// is severed, so b suspects a while a still hears b; the cluster parks the
+// source alone, never both endpoints, so asymmetric suspicion cannot
+// double-excise — and the restart rendezvous that serializes a rejoining
+// node against in-flight membership-epoch barriers (package vela).
+//
 // Determinism: a crash verdict is fault.Plan.CrashAt(node, episode) and a
 // partition span is fault.Plan.PartitionSpan(episode) — pure hashes of
 // (seed, node, episode). Scripted crashes (ScheduleCrash) and partitions
@@ -195,6 +201,21 @@ type scriptedCrash struct {
 type scriptedPartition struct {
 	start, dur int64
 	nodes      []int
+	oneWay     bool
+	from, to   int
+}
+
+// Cut describes the partition shape active at one episode: the parked
+// (minority-side) member set, and — for a one-way cut — the directed
+// severed link. For a symmetric cut OneWay is false and Iso is the full
+// minority; for a one-way cut Iso is the source node alone (the only node
+// whose released writes could be lost across the cut; the target still
+// hears everyone and stays a full member, which is what prevents the
+// asymmetric-suspicion double-excise: only the source is ever suspected).
+type Cut struct {
+	Iso      []int
+	OneWay   bool
+	From, To int
 }
 
 // New builds a detector for nodes members under plan. The injector, when
@@ -262,24 +283,56 @@ func (d *Detector) SchedulePartition(nodes []int, start, dur int64) {
 	d.armedScript.Store(true)
 }
 
-// PartitionAt returns the sorted isolated (minority-side) node set of the
-// partition active at the given barrier episode, or nil when the fabric is
-// whole. Pure: scripted partitions first, then the plan's hash schedule —
+// ScheduleOneWayCut scripts a deterministic asymmetric cut severing only
+// the directed link from→to for episodes [start, start+dur-1] (Cygnus
+// III). The source node is parked for the span exactly like a symmetric
+// minority; the target keeps running with the majority. Call before the
+// run starts; survives Reset like every scripted schedule.
+func (d *Detector) ScheduleOneWayCut(from, to int, start, dur int64) {
+	if dur < 1 {
+		dur = 1
+	}
+	d.mu.Lock()
+	d.scriptedP = append(d.scriptedP, scriptedPartition{
+		start: start, dur: dur, nodes: []int{from}, oneWay: true, from: from, to: to,
+	})
+	d.mu.Unlock()
+	d.armedScript.Store(true)
+}
+
+// CutAt returns the full shape of the partition active at the given
+// barrier episode, or a zero Cut (nil Iso) when the fabric is whole.
+// Pure: scripted partitions first, then the plan's hash schedule —
 // host-side planners and the member barrier agree bit-exactly.
-func (d *Detector) PartitionAt(ep int64) []int {
+func (d *Detector) CutAt(ep int64) Cut {
 	d.mu.Lock()
 	for _, sp := range d.scriptedP {
 		if sp.start <= ep && ep < sp.start+sp.dur {
-			out := append([]int{}, sp.nodes...)
+			out := Cut{Iso: append([]int{}, sp.nodes...), OneWay: sp.oneWay, From: sp.from, To: sp.to}
 			d.mu.Unlock()
 			return out
 		}
 	}
 	d.mu.Unlock()
 	if start, ok := d.plan.PartitionSpan(ep); ok {
-		return d.plan.PartitionCutAt(start, d.nodes)
+		iso := d.plan.PartitionCutAt(start, d.nodes)
+		if len(iso) == 0 {
+			return Cut{}
+		}
+		if d.plan.PartitionOneWay {
+			return Cut{Iso: iso, OneWay: true, From: d.plan.PartitionFrom, To: d.plan.PartitionTo}
+		}
+		return Cut{Iso: iso}
 	}
-	return nil
+	return Cut{}
+}
+
+// PartitionAt returns the sorted parked (minority-side) node set of the
+// partition active at the given barrier episode, or nil when the fabric is
+// whole — the Iso field of CutAt. For one-way cuts this is the source node
+// alone.
+func (d *Detector) PartitionAt(ep int64) []int {
+	return d.CutAt(ep).Iso
 }
 
 // IsolatedAt reports whether node is on the minority side of the partition

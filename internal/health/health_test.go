@@ -1,0 +1,149 @@
+package health
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"argo/internal/fault"
+)
+
+func det(nodes int, seed int64) *Detector {
+	return New(nodes, fault.DefaultPlan(seed), nil)
+}
+
+// Scripted crash schedules are pure and survive Reset, so planners and the
+// member barrier evaluate identical verdicts on every replay.
+func TestScheduledCrashVerdicts(t *testing.T) {
+	d := det(4, 1)
+	d.ScheduleCrash(2, 3, true)
+	if dies, _ := d.DiesAt(2, 2); dies {
+		t.Fatal("node 2 dies before its scripted episode")
+	}
+	dies, restart := d.DiesAt(2, 3)
+	if !dies || !restart {
+		t.Fatalf("DiesAt(2,3) = %v,%v, want true,true", dies, restart)
+	}
+	if dies, _ := d.DiesAt(1, 3); dies {
+		t.Fatal("unscripted node dies under a scripted schedule")
+	}
+	d.Reset()
+	if dies, _ := d.DiesAt(2, 3); !dies {
+		t.Fatal("scripted crash lost across Reset")
+	}
+	if got := d.DeathsAt([]int{0, 1, 2, 3}, 3); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("DeathsAt = %v, want [2]", got)
+	}
+}
+
+// CutAt returns the full partition shape: the parked minority for a
+// symmetric cut, the source alone — with the directed link — for a one-way
+// cut, and the zero Cut outside every window.
+func TestCutAtScriptedShapes(t *testing.T) {
+	d := det(5, 1)
+	d.SchedulePartition([]int{3, 1}, 2, 2)
+	d.ScheduleOneWayCut(4, 0, 5, 1)
+
+	if c := d.CutAt(1); c.Iso != nil || c.OneWay {
+		t.Fatalf("CutAt(1) = %+v, want whole fabric", c)
+	}
+	for ep := int64(2); ep <= 3; ep++ {
+		c := d.CutAt(ep)
+		if !reflect.DeepEqual(c.Iso, []int{1, 3}) || c.OneWay {
+			t.Fatalf("CutAt(%d) = %+v, want symmetric {1,3}", ep, c)
+		}
+	}
+	if c := d.CutAt(4); c.Iso != nil {
+		t.Fatalf("CutAt(4) = %+v, want whole fabric between windows", c)
+	}
+	c := d.CutAt(5)
+	if !c.OneWay || c.From != 4 || c.To != 0 || !reflect.DeepEqual(c.Iso, []int{4}) {
+		t.Fatalf("CutAt(5) = %+v, want one-way 4>0 parking {4}", c)
+	}
+	if !d.IsolatedAt(4, 5) || d.IsolatedAt(0, 5) {
+		t.Fatal("one-way cut must isolate the source, never the target")
+	}
+	d.Reset()
+	if c := d.CutAt(5); !c.OneWay {
+		t.Fatal("scripted one-way cut lost across Reset")
+	}
+}
+
+// A one-way plan (partcut=a>b) flows through the hash-drawn schedule: every
+// window parks exactly the source node and carries the directed link.
+func TestCutAtOneWayPlan(t *testing.T) {
+	plan := fault.DefaultPlan(7)
+	plan.Partition = 0.4
+	plan.PartitionDur = 2
+	plan.PartitionOneWay = true
+	plan.PartitionFrom, plan.PartitionTo = 2, 0
+	d := New(4, plan, nil)
+	hits := 0
+	for ep := int64(1); ep <= 64; ep++ {
+		c := d.CutAt(ep)
+		if c.Iso == nil {
+			continue
+		}
+		hits++
+		if !c.OneWay || c.From != 2 || c.To != 0 || !reflect.DeepEqual(c.Iso, []int{2}) {
+			t.Fatalf("CutAt(%d) = %+v, want one-way 2>0 parking {2}", ep, c)
+		}
+	}
+	if hits == 0 {
+		t.Fatal("one-way plan opened no windows in 64 episodes (rate too low)")
+	}
+}
+
+// Kill is idempotent per (node, episode) — only the first caller wins the
+// wipe — and Suspect leaves the epoch and live count alone, so a heal never
+// looks like a membership change.
+func TestTransitionLifecycle(t *testing.T) {
+	d := det(3, 1)
+	if !d.Kill(1, 100, 2) {
+		t.Fatal("first Kill lost the wipe race with nobody else running")
+	}
+	if d.Kill(1, 100, 2) {
+		t.Fatal("second Kill of the same (node, episode) won the wipe again")
+	}
+	if d.Alive(1) || d.LiveCount() != 2 {
+		t.Fatalf("kill not reflected: alive=%v live=%d", d.Alive(1), d.LiveCount())
+	}
+	if d.Epoch() != 0 {
+		t.Fatal("Kill bumped the epoch before the barrier's excise decision")
+	}
+	d.Excise(1, 200, 2)
+	if d.Epoch() != 1 {
+		t.Fatalf("epoch %d after excise, want 1", d.Epoch())
+	}
+	d.Rejoin(1, 300, 2)
+	if d.Epoch() != 2 || !d.Alive(1) || d.LiveCount() != 3 {
+		t.Fatalf("rejoin not reflected: epoch=%d alive=%v live=%d",
+			d.Epoch(), d.Alive(1), d.LiveCount())
+	}
+
+	d.Suspect(2, 400, 3)
+	if d.Epoch() != 2 || d.LiveCount() != 3 {
+		t.Fatalf("Suspect changed membership: epoch=%d live=%d", d.Epoch(), d.LiveCount())
+	}
+	d.Suspect(2, 410, 3) // idempotent while partitioned
+	d.Heal(2, 500, 4)
+	if d.Epoch() != 3 {
+		t.Fatalf("epoch %d after heal, want 3", d.Epoch())
+	}
+	d.Heal(2, 510, 4) // no-op on a healthy node
+
+	h := d.HistoryString()
+	for _, want := range []string{"crash(n1)", "excise(n1)", "rejoin(n1)", "suspect(n2)", "heal(n2)"} {
+		if strings.Count(h, want) != 1 {
+			t.Fatalf("history records %q %d times, want once: %q", want, strings.Count(h, want), h)
+		}
+	}
+	// The decision form drops timestamps but keeps every decision, in order.
+	dec := d.DecisionHistoryString()
+	if strings.Contains(dec, "/t") {
+		t.Fatalf("decision history carries timestamps: %q", dec)
+	}
+	if strings.Count(dec, "(") != strings.Count(h, "(") {
+		t.Fatalf("decision history dropped transitions:\n  full %q\n  decision %q", h, dec)
+	}
+}

@@ -17,7 +17,9 @@
 // Timing model: a death adds one failure-detection timeout to the episode's
 // release (survivors wait out the detector before reconfiguring), and a
 // restarting node rejoins with its clock pushed a further timeout past the
-// release (reboot downtime).
+// release (reboot downtime) — or at the post-reset rendezvous release,
+// whichever is later, when the episode carries a classification reset (the
+// restart rendezvous, see observe).
 package vela
 
 import (
@@ -95,19 +97,24 @@ func newMemberBarrier(c *core.Cluster, tpn int, cost sim.Time) *memberBarrier {
 	// episode completion to install it, so the cut goes up at launch
 	// (RunSeeded builds the barrier single-threaded, before any thread
 	// starts, and ResetVirtualState has just cleared the previous cut).
-	if iso := m.det.PartitionAt(1); len(iso) > 0 {
-		m.installCut(iso)
-		for _, n := range iso {
+	if cut := m.det.CutAt(1); len(cut.Iso) > 0 {
+		m.installCut(cut)
+		for _, n := range cut.Iso {
 			m.det.Suspect(n, 0, 1)
 		}
 	}
 	return m
 }
 
-// installCut raises the fabric cut isolating the given nodes.
-func (m *memberBarrier) installCut(iso []int) {
+// installCut raises the fabric cut: a directed one-way sever for an
+// asymmetric cut, a minority mask otherwise.
+func (m *memberBarrier) installCut(cut health.Cut) {
+	if cut.OneWay {
+		m.c.Fab.SetOneWayCut(cut.From, cut.To)
+		return
+	}
 	mask := make([]bool, m.c.Cfg.Nodes)
-	for _, n := range iso {
+	for _, n := range cut.Iso {
 		mask[n] = true
 	}
 	m.c.Fab.SetCut(mask)
@@ -317,19 +324,48 @@ func (m *memberBarrier) rendezvous(p *sim.Proc, ep int64, sub int, vote bool) bo
 	return out
 }
 
-// observe parks a restarting node's thread until the episode completes, then
-// resynchronizes its clock past the reboot downtime.
+// observe is the restart rendezvous (Cygnus III): it parks a restarting
+// node's thread until the episode's member-barrier completion point, then
+// resynchronizes its clock past the reboot downtime. The node's volatile
+// state was already wiped at its kill check-in — before this, its first
+// safe point — and the completion point re-clears its directory cache
+// while every live thread is parked, so the rejoiner's first touches start
+// from virgin node-local state.
+//
+// When the surviving representatives voted a classification reset for the
+// episode (orOut), admission is deferred to the *post-reset* rendezvous:
+// a rejoiner released at the sub=0 completion would re-register its first
+// touches concurrently with the leader's directory wipe, a host-time race
+// that made the LU planner reject restart plans before this rendezvous
+// existed. Parking through epKey{ep, 1} serializes the rejoin after the
+// wipe, so crashrestart= composes with reset-emitting repair planners.
 func (m *memberBarrier) observe(p *sim.Proc, ep int64) {
 	m.mu.Lock()
 	st := m.state(epKey{ep, 0})
+	if p.Now() > st.maxT {
+		// Fold the observer's clock into the release like observePartition
+		// does: if every member of an episode dies-and-restarts, there are
+		// no arrivals and the release would otherwise predate the deaths.
+		st.maxT = p.Now()
+	}
 	st.observed++
 	m.maybeComplete(ep, st)
 	for !st.complete {
 		m.cond.Wait()
 	}
 	rel := st.release
+	wake := rel + m.det.Timeout()
+	if st.orOut {
+		st1 := m.state(epKey{ep, 1})
+		for !st1.complete {
+			m.cond.Wait()
+		}
+		if st1.release > wake {
+			wake = st1.release
+		}
+	}
 	m.mu.Unlock()
-	p.AdvanceTo(rel + m.det.Timeout())
+	p.AdvanceTo(wake)
 	if sr := m.c.SR; sr != nil {
 		// Reboot downtime of a restarting node is pure recovery time.
 		tid := tidOf(p)
@@ -431,7 +467,13 @@ func (m *memberBarrier) maybeComplete(ep int64, st *epState) {
 		m.det.Suspect(n, release, ep+1)
 	}
 	if len(next) > 0 {
-		m.installCut(next)
+		if c := m.det.CutAt(ep + 1); c.OneWay {
+			m.installCut(c)
+		} else {
+			// Mask only current members: a dead node's home memory stays
+			// remotely readable across any cut.
+			m.installCut(health.Cut{Iso: next})
+		}
 	} else if len(iso) > 0 {
 		m.c.Fab.ClearCut()
 	}

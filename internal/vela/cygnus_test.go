@@ -390,3 +390,168 @@ func TestCrashAtFlagSafePoint(t *testing.T) {
 		t.Fatal("no EvCrash event recorded")
 	}
 }
+
+// TestRestartRendezvousAtResetEpisode: a node dies-and-restarts at an
+// episode whose survivors vote a classification reset. Before the restart
+// rendezvous this was the race that made the LU planner reject restart
+// plans: the rejoiner's release at the sub=0 completion ran concurrently
+// with the leader's directory wipe. The rendezvous defers admission past
+// the post-reset (sub=1) rendezvous, so the run must complete with the
+// rejoiner back in the membership and the whole schedule deterministic.
+func TestRestartRendezvousAtResetEpisode(t *testing.T) {
+	const nodes, tpn, episodes = 3, 2, 5
+	run := func() (sim.Time, string) {
+		c := crashCluster(nodes)
+		c.Health.ScheduleCrash(1, 2, true)
+		ms := c.Run(tpn, func(th *core.Thread) {
+			for e := 1; e <= episodes; e++ {
+				th.Compute(int64(100 * (th.Rank + 1)))
+				if e == 2 {
+					th.InitDone() // reset episode: the crash strikes here
+				} else {
+					th.Barrier()
+				}
+			}
+		})
+		if !c.Health.Alive(1) || c.Health.LiveCount() != nodes {
+			t.Fatalf("node 1 did not rejoin through the reset: alive=%v live=%d",
+				c.Health.Alive(1), c.Health.LiveCount())
+		}
+		return ms, c.Health.HistoryString()
+	}
+	ms1, h1 := run()
+	for _, want := range []string{"crash(n1)", "excise(n1)", "rejoin(n1)"} {
+		if !strings.Contains(h1, want) {
+			t.Fatalf("history missing %q: %q", want, h1)
+		}
+	}
+	ms2, h2 := run()
+	if h1 != h2 || ms1 != ms2 {
+		t.Fatalf("restart-at-reset not deterministic:\n  run1 %d %q\n  run2 %d %q", ms1, h1, ms2, h2)
+	}
+}
+
+// TestAllRestartAtResetEpisode: every node dies-and-restarts at the reset
+// episode. Nobody arrives to vote, so no reset fires (orOut=false) and the
+// rejoiners must not park waiting for a post-reset rendezvous that never
+// happens — the completion release must also not predate the deaths, which
+// is why observe folds observer clocks into the episode's maxT.
+func TestAllRestartAtResetEpisode(t *testing.T) {
+	const nodes, tpn, episodes = 3, 2, 4
+	c := crashCluster(nodes)
+	for n := 0; n < nodes; n++ {
+		c.Health.ScheduleCrash(n, 2, true)
+	}
+	var finished atomic.Int64
+	c.Run(tpn, func(th *core.Thread) {
+		for e := 1; e <= episodes; e++ {
+			th.Compute(int64(100 * (th.Rank + 1)))
+			if e == 2 {
+				th.InitDone()
+			} else {
+				th.Barrier()
+			}
+		}
+		finished.Add(1)
+	})
+	if got := finished.Load(); got != nodes*tpn {
+		t.Fatalf("%d threads finished, want all %d", got, nodes*tpn)
+	}
+	if c.Health.LiveCount() != nodes {
+		t.Fatalf("live count %d after all-restart, want %d", c.Health.LiveCount(), nodes)
+	}
+	if got := c.Health.Epoch(); got != 2*nodes {
+		t.Fatalf("membership epoch %d, want %d (excise+rejoin per node)", got, 2*nodes)
+	}
+}
+
+// TestOneWayCutSuspectsOnlySource: a scripted one-way cut severs only the
+// directed link 1→0 for episodes 2-3. The fabric must report exactly that
+// direction severed, only the source (node 1) is suspected and healed — the
+// target stays a full member, which is what structurally prevents the
+// asymmetric-suspicion double-excise — and nobody is excised.
+func TestOneWayCutSuspectsOnlySource(t *testing.T) {
+	const nodes, tpn, episodes = 3, 2, 5
+	c := crashCluster(nodes)
+	c.Health.ScheduleOneWayCut(1, 0, 2, 2)
+
+	var sev10, sev01, sev12 atomic.Bool
+	var finished atomic.Int64
+	c.Run(tpn, func(th *core.Thread) {
+		for e := 1; e <= episodes; e++ {
+			th.Compute(int64(100 * (th.Rank + 1)))
+			th.Barrier()
+			if th.Node == 2 && e == 2 {
+				// Mid-window, from the majority: the cut is direction-aware.
+				sev10.Store(c.Fab.Severed(1, 0))
+				sev01.Store(c.Fab.Severed(0, 1))
+				sev12.Store(c.Fab.Severed(1, 2))
+			}
+		}
+		finished.Add(1)
+	})
+
+	if got := finished.Load(); got != nodes*tpn {
+		t.Fatalf("%d threads finished, want all %d (a cut kills nobody)", got, nodes*tpn)
+	}
+	if !sev10.Load() {
+		t.Fatal("directed link 1→0 not severed mid-window")
+	}
+	if sev01.Load() || sev12.Load() {
+		t.Fatalf("one-way cut severed extra links: 0→1=%v 1→2=%v", sev01.Load(), sev12.Load())
+	}
+	if c.Fab.Severed(1, 0) {
+		t.Fatal("cut still standing after heal")
+	}
+	h := c.Health.HistoryString()
+	for _, want := range []string{"suspect(n1)", "heal(n1)"} {
+		if !strings.Contains(h, want) {
+			t.Fatalf("history missing %q: %q", want, h)
+		}
+	}
+	for _, banned := range []string{"suspect(n0)", "suspect(n2)", "excise"} {
+		if strings.Contains(h, banned) {
+			t.Fatalf("one-way cut recorded %q (double-excise hazard): %q", banned, h)
+		}
+	}
+	if got := c.Health.Epoch(); got != 1 {
+		t.Fatalf("membership epoch %d, want 1 (one heal)", got)
+	}
+}
+
+// TestOneWayCutScheduleDeterminism: a hash-drawn one-way cut plan replays
+// bit-exactly, suspects only its source node, and never excises.
+func TestOneWayCutScheduleDeterminism(t *testing.T) {
+	run := func() (sim.Time, string) {
+		cfg := core.DefaultConfig(5)
+		cfg.MemoryBytes = 4 << 20
+		plan := fault.DefaultPlan(99)
+		plan.Partition = 0.3
+		plan.PartitionDur = 2
+		plan.PartitionOneWay = true
+		plan.PartitionFrom, plan.PartitionTo = 1, 3
+		cfg.Faults = &plan
+		c := core.MustNewCluster(cfg)
+		c.BarrierFactory = func(c *core.Cluster, tpn int) core.BarrierWaiter {
+			return NewHierBarrier(c, tpn)
+		}
+		ms := c.Run(2, func(th *core.Thread) {
+			for e := 0; e < 8; e++ {
+				th.Compute(int64(100 * (th.Rank + 1)))
+				th.Barrier()
+			}
+		})
+		return ms, c.Health.HistoryString()
+	}
+	ms1, h1 := run()
+	ms2, h2 := run()
+	if !strings.Contains(h1, "suspect(n1)") {
+		t.Fatal("one-way plan produced no suspects (rate too low for the test)")
+	}
+	if strings.Contains(h1, "suspect(n3)") || strings.Contains(h1, "excise") {
+		t.Fatalf("one-way plan suspected the target or excised: %q", h1)
+	}
+	if h1 != h2 || ms1 != ms2 {
+		t.Fatalf("one-way cut schedule not deterministic:\n  run1 %d %q\n  run2 %d %q", ms1, h1, ms2, h2)
+	}
+}

@@ -2,7 +2,8 @@ package drf
 
 // Crash-tolerant ring (Cygnus): the schedule-independent ring program of
 // chaos.go, restructured so that crash-stop and crash-restart node failures
-// at barrier safe points never cost an answer.
+// and network partitions — symmetric minority cuts and asymmetric one-way
+// cuts alike — at barrier safe points never cost an answer.
 //
 // The key property the planner exploits is that crash verdicts are pure
 // functions of (fault seed, node, barrier episode) — health.Detector.DiesAt
@@ -36,6 +37,12 @@ package drf
 // directory entry whose other holders are all dead and wiped. Crash-restart
 // needs no handover at all: the rejoining node keeps its roles, and its
 // re-registrations find its bits still set in the preserved home truth.
+//
+// Partitions (Cygnus III) follow planCrashLU's rule: any phase whose ending
+// barrier falls inside a partition window is emitted as a cluster-wide idle
+// phase, so the isolated side's skipped fences have nothing to fence and
+// both sides resume from the same fenced image after the heal. The
+// episode-by-episode membership walk below mirrors that of the LU planner.
 
 import (
 	"fmt"
@@ -53,6 +60,7 @@ const (
 	phaseWrite = iota
 	phaseRepair
 	phaseVerify
+	phaseIdle // partition window: nobody reads or writes, cluster-wide
 )
 
 // phasePlan is one barrier-delimited phase: per live node, the blocks it
@@ -66,16 +74,19 @@ type phasePlan struct {
 // CrashReport extends Report with the run's membership outcome.
 type CrashReport struct {
 	Report
-	Epoch   int64  // final membership epoch
-	Deaths  int    // crash transitions observed
-	History string // full membership transition history
+	Epoch    int64  // final membership epoch
+	Deaths   int    // crash transitions observed
+	Suspects int    // partition suspect transitions observed
+	History  string // full membership transition history
 }
 
-// planCrashRing precomputes the crash-ring script for a detector's crash
+// planCrashRing precomputes the crash-ring script for a detector's fault
 // schedule. It mirrors, episode by episode, the membership updates the
 // member-aware barrier performs at runtime: a crash-stop leaves the member
 // set at its death episode, a crash-restart stays (it rejoins within the
-// same episode). It fails if the live set ever empties.
+// same episode), and a partition window turns every covered episode into a
+// cluster-wide idle phase. It fails if the live set ever empties or the
+// schedule never lets the program finish.
 func planCrashRing(det *health.Detector, nodes, epochs int) ([]phasePlan, error) {
 	members := make([]bool, nodes)
 	wtr := make([]int, nodes) // writer of block b; always a live member
@@ -147,9 +158,36 @@ func planCrashRing(det *health.Detector, nodes, epochs int) ([]phasePlan, error)
 	}
 
 	var phases []phasePlan
+	// idle drains a partition window before the next working phase, mirroring
+	// planCrashLU's rule: no work is scheduled for any phase whose ending
+	// barrier has PartitionAt non-empty. The minority diverts at the barrier
+	// (skipping its fences), and idling both sides makes the skipped fences
+	// vacuous — the minority's last writes and reads were fenced at its last
+	// attended barrier, and nobody touches data the other side could miss
+	// until after the heal. Deaths still strike at idle episodes (crash wins
+	// over isolation, matching the runtime's crashPoint check order), though
+	// an idle phase has no assignment to lose.
+	limit := 1000 + 30*epochs
+	idle := func(e int) error {
+		for len(det.PartitionAt(ep+1)) > 0 {
+			if len(phases) > limit {
+				return fmt.Errorf("drf: crash ring epoch %d: partition windows not converging after %d phases (episode %d)", e, len(phases), ep)
+			}
+			if liveCount == 0 {
+				return fmt.Errorf("drf: crash ring epoch %d: every node is dead", e)
+			}
+			phases = append(phases, phasePlan{kind: phaseIdle, epoch: e})
+			ep++
+			applyDeaths(nil, false)
+		}
+		return nil
+	}
 	for e := 0; e < epochs; e++ {
 		if liveCount == 0 {
 			return nil, fmt.Errorf("drf: crash ring epoch %d: every node is dead", e)
+		}
+		if err := idle(e); err != nil {
+			return nil, err
 		}
 		// Write phase: every block is written by its current writer (home
 		// memory survives a crash, so even a dead node's block stays
@@ -174,6 +212,9 @@ func planCrashRing(det *health.Detector, nodes, epochs int) ([]phasePlan, error)
 			if liveCount == 0 {
 				return nil, fmt.Errorf("drf: crash ring epoch %d: every node is dead mid-repair", e)
 			}
+			if err := idle(e); err != nil {
+				return nil, err
+			}
 			asg = map[int][]int{}
 			for _, b := range lost {
 				asg[wtr[b]] = append(asg[wtr[b]], b)
@@ -187,6 +228,9 @@ func planCrashRing(det *health.Detector, nodes, epochs int) ([]phasePlan, error)
 		if liveCount == 0 {
 			return nil, fmt.Errorf("drf: crash ring epoch %d: every node is dead before verify", e)
 		}
+		if err := idle(e); err != nil {
+			return nil, err
+		}
 		asg = map[int][]int{}
 		for b := 0; b < nodes; b++ {
 			asg[vfr[b]] = append(asg[vfr[b]], b)
@@ -199,7 +243,8 @@ func planCrashRing(det *health.Detector, nodes, epochs int) ([]phasePlan, error)
 }
 
 // RunRingCrash executes the crash-tolerant ring program under pr.Faults
-// (typically a plan with a crash rate; nil runs it fault-free). It asserts
+// (typically a plan with crash and/or partition rates; nil runs it
+// fault-free). It asserts
 // inside the program that every surviving read observes exactly the values
 // the repair discipline guarantees, and returns the final memory digest —
 // which must match the fault-free digest — plus the membership outcome.
@@ -249,6 +294,9 @@ func RunRingCrash(pr RingParams) (CrashReport, error) {
 						}
 					}
 				}
+			case phaseIdle:
+				// Partition window: no reads, no writes, straight to the
+				// barrier (where the minority parks until the heal).
 			}
 			// The barrier after each phase is the crash safe point: a
 			// crash-stop unwinds the thread here, a crash-restart returns
@@ -256,17 +304,21 @@ func RunRingCrash(pr RingParams) (CrashReport, error) {
 			th.Barrier()
 		}
 	})
-	deaths := 0
+	deaths, suspects := 0, 0
 	for _, tr := range c.Health.History() {
-		if tr.Kind == "crash" {
+		switch tr.Kind {
+		case "crash":
 			deaths++
+		case "suspect":
+			suspects++
 		}
 	}
 	rep := CrashReport{
-		Report:  Report{Makespan: makespan, Digest: digestI64(c.DumpI64(xs)), Faults: c.FaultStats()},
-		Epoch:   c.Health.Epoch(),
-		Deaths:  deaths,
-		History: c.Health.HistoryString(),
+		Report:   Report{Makespan: makespan, Digest: digestI64(c.DumpI64(xs)), Faults: c.FaultStats()},
+		Epoch:    c.Health.Epoch(),
+		Deaths:   deaths,
+		Suspects: suspects,
+		History:  c.Health.HistoryString(),
 	}
 	select {
 	case err := <-errCh:
@@ -282,8 +334,10 @@ func RunRingCrash(pr RingParams) (CrashReport, error) {
 // ReplayCrashCheck runs the crash ring once fault-free and twice under plan,
 // asserting Cygnus's guarantees in full: both crashy runs produce the
 // fault-free memory image (recovery), and they agree bit-exactly on
-// makespan, fault schedule, crash count, membership epoch and the complete
-// membership transition history (deterministic replay).
+// makespan, fault schedule, crash and suspect counts, membership epoch and
+// the complete membership transition history (deterministic replay). The
+// ring's collapse geometry keeps every NIC single-client, so — unlike LU —
+// even the timestamped history replays bit-exactly.
 func ReplayCrashCheck(pr RingParams, plan fault.Plan) (CrashReport, error) {
 	pr.Faults = nil
 	base, err := RunRingCrash(pr)
@@ -304,9 +358,9 @@ func ReplayCrashCheck(pr RingParams, plan fault.Plan) (CrashReport, error) {
 		return f1, fmt.Errorf("crash ring faulty replay (%s): %w", plan.String(), err)
 	}
 	if f1 != f2 {
-		return f1, fmt.Errorf("crash ring replay not deterministic under %s: run1 {makespan %d, epoch %d, deaths %d, history %q}, run2 {makespan %d, epoch %d, deaths %d, history %q}",
-			plan.String(), f1.Makespan, f1.Epoch, f1.Deaths, f1.History,
-			f2.Makespan, f2.Epoch, f2.Deaths, f2.History)
+		return f1, fmt.Errorf("crash ring replay not deterministic under %s: run1 {makespan %d, epoch %d, deaths %d, suspects %d, history %q}, run2 {makespan %d, epoch %d, deaths %d, suspects %d, history %q}",
+			plan.String(), f1.Makespan, f1.Epoch, f1.Deaths, f1.Suspects, f1.History,
+			f2.Makespan, f2.Epoch, f2.Deaths, f2.Suspects, f2.History)
 	}
 	return f1, nil
 }

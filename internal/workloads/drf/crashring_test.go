@@ -1,10 +1,14 @@
 package drf
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
+	"argo/internal/core"
 	"argo/internal/fault"
 	"argo/internal/health"
+	"argo/internal/span"
 )
 
 func crashPlan(seed int64, rate float64, restart bool) fault.Plan {
@@ -105,5 +109,149 @@ func TestPlanCrashRingRejectsTotalLoss(t *testing.T) {
 	}
 	if _, err := planCrashRing(det, nodes, 2); err == nil {
 		t.Fatal("planner accepted a schedule that kills every node")
+	}
+}
+
+// Partition windows on the ring: the planner idles every covered episode,
+// the minority heals without excision, and the memory image still matches
+// fault-free bit for bit — with the full timestamped history identical
+// across same-seed runs (ring NICs are single-client, so unlike LU even
+// virtual times replay exactly).
+func TestCrashRingReplayPartitions(t *testing.T) {
+	p := fault.DefaultPlan(9)
+	p.Partition = 0.2
+	p.PartitionDur = 2
+	rep, err := ReplayCrashCheck(RingParams{Nodes: 5, PerNode: 512, Epochs: 5, PageSize: 1024}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Suspects == 0 {
+		t.Fatal("plan injected no partitions — rate too low to exercise the idle walk")
+	}
+	if rep.Deaths != 0 {
+		t.Fatalf("partition-only plan recorded %d deaths", rep.Deaths)
+	}
+	if !strings.Contains(rep.History, "suspect") || !strings.Contains(rep.History, "heal") {
+		t.Fatalf("history records no suspect/heal cycle: %q", rep.History)
+	}
+	if strings.Contains(rep.History, "excise") {
+		t.Fatalf("partition excised a live node: %q", rep.History)
+	}
+}
+
+// One-way cuts on the ring: only the source of the directed sever is parked
+// and suspected; the target stays a full member throughout.
+func TestCrashRingReplayOneWayCut(t *testing.T) {
+	p := fault.DefaultPlan(9)
+	p.Partition = 0.2
+	p.PartitionDur = 2
+	p.PartitionOneWay = true
+	p.PartitionFrom, p.PartitionTo = 2, 4
+	rep, err := ReplayCrashCheck(RingParams{Nodes: 5, PerNode: 512, Epochs: 5, PageSize: 1024}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Suspects == 0 {
+		t.Fatal("plan injected no one-way cuts — rate too low to exercise the asymmetric path")
+	}
+	if !strings.Contains(rep.History, "suspect(n2)") {
+		t.Fatalf("source of the cut never suspected: %q", rep.History)
+	}
+	if strings.Contains(rep.History, "suspect(n4)") {
+		t.Fatalf("one-way cut suspected its target (double-excise hazard): %q", rep.History)
+	}
+	if rep.Deaths != 0 || strings.Contains(rep.History, "excise") {
+		t.Fatalf("one-way cut cost a membership: %+v", rep)
+	}
+}
+
+// Crash-restarts and partitions under one ring plan: the restart rendezvous
+// and the idle walk compose, and the full CrashReport — timestamps included
+// — replays bit-exactly.
+func TestCrashRingReplayRestartPartitionMixed(t *testing.T) {
+	p := crashPlan(17, 0.05, true)
+	p.Partition = 0.12
+	p.PartitionDur = 1
+	rep, err := ReplayCrashCheck(RingParams{Nodes: 6, PerNode: 512, Epochs: 5, PageSize: 1024}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deaths == 0 && rep.Suspects == 0 {
+		t.Fatal("mixed plan injected neither restarts nor partitions")
+	}
+}
+
+// The planner's partition walk mirrors the runtime rule exactly: every
+// phase whose ending barrier episode lies inside a partition window is an
+// idle phase with no assignment, and work resumes at the first whole
+// episode after the heal.
+func TestPlanCrashRingIdlesThroughPartitions(t *testing.T) {
+	const nodes, epochs = 4, 3
+	det := health.New(nodes, fault.DefaultPlan(1), nil)
+	det.SchedulePartition([]int{3}, 2, 2) // covers episodes 2 and 3
+	det.ScheduleOneWayCut(1, 0, 6, 1)     // covers episode 6
+
+	phases, err := planCrashRing(det, nodes, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idles := 0
+	for i, ph := range phases {
+		ep := int64(i + 1) // phase i ends at barrier episode i+1
+		if parked := det.PartitionAt(ep); len(parked) > 0 {
+			if ph.kind != phaseIdle {
+				t.Fatalf("phase %d ends at partitioned episode %d but has kind %d", i, ep, ph.kind)
+			}
+			if len(ph.assign) != 0 {
+				t.Fatalf("idle phase %d carries assignments: %v", i, ph.assign)
+			}
+			idles++
+		} else if ph.kind == phaseIdle {
+			t.Fatalf("phase %d idles outside any partition window", i)
+		}
+	}
+	if idles != 3 {
+		t.Fatalf("%d idle phases, want 3 (two symmetric + one one-way episode)", idles)
+	}
+}
+
+// Pictor critical-path attribution over a chaotic ring run is itself a
+// deterministic artifact: two same-seed runs under crashes, restarts and
+// one-way cuts produce identical span-analysis reports — same makespan,
+// same attribution vector, same step sequence.
+func TestCrashRingCriticalPathDeterminism(t *testing.T) {
+	run := func() *span.Report {
+		sr := span.NewRecorder(0)
+		core.SpanHook = func(c *core.Cluster) { c.AttachSpans(sr) }
+		defer func() { core.SpanHook = nil }()
+		p := crashPlan(23, 0.06, true)
+		p.Partition = 0.1
+		p.PartitionDur = 1
+		p.PartitionOneWay = true
+		p.PartitionFrom, p.PartitionTo = 1, 3
+		rep, err := RunRingCrash(RingParams{Nodes: 5, PerNode: 512, Epochs: 5, PageSize: 1024, Faults: &p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Deaths == 0 {
+			t.Fatal("plan injected no crashes — nothing recovery-attributed on the path")
+		}
+		out, err := span.Analyze(sr.Records(), sr.Makespan())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	r1 := run()
+	r2 := run()
+	if r1.Makespan != r2.Makespan || r1.Attribution != r2.Attribution {
+		t.Fatalf("critical-path attribution not deterministic:\n  run1 makespan=%d attr=%v\n  run2 makespan=%d attr=%v",
+			r1.Makespan, r1.Attribution, r2.Makespan, r2.Attribution)
+	}
+	if !reflect.DeepEqual(r1.Steps, r2.Steps) {
+		t.Fatalf("critical-path steps not deterministic:\n  run1 %v\n  run2 %v", r1.Steps, r2.Steps)
+	}
+	if r1.Attribution[span.Recovery] == 0 {
+		t.Fatal("chaotic ring run attributed no Recovery time on the critical path")
 	}
 }

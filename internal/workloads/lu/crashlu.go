@@ -43,9 +43,17 @@ package lu
 //     fenced at its last attended barrier, and nobody writes anything the
 //     other side could miss until after the heal.
 //
-// Crash-restart is not supported here: a rejoining node re-registers its
-// reads concurrently with the survivors' reset rendezvous, which the
-// planner cannot serialize. RunCrash rejects restart plans.
+// Crash-restart (Cygnus III) rides the same rules: a dying-and-restarting
+// node keeps its membership slot, its lost kernels join the repair queue,
+// and the reset-before-repair ordering makes the round-robin handover of
+// those kernels safe. The races that used to make the planner reject
+// restart plans — a rejoiner re-registering its reads concurrently with
+// the survivors' reset rendezvous — are closed at runtime by the restart
+// rendezvous (vela.memberBarrier.observe): when a reset is in flight, the
+// rejoiner is admitted only after the post-reset rendezvous completes. A
+// reset episode at which every attending member dies-and-restarts fires no
+// reset (nobody arrives to vote), and the planner needs no special case:
+// any death re-arms pendingReset, so the reset is re-emitted.
 
 import (
 	"fmt"
@@ -172,8 +180,10 @@ func planCrashLU(det *health.Detector, nodes, nb int) ([]luBody, error) {
 	}
 	// emit appends one body and advances past its barrier: kernels
 	// assigned to a node dying at that episode are returned to the repair
-	// queue (the crash wipes its write buffer before the SD fence), and
-	// crash-stop members leave the view.
+	// queue (the crash wipes its write buffer before the SD fence),
+	// crash-stop members leave the view, and restarting members keep their
+	// slot — they rejoin within the same episode, with wiped caches, and
+	// pick up repair work like any survivor.
 	emit := func(b luBody) {
 		bodies = append(bodies, b)
 		ep++
@@ -181,13 +191,16 @@ func planCrashLU(det *health.Detector, nodes, nb int) ([]luBody, error) {
 			if !members[n] {
 				continue
 			}
-			if dies, _ := det.DiesAt(n, ep); !dies {
+			dies, restart := det.DiesAt(n, ep)
+			if !dies {
 				continue
 			}
 			pending = append(pending, b.assign[n]...)
 			pendingReset = true
-			members[n] = false
-			liveCount--
+			if !restart {
+				members[n] = false
+				liveCount--
+			}
 		}
 		sort.Slice(pending, func(a, b int) bool {
 			x, y := pending[a], pending[b]
@@ -254,9 +267,6 @@ func RunCrash(p CrashParams) (CrashReport, error) {
 	}
 	if p.Nodes < 2 {
 		return CrashReport{}, fmt.Errorf("lu: crash run needs >= 2 nodes, got %d", p.Nodes)
-	}
-	if p.Faults != nil && p.Faults.Crash > 0 && p.Faults.CrashRestart {
-		return CrashReport{}, fmt.Errorf("lu: crash run does not support crash-restart plans")
 	}
 	nb := n / b
 	cfg := core.DefaultConfig(p.Nodes)

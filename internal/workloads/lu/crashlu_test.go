@@ -71,13 +71,68 @@ func TestCrashLUReplayMixed(t *testing.T) {
 	}
 }
 
-// Crash-restart plans are rejected up front (a rejoin races the planner's
-// reset rendezvous; see the package comment).
-func TestCrashLURejectsRestart(t *testing.T) {
-	plan := fault.NewBuilder(1).Crash(0.05).Restart().MustPlan()
-	p := DefaultCrashParams()
-	p.Faults = &plan
-	if _, err := RunCrash(p); err == nil {
-		t.Fatal("restart plan accepted")
+// Crash-restart plans (Cygnus III): rejoining nodes keep their membership
+// slot, their lost kernels re-run from home truth, and the runtime's
+// restart rendezvous serializes every rejoin past the in-flight reset —
+// same-seed runs agree on digests and the full decision history.
+func TestCrashLUReplayRestarts(t *testing.T) {
+	plan := fault.NewBuilder(20150615).Crash(0.06).Restart().MinEpoch(1).MustPlan()
+	rep, err := ReplayCrashCheck(DefaultCrashParams(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deaths == 0 {
+		t.Fatal("plan injected no crashes — rate too low to exercise restart")
+	}
+	if !strings.Contains(rep.History, "rejoin") {
+		t.Fatalf("restart plan recorded no rejoin: %q", rep.History)
+	}
+	if strings.Count(rep.History, "rejoin") != strings.Count(rep.History, "excise") {
+		t.Fatalf("restart plan left a node excised: %q", rep.History)
+	}
+}
+
+// One-way cuts (partcut=a>b): only the source node is parked and suspected,
+// the target stays a full member, and the factorization still recovers the
+// bit-exact fault-free matrix with a deterministic decision history.
+func TestCrashLUReplayOneWayCut(t *testing.T) {
+	plan := fault.NewBuilder(7).Partition(0.15, 2).MustPlan()
+	plan.PartitionOneWay = true
+	plan.PartitionFrom, plan.PartitionTo = 1, 4
+	rep, err := ReplayCrashCheck(DefaultCrashParams(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partitions == 0 {
+		t.Fatal("plan injected no one-way cuts — rate too low to exercise the asymmetric path")
+	}
+	if !strings.Contains(rep.History, "suspect(n1)") || !strings.Contains(rep.History, "heal(n1)") {
+		t.Fatalf("history records no suspect/heal cycle for the source: %q", rep.History)
+	}
+	if strings.Contains(rep.History, "suspect(n4)") {
+		t.Fatalf("one-way cut suspected its target (double-excise hazard): %q", rep.History)
+	}
+	if rep.Deaths != 0 || strings.Contains(rep.History, "excise") {
+		t.Fatalf("one-way cut cost a membership: %+v", rep)
+	}
+}
+
+// The full Cygnus III chaos stack under one plan: crash-restarts at lock
+// and flag safe points, one-way cuts, transient faults — recovery to the
+// fault-free image and bit-exact same-seed replay must survive the
+// composition.
+func TestCrashLUReplayRestartOneWayMixed(t *testing.T) {
+	plan := fault.NewBuilder(13).
+		Drop(0.005).
+		Crash(0.05).Restart().MinEpoch(1).At(fault.SafeLock|fault.SafeFlag).
+		Partition(0.1, 1).MustPlan()
+	plan.PartitionOneWay = true
+	plan.PartitionFrom, plan.PartitionTo = 2, 0
+	rep, err := ReplayCrashCheck(DefaultCrashParams(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deaths == 0 && rep.Partitions == 0 {
+		t.Fatal("mixed plan injected neither restarts nor cuts")
 	}
 }
